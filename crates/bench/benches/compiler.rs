@@ -1,0 +1,17 @@
+//! Criterion benches for trace lowering throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ufc_compiler::{CompileOptions, Compiler};
+
+fn bench_lowering(c: &mut Criterion) {
+    let tr = ufc_workloads::helr::generate("C1");
+    let compiler = Compiler::for_trace(&tr, CompileOptions::default());
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(tr.len() as u64));
+    g.bench_function("lower HELR trace", |b| b.iter(|| compiler.compile(&tr)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_lowering, );
+criterion_main!(benches);

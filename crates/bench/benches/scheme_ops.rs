@@ -1,0 +1,35 @@
+//! Criterion benches for the FHE scheme operations at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ckks(c: &mut Criterion) {
+    let ctx = ufc_ckks::CkksContext::new(64, 3, 2, 2, 36, 34);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = ufc_ckks::SecretKey::generate(&ctx, &mut rng);
+    let keys = ufc_ckks::KeySet::generate(&ctx, &sk, &mut rng);
+    let ev = ufc_ckks::Evaluator::new(ctx);
+    let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.01).collect();
+    let ct = ev.encrypt_real(&vals, &keys, &mut rng);
+    c.bench_function("ckks/mul_ct+rescale (N=64)", |b| {
+        b.iter(|| ev.rescale(&ev.mul(&ct, &ct, &keys)))
+    });
+}
+
+fn bench_tfhe(c: &mut Criterion) {
+    let ctx = ufc_tfhe::TfheContext::new(64, 256, 7, 3, 6, 4);
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = ufc_tfhe::TfheKeys::generate(&ctx, &mut rng);
+    let tv = ufc_tfhe::bootstrap::sign_test_vector(&ctx);
+    let ct = ufc_tfhe::LweCiphertext::encrypt(&ctx, &keys.lwe_sk, ctx.encode(1, 8), &mut rng);
+    let mut g = c.benchmark_group("tfhe");
+    g.sample_size(10);
+    g.bench_function("pbs (n=64, N=256)", |b| {
+        b.iter(|| ufc_tfhe::programmable_bootstrap(&ctx, &keys, &ct, &tv))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ckks, bench_tfhe);
+criterion_main!(benches);

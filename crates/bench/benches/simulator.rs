@@ -1,0 +1,31 @@
+//! Criterion benches for the cycle simulator itself (instructions/s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ufc_core::{compile_with_barriers, Ufc};
+use ufc_sim::simulate;
+
+fn bench_simulate(c: &mut Criterion) {
+    let ufc = Ufc::paper_default();
+    let tr = ufc_workloads::ckks_bootstrap::generate("C1");
+    let stream = compile_with_barriers(&tr, *ufc.options());
+    let machine = ufc.machine_for(&tr);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(stream.len() as u64));
+    g.bench_function("bootstrap-trace on UFC", |b| {
+        b.iter(|| simulate(&machine, &stream))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let ufc = Ufc::paper_default();
+    let tr = ufc_workloads::tfhe_apps::pbs_throughput("T1", 64);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("compile+simulate PBS trace", |b| b.iter(|| ufc.run(&tr)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_end_to_end);
+criterion_main!(benches);

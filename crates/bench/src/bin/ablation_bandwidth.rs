@@ -1,0 +1,39 @@
+//! Extra study: off-chip bandwidth sensitivity. UFC ships 2 HBM3 PHYs
+//! (1 TB/s); this sweep shows which workloads are bandwidth-bound and
+//! where extra PHYs would (not) help.
+
+use ufc_bench::{header, ratio, row, time};
+use ufc_compiler::CompileOptions;
+use ufc_core::Ufc;
+use ufc_sim::machines::UfcConfig;
+
+fn main() {
+    println!("# Bandwidth sensitivity (0.5× / 1× / 2× HBM)\n");
+    header(&["workload", "512 GB/s", "1 TB/s", "2 TB/s", "2× speedup over 1×"]);
+    let mk = |bpc: u32| {
+        Ufc::new(
+            UfcConfig {
+                hbm_bytes_per_cycle: bpc,
+                ..UfcConfig::default()
+            },
+            CompileOptions::default(),
+        )
+    };
+    let (half, base, twice) = (mk(512), mk(1024), mk(2048));
+    let mut traces = ufc_workloads::all_ckks_workloads("C1");
+    traces.push(ufc_workloads::tfhe_apps::pbs_throughput("T2", 256));
+    traces.push(ufc_workloads::tfhe_apps::pbs_throughput("T4", 256));
+    for tr in traces {
+        let a = half.run(&tr);
+        let b = base.run(&tr);
+        let c = twice.run(&tr);
+        row(&[
+            tr.name.clone(),
+            time(a.seconds),
+            time(b.seconds),
+            time(c.seconds),
+            ratio(b.seconds / c.seconds),
+        ]);
+    }
+    println!("\nCKKS workloads (key streams) respond to bandwidth; small-parameter TFHE is compute-bound.");
+}

@@ -1,0 +1,24 @@
+//! Fig. 2 — Hardware utilization of the NTT unit on SHARP and Strix
+//! for polynomials of different degrees.
+
+use ufc_bench::{header, row};
+use ufc_sim::machines::{SharpMachine, StrixMachine};
+
+fn main() {
+    println!("# Fig. 2: NTT-unit hardware utilization vs polynomial degree\n");
+    header(&["logN", "SHARP util", "Strix util"]);
+    for log_n in 9..=16u32 {
+        let sharp = SharpMachine::ntt_utilization(log_n);
+        let strix = StrixMachine::fft_utilization(log_n);
+        row(&[
+            format!("{log_n}"),
+            format!("{:.0}%", sharp * 100.0),
+            if strix == 0.0 {
+                "unsupported".to_string()
+            } else {
+                format!("{:.0}%", strix * 100.0)
+            },
+        ]);
+    }
+    println!("\nPaper: SHARP shows 50–75% for logN 9–12; Strix only supports logN ≤ 14.");
+}

@@ -1,0 +1,22 @@
+//! Fig. 9 — The area breakdown of UFC.
+
+use ufc_bench::{header, row};
+use ufc_sim::machines::UfcConfig;
+
+fn main() {
+    let a = UfcConfig::default().area_breakdown();
+    let total = a.total();
+    println!("# Fig. 9: UFC area breakdown (@7 nm)\n");
+    header(&["Component", "mm²", "share"]);
+    for (name, v) in [
+        ("PE array (butterfly + ALU + RF)", a.pe_array),
+        ("Interconnect (CG-NTT + global)", a.interconnect),
+        ("Scratchpad (64 × 4 MiB)", a.scratchpad),
+        ("LWEU + HBM crossbar", a.lweu),
+        ("HBM PHY + misc", a.hbm_phy),
+    ] {
+        row(&[name.into(), format!("{v:.1}"), format!("{:.0}%", v / total * 100.0)]);
+    }
+    row(&["**Total**".into(), format!("{total:.1}"), "100%".into()]);
+    println!("\nPaper total: 197.7 mm² / 76.9 W; \"interconnect takes up a significant part of the chip\".");
+}

@@ -1,0 +1,41 @@
+//! Fig. 10(b) — TFHE workloads: UFC vs Strix.
+
+use ufc_bench::{header, ratio, row, time};
+use ufc_core::compare::{compare, geomean};
+use ufc_core::Ufc;
+use ufc_sim::machines::StrixMachine;
+
+fn main() {
+    let ufc = Ufc::paper_default();
+    let strix = StrixMachine::new();
+    println!("# Fig. 10(b): TFHE workloads, UFC vs Strix\n");
+    header(&["workload", "set", "UFC delay", "Strix delay", "speedup", "energy gain", "EDAP gain"]);
+    let (mut sp, mut en, mut edap) = (vec![], vec![], vec![]);
+    for set in ["T1", "T2", "T3", "T4"] {
+        for tr in ufc_workloads::all_tfhe_workloads(set) {
+            let r = compare(&ufc, &strix, &tr);
+            row(&[
+                r.workload.clone(),
+                set.into(),
+                time(r.ufc.seconds),
+                time(r.baseline.seconds),
+                ratio(r.speedup()),
+                ratio(r.energy_gain()),
+                ratio(r.edap_gain()),
+            ]);
+            sp.push(r.speedup());
+            en.push(r.energy_gain());
+            edap.push(r.edap_gain());
+        }
+    }
+    row(&[
+        "**geomean**".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        ratio(geomean(sp)),
+        ratio(geomean(en)),
+        ratio(geomean(edap)),
+    ]);
+    println!("\nPaper: 6× faster, 1.2× less energy, 1.5× better EDAP than Strix.");
+}

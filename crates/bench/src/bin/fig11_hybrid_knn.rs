@@ -1,0 +1,38 @@
+//! Fig. 11 — Hybrid k-NN: UFC vs the composed SHARP+Strix system.
+
+use ufc_bench::{header, ratio, row, time};
+use ufc_core::compare::{compare, geomean};
+use ufc_core::Ufc;
+use ufc_sim::machines::ComposedMachine;
+
+fn main() {
+    let ufc = Ufc::paper_default();
+    let composed = ComposedMachine::new();
+    println!("# Fig. 11: hybrid k-NN, UFC vs SHARP+Strix+PCIe (CKKS set C2)\n");
+    header(&["TFHE set", "UFC delay", "composed delay", "speedup", "EDP gain", "EDAP gain"]);
+    let (mut sp, mut edp, mut edap) = (vec![], vec![], vec![]);
+    for set in ["T1", "T2", "T3", "T4"] {
+        let tr = ufc_workloads::knn::generate("C2", set, Default::default());
+        let r = compare(&ufc, &composed, &tr);
+        row(&[
+            set.into(),
+            time(r.ufc.seconds),
+            time(r.baseline.seconds),
+            ratio(r.speedup()),
+            ratio(r.edp_gain()),
+            ratio(r.edap_gain()),
+        ]);
+        sp.push(r.speedup());
+        edp.push(r.edp_gain());
+        edap.push(r.edap_gain());
+    }
+    row(&[
+        "**geomean**".into(),
+        String::new(),
+        String::new(),
+        ratio(geomean(sp)),
+        ratio(geomean(edp)),
+        ratio(geomean(edap)),
+    ]);
+    println!("\nPaper: ~1.04× (T1–T3), 2.8× (T4); 3.1× EDP and 3.7× EDAP overall.");
+}

@@ -1,0 +1,24 @@
+//! Fig. 12 — Utilization of key UFC components.
+
+use ufc_bench::{header, row};
+use ufc_core::Ufc;
+
+fn main() {
+    let ufc = Ufc::paper_default();
+    println!("# Fig. 12: utilization of key UFC components\n");
+    header(&["workload", "PE (NTT+ELEW)", "NoC", "HBM", "LWEU"]);
+    let mut traces = ufc_workloads::all_ckks_workloads("C1");
+    traces.extend(ufc_workloads::all_tfhe_workloads("T2"));
+    for tr in traces {
+        let r = ufc.run(&tr);
+        let pe = (r.util("Ntt") + r.util("Elew")).min(1.0);
+        row(&[
+            tr.name.clone(),
+            format!("{:.0}%", pe * 100.0),
+            format!("{:.0}%", r.util("Noc") * 100.0),
+            format!("{:.0}%", r.util("Hbm") * 100.0),
+            format!("{:.0}%", r.util("Lweu") * 100.0),
+        ]);
+    }
+    println!("\nPaper: CKKS ≈ 65% PE / 20% NoC / 69% HBM; TFHE ≈ 75% PE / 55% NoC / 25% HBM.");
+}

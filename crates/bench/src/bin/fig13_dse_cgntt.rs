@@ -1,0 +1,28 @@
+//! Fig. 13 — Design-space exploration of CG-NTT configurations.
+
+use ufc_bench::{header, ratio, row, time};
+use ufc_core::dse::{default_mix, sweep_cg_networks};
+
+fn main() {
+    println!("# Fig. 13: DSE over CG-NTT network count × scratchpad capacity\n");
+    let mix = default_mix();
+    let points = sweep_cg_networks(&mix);
+    let base = points
+        .iter()
+        .find(|p| p.config.cg_networks == 1 && p.config.scratchpad_mib == 256)
+        .expect("baseline point")
+        .clone();
+    header(&["networks", "scratchpad", "delay", "EDP (rel)", "EDAP (rel)", "area mm²"]);
+    for p in &points {
+        row(&[
+            p.config.cg_networks.to_string(),
+            format!("{} MiB", p.config.scratchpad_mib),
+            time(p.total_seconds),
+            ratio(p.edp() / base.edp()),
+            ratio(p.edap() / base.edap()),
+            format!("{:.0}", p.area_mm2),
+        ]);
+    }
+    println!("\nPaper: a single large CG-NTT network constantly outperforms more networks;");
+    println!("smaller scratchpads give better EDP/EDAP (256 MiB chosen for peak performance).");
+}

@@ -1,0 +1,27 @@
+//! Fig. 14 — Design-space exploration of lane counts (throughput).
+
+use ufc_bench::{header, ratio, row, time};
+use ufc_core::dse::{default_mix, sweep_lanes};
+
+fn main() {
+    println!("# Fig. 14: DSE over lanes per PE × scratchpad capacity\n");
+    let mix = default_mix();
+    let points = sweep_lanes(&mix);
+    let base = points
+        .iter()
+        .find(|p| p.config.butterfly_per_pe == 128 && p.config.scratchpad_mib == 256)
+        .expect("baseline point")
+        .clone();
+    header(&["butterflies/PE", "scratchpad", "delay", "EDP (rel)", "EDAP (rel)", "area mm²"]);
+    for p in &points {
+        row(&[
+            p.config.butterfly_per_pe.to_string(),
+            format!("{} MiB", p.config.scratchpad_mib),
+            time(p.total_seconds),
+            ratio(p.edp() / base.edp()),
+            ratio(p.edap() / base.edap()),
+            format!("{:.0}", p.area_mm2),
+        ]);
+    }
+    println!("\nPaper: more lanes give better EDP and EDAP — the architecture scales.");
+}

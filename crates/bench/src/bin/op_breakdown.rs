@@ -1,0 +1,26 @@
+//! Operation breakdown (the Figs. 3–4 complement): where the cycles
+//! go, per program phase, for one CKKS and one TFHE workload on UFC.
+
+use ufc_bench::{header, row};
+use ufc_core::Ufc;
+
+fn main() {
+    let ufc = Ufc::paper_default();
+    for tr in [
+        ufc_workloads::ckks_bootstrap::generate("C1"),
+        ufc_workloads::tfhe_apps::pbs_throughput("T2", 128),
+    ] {
+        let r = ufc.run(&tr);
+        println!("# {} — phase breakdown ({} cycles total)\n", tr.name, r.cycles);
+        header(&["phase", "busy cycles", "share"]);
+        let total: u64 = r.phase_cycles.iter().map(|(_, c)| c).sum();
+        for (phase, cycles) in &r.phase_cycles {
+            row(&[
+                phase.clone(),
+                cycles.to_string(),
+                format!("{:.0}%", *cycles as f64 / total.max(1) as f64 * 100.0),
+            ]);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Table III — FHE parameter settings (C1–C3, T1–T4).
+
+use ufc_bench::{header, row};
+use ufc_isa::params::{CKKS_SETS, TFHE_SETS};
+
+fn main() {
+    println!("# Table III: FHE parameter settings\n");
+    println!("## CKKS");
+    header(&["id", "logN", "dnum", "logPQ", "Q limbs", "P limbs", "ct (full) MB", "ksk MB"]);
+    for p in CKKS_SETS {
+        row(&[
+            p.id.into(),
+            p.log_n.to_string(),
+            p.dnum.to_string(),
+            p.log_pq.to_string(),
+            p.q_limbs().to_string(),
+            p.special_limbs().to_string(),
+            format!("{:.1}", p.ciphertext_bytes(p.max_level()) as f64 / 1e6),
+            format!("{:.1}", p.ksk_bytes() as f64 / 1e6),
+        ]);
+    }
+    println!("\n## TFHE");
+    header(&["id", "n", "logN", "g_k", "log B", "d_ks", "bsk MB", "ksk MB"]);
+    for p in TFHE_SETS {
+        row(&[
+            p.id.into(),
+            p.lwe_dim.to_string(),
+            p.log_n.to_string(),
+            p.glwe_levels.to_string(),
+            p.glwe_log_base.to_string(),
+            p.ks_levels.to_string(),
+            format!("{:.1}", p.bsk_bytes() as f64 / 1e6),
+            format!("{:.1}", p.ksk_bytes() as f64 / 1e6),
+        ]);
+    }
+}

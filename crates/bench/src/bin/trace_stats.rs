@@ -1,0 +1,26 @@
+//! Workload inventory: ciphertext-op histograms of every evaluated
+//! trace — the view the paper's tracing tool produces before
+//! compilation (§VI-B).
+
+use ufc_bench::{header, row};
+
+fn main() {
+    println!("# Workload trace statistics (ciphertext-granularity ops)\n");
+    header(&["workload", "ops", "muls", "rotations", "bootstraps", "PBS", "switches"]);
+    let mut traces = ufc_workloads::all_ckks_workloads("C1");
+    traces.extend(ufc_workloads::all_tfhe_workloads("T2"));
+    traces.push(ufc_workloads::knn::generate("C2", "T2", Default::default()));
+    for tr in traces {
+        let h = tr.op_histogram();
+        let g = |k: &str| h.get(k).copied().unwrap_or(0);
+        row(&[
+            tr.name.clone(),
+            tr.len().to_string(),
+            (g("CkksMulCt") + g("CkksMulPlain")).to_string(),
+            (g("CkksRotate") + g("CkksConjugate")).to_string(),
+            g("CkksModRaise").to_string(),
+            g("TfhePbs").to_string(),
+            (g("Extract") + g("Repack") + g("SchemeTransfer")).to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Canonical-embedding encoding: complex slot vectors ↔ ring elements.
+//!
+//! CKKS packs `N/2` complex slots into one real polynomial by
+//! evaluating at the primitive `2N`-th roots `ζ^{5^j}` (one per orbit
+//! of the rotation group). Encoding is the inverse embedding scaled by
+//! `Δ` and rounded; slot rotation then corresponds to the Galois
+//! automorphism `X → X^{5^r}`.
+//!
+//! This implementation evaluates the embedding directly (`O(N²)`),
+//! trading speed for obviously-correct math; tests use reduced rings.
+
+/// A complex number as an `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn c_conj(a: Complex) -> Complex {
+    (a.0, -a.1)
+}
+
+/// Encoder/decoder for a fixed ring dimension and scale.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    n: usize,
+    scale: f64,
+    /// `5^j mod 2N` for `j` in `0..N/2` — the evaluation-point orbit.
+    rot_group: Vec<usize>,
+}
+
+impl Encoder {
+    /// Creates an encoder for ring dimension `n` (power of two ≥ 4)
+    /// and scale `Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `scale <= 0`.
+    pub fn new(n: usize, scale: f64) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
+        assert!(scale > 0.0, "scale must be positive");
+        let two_n = 2 * n;
+        let mut rot_group = Vec::with_capacity(n / 2);
+        let mut k = 1usize;
+        for _ in 0..n / 2 {
+            rot_group.push(k);
+            k = k * 5 % two_n;
+        }
+        Self { n, scale, rot_group }
+    }
+
+    /// Number of slots (`N/2`).
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The scale `Δ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The `j`-th evaluation point `ζ^{5^j}` with `ζ = e^{iπ/N}`.
+    fn root(&self, j: usize) -> Complex {
+        let theta = std::f64::consts::PI * self.rot_group[j] as f64 / self.n as f64;
+        (theta.cos(), theta.sin())
+    }
+
+    /// Encodes complex slots into integer polynomial coefficients
+    /// (centered). Missing slots are zero-padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` slots are supplied.
+    pub fn encode(&self, slots: &[Complex]) -> Vec<i64> {
+        assert!(slots.len() <= self.slots(), "too many slots");
+        let n = self.n;
+        let mut acc = vec![0.0f64; n];
+        // m_k = (Δ/N) * Σ_j (z_j * conj(u_j)^k + conj(z_j) * u_j^k)
+        //     = (2Δ/N) * Σ_j Re(z_j * conj(u_j^k)).
+        for (j, &z) in slots.iter().enumerate() {
+            if z == (0.0, 0.0) {
+                continue;
+            }
+            let u_conj = c_conj(self.root(j));
+            let mut u_conj_k = (1.0, 0.0);
+            for a in acc.iter_mut() {
+                *a += c_mul(z, u_conj_k).0;
+                u_conj_k = c_mul(u_conj_k, u_conj);
+            }
+        }
+        let norm = 2.0 * self.scale / n as f64;
+        acc.into_iter().map(|a| (norm * a).round() as i64).collect()
+    }
+
+    /// Encodes a real vector (imaginary parts zero).
+    pub fn encode_real(&self, values: &[f64]) -> Vec<i64> {
+        let slots: Vec<Complex> = values.iter().map(|&v| (v, 0.0)).collect();
+        self.encode(&slots)
+    }
+
+    /// Decodes centered integer coefficients back into complex slots.
+    pub fn decode(&self, coeffs: &[i64], scale: f64) -> Vec<Complex> {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must be N");
+        let mut out = Vec::with_capacity(self.slots());
+        for j in 0..self.slots() {
+            let u = self.root(j);
+            let mut acc = (0.0, 0.0);
+            let mut u_k = (1.0, 0.0);
+            for &c in coeffs {
+                acc = c_add(acc, c_mul((c as f64, 0.0), u_k));
+                u_k = c_mul(u_k, u);
+            }
+            out.push((acc.0 / scale, acc.1 / scale));
+        }
+        out
+    }
+
+    /// Decodes, returning only real parts.
+    pub fn decode_real(&self, coeffs: &[i64], scale: f64) -> Vec<f64> {
+        self.decode(coeffs, scale).into_iter().map(|z| z.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn roundtrip_real() {
+        let enc = Encoder::new(64, 2f64.powi(30));
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64) / 7.0 - 2.0).collect();
+        let coeffs = enc.encode_real(&vals);
+        let back = enc.decode_real(&coeffs, enc.scale());
+        assert!(max_err(&vals, &back) < 1e-6, "err = {}", max_err(&vals, &back));
+    }
+
+    #[test]
+    fn roundtrip_complex() {
+        let enc = Encoder::new(32, 2f64.powi(28));
+        let slots: Vec<Complex> = (0..16).map(|i| (i as f64 * 0.5, -(i as f64) * 0.25)).collect();
+        let coeffs = enc.encode(&slots);
+        let back = enc.decode(&coeffs, enc.scale());
+        for (z, w) in slots.iter().zip(&back) {
+            assert!((z.0 - w.0).abs() < 1e-5 && (z.1 - w.1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        let enc = Encoder::new(32, 2f64.powi(26));
+        let a: Vec<f64> = (0..16).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..16).map(|i| 1.5 - i as f64 * 0.05).collect();
+        let ca = enc.encode_real(&a);
+        let cb = enc.encode_real(&b);
+        let sum: Vec<i64> = ca.iter().zip(&cb).map(|(x, y)| x + y).collect();
+        let dec = enc.decode_real(&sum, enc.scale());
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert!(max_err(&dec, &expect) < 1e-5);
+    }
+
+    #[test]
+    fn slot_rotation_matches_automorphism() {
+        // decode(automorph_{5^r}(m)) == rotate(decode(m), r): the core
+        // property CKKS rotations rely on.
+        let n = 32;
+        let enc = Encoder::new(n, 2f64.powi(26));
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let coeffs = enc.encode_real(&vals);
+        // Apply X -> X^5 on signed coefficients (one rotation step).
+        let k = 5usize;
+        let mut rotated = vec![0i64; n];
+        for (i, &c) in coeffs.iter().enumerate() {
+            let j = (i * k) % (2 * n);
+            if j < n {
+                rotated[j] += c;
+            } else {
+                rotated[j - n] -= c;
+            }
+        }
+        let dec = enc.decode_real(&rotated, enc.scale());
+        // Slots shift left by 1.
+        let expect: Vec<f64> = (0..16).map(|i| vals[(i + 1) % 16]).collect();
+        assert!(max_err(&dec, &expect) < 1e-5, "{dec:?}");
+    }
+
+    #[test]
+    fn zero_padding() {
+        let enc = Encoder::new(32, 2f64.powi(26));
+        let coeffs = enc.encode_real(&[1.0]);
+        let dec = enc.decode_real(&coeffs, enc.scale());
+        assert!((dec[0] - 1.0).abs() < 1e-6);
+        assert!(dec[1..].iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many slots")]
+    fn rejects_overfull() {
+        let enc = Encoder::new(8, 1024.0);
+        let _ = enc.encode_real(&[0.0; 5]);
+    }
+}

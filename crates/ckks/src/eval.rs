@@ -1,0 +1,567 @@
+//! The CKKS evaluator: encrypt/decrypt, homomorphic arithmetic, hybrid
+//! key-switching, rotations — with a built-in ciphertext-granularity
+//! tracer (the paper's tracing tool, §VI-B).
+
+use crate::ciphertext::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::{Complex, Encoder};
+use crate::keys::{KeySet, SecretKey, SwitchingKey, NOISE_SIGMA};
+use crate::rnspoly::RnsPoly;
+use rand::Rng;
+use parking_lot::Mutex;
+use ufc_math::automorph;
+use ufc_math::poly::{Form, Poly};
+use ufc_math::sample::{gaussian_poly, ternary_poly};
+use ufc_isa::trace::{Trace, TraceOp};
+
+/// Homomorphic evaluator bound to a context, key set and encoder.
+///
+/// Every public operation records a [`TraceOp`]; call
+/// [`Evaluator::take_trace`] to retrieve the accumulated trace.
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: CkksContext,
+    encoder: Encoder,
+    trace: Mutex<Trace>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator (and its tracer) for the given context.
+    pub fn new(ctx: CkksContext) -> Self {
+        let encoder = Encoder::new(ctx.n(), ctx.scale());
+        Self {
+            ctx,
+            encoder,
+            trace: Mutex::new(Trace::new("ckks")),
+        }
+    }
+
+    /// The context.
+    pub fn context(&self) -> &CkksContext {
+        &self.ctx
+    }
+
+    /// The slot encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Takes the recorded trace, resetting the tracer.
+    pub fn take_trace(&self) -> Trace {
+        std::mem::replace(&mut self.trace.lock(), Trace::new("ckks"))
+    }
+
+    fn record(&self, op: TraceOp) {
+        self.trace.lock().push(op);
+    }
+
+    /// Records an externally-generated trace op (used by the
+    /// bootstrapping pipeline for composite events like ModRaise).
+    pub fn record_public(&self, op: TraceOp) {
+        self.record(op);
+    }
+
+    // ---------------------------------------------------------- encrypt
+
+    /// Encodes real slot values into a plaintext RNS polynomial at
+    /// `level` (evaluation form), at the context scale.
+    pub fn encode_real(&self, values: &[f64], level: usize) -> RnsPoly {
+        let coeffs = self.encoder.encode_real(values);
+        RnsPoly::from_signed(&self.ctx, &coeffs, level + 1).to_eval(&self.ctx)
+    }
+
+    /// Encrypts real slot values under the public key at top level.
+    pub fn encrypt_real<R: Rng + ?Sized>(
+        &self,
+        values: &[f64],
+        keys: &KeySet,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let level = self.ctx.max_level();
+        let m = self.encode_real(values, level);
+        self.encrypt_plaintext(&m, keys, level, rng)
+    }
+
+    /// Encrypts an already-encoded plaintext.
+    pub fn encrypt_plaintext<R: Rng + ?Sized>(
+        &self,
+        m: &RnsPoly,
+        keys: &KeySet,
+        level: usize,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let n = self.ctx.n();
+        let v_signed: Vec<i64> = {
+            let t = ternary_poly(rng, n, 3);
+            t.coeffs()
+                .iter()
+                .map(|&c| if c == 2 { -1 } else { c as i64 })
+                .collect()
+        };
+        let v = RnsPoly::from_signed(&self.ctx, &v_signed, level + 1).to_eval(&self.ctx);
+        let e0 = self.noise(level, rng);
+        let e1 = self.noise(level, rng);
+        // Slice the public key to the active limbs.
+        let pk_b = slice_limbs(&keys.public.b, level + 1);
+        let pk_a = slice_limbs(&keys.public.a, level + 1);
+        let c0 = pk_b.mul(&v).add(&e0).add(m);
+        let c1 = pk_a.mul(&v).add(&e1);
+        Ciphertext::new(c0, c1, level, self.ctx.scale())
+    }
+
+    fn noise<R: Rng + ?Sized>(&self, level: usize, rng: &mut R) -> RnsPoly {
+        let signed: Vec<i64> = {
+            let p = gaussian_poly(rng, self.ctx.n(), 1 << 30, NOISE_SIGMA);
+            p.coeffs()
+                .iter()
+                .map(|&c| ufc_math::modops::to_signed(c, 1 << 30))
+                .collect()
+        };
+        RnsPoly::from_signed(&self.ctx, &signed, level + 1).to_eval(&self.ctx)
+    }
+
+    // ---------------------------------------------------------- decrypt
+
+    /// Decrypts to centered coefficients (exact CRT over up to three
+    /// limbs — ample for test-scale messages).
+    pub fn decrypt_coeffs(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<i64> {
+        let s = sk.rns_eval(&self.ctx, ct.limb_count());
+        let m = ct.c0.add(&ct.c1.mul(&s)).to_coeff(&self.ctx);
+        let use_limbs = m.limb_count().min(3);
+        let basis = ufc_math::rns::RnsBasis::new(
+            self.ctx.q_moduli()[..use_limbs].to_vec(),
+        );
+        (0..self.ctx.n())
+            .map(|i| {
+                let residues: Vec<u64> = m.limbs()[..use_limbs]
+                    .iter()
+                    .map(|l| l.coeffs()[i])
+                    .collect();
+                basis.reconstruct_i128(&residues) as i64
+            })
+            .collect()
+    }
+
+    /// Decrypts and decodes to real slot values.
+    pub fn decrypt_real(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<f64> {
+        let coeffs = self.decrypt_coeffs(ct, sk);
+        self.encoder.decode_real(&coeffs, ct.scale)
+    }
+
+    /// Decrypts and decodes to complex slot values.
+    pub fn decrypt_complex(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<Complex> {
+        let coeffs = self.decrypt_coeffs(ct, sk);
+        self.encoder.decode(&coeffs, ct.scale)
+    }
+
+    // ------------------------------------------------------- arithmetic
+
+    /// Homomorphic addition (levels are aligned by dropping limbs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if scales differ by more than 0.5 %.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let level = a.level.min(b.level);
+        let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
+        assert!(
+            (a.scale / b.scale - 1.0).abs() < 5e-3,
+            "scale mismatch: {} vs {}",
+            a.scale,
+            b.scale
+        );
+        self.record(TraceOp::CkksAdd { level: level as u32 });
+        Ciphertext::new(a.c0.add(&b.c0), a.c1.add(&b.c1), level, a.scale)
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let level = a.level.min(b.level);
+        let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
+        self.record(TraceOp::CkksAdd { level: level as u32 });
+        Ciphertext::new(a.c0.sub(&b.c0), a.c1.sub(&b.c1), level, a.scale)
+    }
+
+    /// Ciphertext × plaintext multiplication (plaintext in evaluation
+    /// form at the same level, encoded at the context scale).
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
+        assert_eq!(pt.limb_count(), a.limb_count(), "plaintext level mismatch");
+        self.record(TraceOp::CkksMulPlain { level: a.level as u32 });
+        Ciphertext::new(
+            a.c0.mul(pt),
+            a.c1.mul(pt),
+            a.level,
+            a.scale * self.ctx.scale(),
+        )
+    }
+
+    /// Adds an encoded plaintext to the ciphertext (scales must match).
+    pub fn add_plain(&self, a: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
+        assert_eq!(pt.limb_count(), a.limb_count(), "plaintext level mismatch");
+        self.record(TraceOp::CkksAdd { level: a.level as u32 });
+        Ciphertext::new(a.c0.add(pt), a.c1.clone(), a.level, a.scale)
+    }
+
+    /// Homomorphic ciphertext multiplication with relinearization.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let level = a.level.min(b.level);
+        let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
+        self.record(TraceOp::CkksMulCt { level: level as u32 });
+        let d0 = a.c0.mul(&b.c0);
+        let d1 = a.c0.mul(&b.c1).add(&a.c1.mul(&b.c0));
+        let d2 = a.c1.mul(&b.c1);
+        // Relinearize d2 with the s² key.
+        let (k0, k1) = self.key_switch(&d2, &keys.relin, level);
+        Ciphertext::new(d0.add(&k0), d1.add(&k1), level, a.scale * b.scale)
+    }
+
+    /// Rescale: divide by the last limb's modulus, dropping one level.
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level > 0, "no levels left to rescale");
+        self.record(TraceOp::CkksRescale { level: a.level as u32 });
+        let q_last = self.ctx.q_moduli()[a.level];
+        let c0 = a.c0.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
+        let c1 = a.c1.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
+        Ciphertext::new(c0, c1, a.level - 1, a.scale / q_last as f64)
+    }
+
+    /// Homomorphic slot rotation by `step` (left-rotation of the
+    /// packed vector). The rotation key must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rotation key was not generated.
+    pub fn rotate(&self, a: &Ciphertext, step: isize, keys: &KeySet) -> Ciphertext {
+        if step == 0 {
+            return a.clone();
+        }
+        let k = automorph::rotation_exponent(step, self.ctx.n());
+        let key = keys
+            .rotation_key(k)
+            .unwrap_or_else(|| panic!("missing rotation key for step {step}"));
+        self.record(TraceOp::CkksRotate {
+            level: a.level as u32,
+            step: step as i32,
+        });
+        self.apply_galois(a, k, key)
+    }
+
+    /// Homomorphic complex conjugation.
+    pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let k = 2 * self.ctx.n() - 1;
+        self.record(TraceOp::CkksConjugate { level: a.level as u32 });
+        self.apply_galois(a, k, &keys.conj)
+    }
+
+    fn apply_galois(&self, a: &Ciphertext, k: usize, key: &SwitchingKey) -> Ciphertext {
+        let c0r = a.c0.automorphism(k);
+        let c1r = a.c1.automorphism(k);
+        let (k0, k1) = self.key_switch(&c1r, key, a.level);
+        Ciphertext::new(c0r.add(&k0), k1, a.level, a.scale)
+    }
+
+    /// Encodes real slot values at an explicit scale (used for scale
+    /// management in deep circuits).
+    pub fn encode_real_at(&self, values: &[f64], level: usize, scale: f64) -> RnsPoly {
+        let enc = Encoder::new(self.ctx.n(), scale);
+        let coeffs = enc.encode_real(values);
+        RnsPoly::from_signed(&self.ctx, &coeffs, level + 1).to_eval(&self.ctx)
+    }
+
+    /// Rescales `a` to exactly (`target_level`, `target_scale`) by one
+    /// constant multiplication and rescale — the standard scale
+    /// alignment trick for adding ciphertexts with different rescale
+    /// histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.level <= target_level` is violated (at least one
+    /// level is consumed).
+    pub fn adjust_scale(
+        &self,
+        a: &Ciphertext,
+        target_scale: f64,
+        target_level: usize,
+    ) -> Ciphertext {
+        assert!(a.level > target_level, "adjust_scale consumes one level");
+        let a = self.drop_to_level(a, target_level + 1);
+        let q_next = self.ctx.q_moduli()[target_level + 1] as f64;
+        let factor_scale = target_scale * q_next / a.scale;
+        let ones = vec![1.0; self.ctx.slots()];
+        let pt = self.encode_real_at(&ones, a.level, factor_scale);
+        let scaled = Ciphertext::new(
+            a.c0.mul(&pt),
+            a.c1.mul(&pt),
+            a.level,
+            a.scale * factor_scale,
+        );
+        self.record(TraceOp::CkksMulPlain { level: a.level as u32 });
+        let out = self.rescale(&scaled);
+        // Snap the bookkeeping to the exact target (the numeric drift
+        // is far below encoding noise).
+        Ciphertext::new(out.c0, out.c1, out.level, target_scale)
+    }
+
+    /// Drops limbs to reach `level` (modulus reduction, no scaling).
+    pub fn drop_to_level(&self, a: &Ciphertext, level: usize) -> Ciphertext {
+        assert!(level <= a.level, "cannot raise level by dropping limbs");
+        if level == a.level {
+            return a.clone();
+        }
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        while c0.limb_count() > level + 1 {
+            c0 = c0.drop_last();
+            c1 = c1.drop_last();
+        }
+        Ciphertext::new(c0, c1, level, a.scale)
+    }
+
+    // ----------------------------------------------------- key switching
+
+    /// Hybrid key switching of a single polynomial `d` (evaluation
+    /// form, `level+1` limbs): returns `(k0, k1)` over the active `Q`
+    /// limbs with `k0 + k1·s ≈ d·s_from`.
+    ///
+    /// This is the paper's dominant CKKS kernel: digit decomposition,
+    /// ModUp base conversions, the big MAC accumulation against the
+    /// key, and the ModDown division by `P` (§II-B3).
+    pub fn key_switch(
+        &self,
+        d: &RnsPoly,
+        key: &SwitchingKey,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        let active = level + 1;
+        let d_coeff = d.to_coeff(ctx);
+        let digit_keys = key.at_level(level);
+
+        let mut acc0: Option<RnsPoly> = None;
+        let mut acc1: Option<RnsPoly> = None;
+        for (j, dt) in ctx.digits().iter().enumerate() {
+            let (lo, hi) = dt.limb_range;
+            if lo >= active {
+                break;
+            }
+            let hi_l = hi.min(active);
+            // d~_j = [d * Qhat_j^{-1}]_{Q_j} on the digit limbs.
+            let digit_limbs: Vec<Poly> = (lo..hi_l)
+                .map(|i| {
+                    d_coeff.limbs()[i].scale(dt.qhat_inv[level][i - lo])
+                })
+                .collect();
+            // ModUp to the complement moduli.
+            let conv = dt.mod_up[level].as_ref().expect("digit active");
+            let converted = conv.convert_poly(&digit_limbs);
+            // Assemble the full (active Q ++ P) limb list.
+            // Complement order was: q[..lo], q[hi_l..active], p[..].
+            let mut limbs: Vec<Poly> = Vec::with_capacity(active + ctx.p_moduli().len());
+            let mut conv_iter = converted.into_iter();
+            for i in 0..lo {
+                let l = conv_iter.next().expect("complement limb");
+                debug_assert_eq!(l.modulus(), ctx.q_moduli()[i]);
+                limbs.push(l);
+            }
+            limbs.extend(digit_limbs.iter().cloned());
+            for i in hi_l..active {
+                let l = conv_iter.next().expect("complement limb");
+                debug_assert_eq!(l.modulus(), ctx.q_moduli()[i]);
+                limbs.push(l);
+            }
+            for p in ctx.p_moduli() {
+                let l = conv_iter.next().expect("P limb");
+                debug_assert_eq!(l.modulus(), *p);
+                limbs.push(l);
+            }
+            let d_ext = RnsPoly::from_limbs(limbs, Form::Coeff).to_eval(ctx);
+            let (b_j, a_j) = &digit_keys[j];
+            let t0 = d_ext.mul(b_j);
+            let t1 = d_ext.mul(a_j);
+            acc0 = Some(match acc0 {
+                Some(acc) => acc.add(&t0),
+                None => t0,
+            });
+            acc1 = Some(match acc1 {
+                Some(acc) => acc.add(&t1),
+                None => t1,
+            });
+        }
+        let acc0 = acc0.expect("at least one digit");
+        let acc1 = acc1.expect("at least one digit");
+        (self.mod_down(&acc0, level), self.mod_down(&acc1, level))
+    }
+
+    /// ModDown: divides an (active Q ++ P)-limb polynomial by `P` with
+    /// rounding, returning active-Q limbs (evaluation form).
+    fn mod_down(&self, x: &RnsPoly, level: usize) -> RnsPoly {
+        let ctx = &self.ctx;
+        let active = level + 1;
+        let x_coeff = x.to_coeff(ctx);
+        let p_count = ctx.p_moduli().len();
+        assert_eq!(x_coeff.limb_count(), active + p_count, "limb layout");
+        let p_part: Vec<Poly> = x_coeff.limbs()[active..].to_vec();
+        let conv = ctx.p_to_q_converter(level);
+        let p_on_q = conv.convert_poly(&p_part);
+        let limbs: Vec<Poly> = (0..active)
+            .map(|i| {
+                let diff = x_coeff.limbs()[i].sub(&p_on_q[i]);
+                diff.scale(ctx.p_inv_mod_q(i))
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs, Form::Coeff).to_eval(ctx)
+    }
+}
+
+fn slice_limbs(p: &RnsPoly, count: usize) -> RnsPoly {
+    RnsPoly::from_limbs(p.limbs()[..count].to_vec(), p.form())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        n: usize,
+        q_limbs: usize,
+        p_limbs: usize,
+        dnum: usize,
+        seed: u64,
+    ) -> (Evaluator, SecretKey, KeySet, StdRng) {
+        let ctx = CkksContext::new(n, q_limbs, p_limbs, dnum, 36, 34);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keys = KeySet::generate(&ctx, &sk, &mut rng);
+        (Evaluator::new(ctx), sk, keys, rng)
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 11);
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64) * 0.25 - 4.0).collect();
+        let ct = ev.encrypt_real(&vals, &keys, &mut rng);
+        let dec = ev.decrypt_real(&ct, &sk);
+        assert!(max_err(&vals, &dec) < 1e-3, "err {}", max_err(&vals, &dec));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 12);
+        let a: Vec<f64> = (0..32).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..32).map(|i| 3.0 - i as f64 * 0.05).collect();
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let cb = ev.encrypt_real(&b, &keys, &mut rng);
+        let sum = ev.add(&ca, &cb);
+        let dec = ev.decrypt_real(&sum, &sk);
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert!(max_err(&dec, &expect) < 1e-3);
+    }
+
+    #[test]
+    fn plaintext_multiplication_and_rescale() {
+        let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 13);
+        let a: Vec<f64> = (0..32).map(|i| i as f64 * 0.1 - 1.0).collect();
+        let b: Vec<f64> = (0..32).map(|i| 0.5 + i as f64 * 0.02).collect();
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let pb = ev.encode_real(&b, ca.level);
+        let prod = ev.rescale(&ev.mul_plain(&ca, &pb));
+        let dec = ev.decrypt_real(&prod, &sk);
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relinearization() {
+        let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 14);
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) * 0.05).collect();
+        let b: Vec<f64> = (0..32).map(|i| 1.0 - i as f64 * 0.03).collect();
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let cb = ev.encrypt_real(&b, &keys, &mut rng);
+        let prod = ev.rescale(&ev.mul(&ca, &cb, &keys));
+        let dec = ev.decrypt_real(&prod, &sk);
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+    }
+
+    #[test]
+    fn multiplication_depth_two() {
+        let (ev, sk, keys, mut rng) = setup(64, 4, 2, 2, 15);
+        let a: Vec<f64> = (0..32).map(|i| 0.9 - i as f64 * 0.01).collect();
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let sq = ev.rescale(&ev.mul(&ca, &ca, &keys));
+        let quad = ev.rescale(&ev.mul(&sq, &sq, &keys));
+        let dec = ev.decrypt_real(&quad, &sk);
+        let expect: Vec<f64> = a.iter().map(|x| x.powi(4)).collect();
+        assert!(max_err(&dec, &expect) < 5e-2, "err {}", max_err(&dec, &expect));
+    }
+
+    #[test]
+    fn rotation_rotates_slots() {
+        let (ev, sk, mut keys, mut rng) = setup(64, 3, 2, 2, 16);
+        let sk_clone_ctx = ev.context().clone();
+        let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        keys.gen_rotation_key(&sk_clone_ctx, &sk, 1, &mut rng);
+        keys.gen_rotation_key(&sk_clone_ctx, &sk, 5, &mut rng);
+        let ct = ev.encrypt_real(&vals, &keys, &mut rng);
+        for step in [1isize, 5] {
+            let rot = ev.rotate(&ct, step, &keys);
+            let dec = ev.decrypt_real(&rot, &sk);
+            let expect: Vec<f64> = (0..32)
+                .map(|i| vals[(i + step as usize) % 32])
+                .collect();
+            assert!(
+                max_err(&dec, &expect) < 1e-2,
+                "step {step}: err {}",
+                max_err(&dec, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn conjugation_conjugates() {
+        let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 17);
+        let slots: Vec<Complex> = (0..32).map(|i| (i as f64 * 0.1, 1.0 - i as f64 * 0.05)).collect();
+        let coeffs = ev.encoder().encode(&slots);
+        let m = RnsPoly::from_signed(ev.context(), &coeffs, ev.context().max_level() + 1)
+            .to_eval(ev.context());
+        let ct = ev.encrypt_plaintext(&m, &keys, ev.context().max_level(), &mut rng);
+        let conj = ev.conjugate(&ct, &keys);
+        let dec = ev.decrypt_complex(&conj, &sk);
+        for (z, w) in slots.iter().zip(&dec) {
+            assert!((z.0 - w.0).abs() < 1e-2, "re {} vs {}", z.0, w.0);
+            assert!((z.1 + w.1).abs() < 1e-2, "im {} vs {}", z.1, w.1);
+        }
+    }
+
+    #[test]
+    fn dnum_three_configuration_works() {
+        let (ev, sk, keys, mut rng) = setup(32, 6, 2, 3, 18);
+        let a: Vec<f64> = (0..16).map(|i| 0.4 + i as f64 * 0.02).collect();
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let sq = ev.rescale(&ev.mul(&ca, &ca, &keys));
+        let dec = ev.decrypt_real(&sq, &sk);
+        let expect: Vec<f64> = a.iter().map(|x| x * x).collect();
+        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+    }
+
+    #[test]
+    fn trace_records_operations() {
+        let (ev, _sk, keys, mut rng) = setup(64, 3, 2, 2, 19);
+        let a: Vec<f64> = vec![1.0; 32];
+        let ca = ev.encrypt_real(&a, &keys, &mut rng);
+        let _ = ev.take_trace(); // clear encrypt-time noise ops
+        let sum = ev.add(&ca, &ca);
+        let _ = ev.rescale(&ev.mul(&sum, &ca, &keys));
+        let tr = ev.take_trace();
+        assert_eq!(tr.len(), 3);
+        assert!(matches!(tr.ops[0], TraceOp::CkksAdd { .. }));
+        assert!(matches!(tr.ops[1], TraceOp::CkksMulCt { .. }));
+        assert!(matches!(tr.ops[2], TraceOp::CkksRescale { .. }));
+    }
+}

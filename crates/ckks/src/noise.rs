@@ -1,0 +1,197 @@
+//! Noise-budget tracking for CKKS ciphertexts.
+//!
+//! CKKS is approximate: every operation adds (or amplifies) error, and
+//! applications must know when the remaining precision is exhausted —
+//! it is the level/noise schedule that decides where the workload
+//! generators insert bootstraps. This module tracks a conservative
+//! slot-domain error bound through the evaluator's operations and is
+//! validated against *measured* error on the real scheme.
+
+use crate::ciphertext::Ciphertext;
+use crate::eval::Evaluator;
+use crate::keys::SecretKey;
+
+/// A conservative estimate of a ciphertext's slot-domain state:
+/// the largest message magnitude and the error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBudget {
+    /// Upper bound on `|message|` in the slots.
+    pub value_bound: f64,
+    /// Upper bound on the absolute slot error.
+    pub error_bound: f64,
+}
+
+impl NoiseBudget {
+    /// Budget of a fresh encryption of values bounded by `value_bound`
+    /// at scale `delta` in ring dimension `n`.
+    ///
+    /// Fresh noise is `(e0 + e1·s + v·e_pk)` with ternary `s`/`v`:
+    /// coefficient magnitude `O(σ·N)`, decoded to roughly
+    /// `σ·N / Δ` per slot (embedding spreads it by at most `N`).
+    pub fn fresh(value_bound: f64, n: usize, delta: f64) -> Self {
+        let sigma = crate::keys::NOISE_SIGMA;
+        Self {
+            value_bound,
+            error_bound: 16.0 * sigma * n as f64 / delta,
+        }
+    }
+
+    /// Remaining precision in bits (`log2(value/error)`); `None` when
+    /// the error has swallowed the message.
+    pub fn precision_bits(&self) -> Option<f64> {
+        if self.error_bound <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        let r = self.value_bound / self.error_bound;
+        (r > 1.0).then(|| r.log2())
+    }
+
+    /// Budget after homomorphic addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self {
+            value_bound: self.value_bound + rhs.value_bound,
+            error_bound: self.error_bound + rhs.error_bound,
+        }
+    }
+
+    /// Budget after multiplying by a plaintext with values bounded by
+    /// `p_bound` (encoding error of the plaintext included).
+    pub fn mul_plain(&self, p_bound: f64, n: usize, delta: f64) -> Self {
+        let encode_err = n as f64 / delta; // rounding of the encoding
+        Self {
+            value_bound: self.value_bound * p_bound,
+            error_bound: self.error_bound * p_bound + self.value_bound * encode_err,
+        }
+    }
+
+    /// Budget after ciphertext × ciphertext multiplication (including
+    /// the relinearization key-switch noise).
+    pub fn mul_ct(&self, rhs: &Self, n: usize, delta: f64) -> Self {
+        let sigma = crate::keys::NOISE_SIGMA;
+        // Cross terms plus the key-switch additive noise (≈ digit
+        // noise divided by P, decoded).
+        let ks_err = 32.0 * sigma * n as f64 / delta;
+        Self {
+            value_bound: self.value_bound * rhs.value_bound,
+            error_bound: self.error_bound * rhs.value_bound
+                + rhs.error_bound * self.value_bound
+                + self.error_bound * rhs.error_bound
+                + ks_err,
+        }
+    }
+
+    /// Budget after a rescale (slot values are scale-invariant; the
+    /// division adds a small rounding term).
+    pub fn rescale(&self, n: usize, new_scale: f64) -> Self {
+        Self {
+            value_bound: self.value_bound,
+            error_bound: self.error_bound + n as f64 / new_scale,
+        }
+    }
+
+    /// Budget after a rotation (pure permutation + key-switch noise).
+    pub fn rotate(&self, n: usize, delta: f64) -> Self {
+        let sigma = crate::keys::NOISE_SIGMA;
+        Self {
+            value_bound: self.value_bound,
+            error_bound: self.error_bound + 32.0 * sigma * n as f64 / delta,
+        }
+    }
+}
+
+/// Measures the actual slot-domain error of a ciphertext against
+/// reference values (test harness utility).
+pub fn measured_error(
+    ev: &Evaluator,
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    reference: &[f64],
+) -> f64 {
+    let dec = ev.decrypt_real(ct, sk);
+    dec.iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::keys::KeySet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Evaluator, SecretKey, KeySet, StdRng) {
+        let ctx = CkksContext::new(64, 4, 2, 2, 36, 34);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keys = KeySet::generate(&ctx, &sk, &mut rng);
+        (Evaluator::new(ctx), sk, keys, rng)
+    }
+
+    #[test]
+    fn fresh_estimate_bounds_measured() {
+        let (ev, sk, keys, mut rng) = setup(301);
+        let xs: Vec<f64> = (0..32).map(|i| 1.5 - 0.1 * i as f64).collect();
+        let ct = ev.encrypt_real(&xs, &keys, &mut rng);
+        let est = NoiseBudget::fresh(1.5, 64, ev.context().scale());
+        let measured = measured_error(&ev, &ct, &sk, &xs);
+        assert!(measured <= est.error_bound, "{measured} > {}", est.error_bound);
+        // The bound should not be absurdly loose either (< 2^20 slack).
+        assert!(est.error_bound < measured.max(1e-12) * (1 << 20) as f64);
+    }
+
+    #[test]
+    fn estimate_survives_an_op_sequence() {
+        let (ev, sk, keys, mut rng) = setup(302);
+        let n = 64;
+        let delta = ev.context().scale();
+        let xs: Vec<f64> = (0..32).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let ct = ev.encrypt_real(&xs, &keys, &mut rng);
+        let mut budget = NoiseBudget::fresh(0.9, n, delta);
+
+        // (x + x) * x, rescaled.
+        let sum = ev.add(&ct, &ct);
+        budget = budget.add(&budget);
+        let prod = ev.mul(&sum, &ct, &keys);
+        budget = budget.mul_ct(&NoiseBudget::fresh(0.9, n, delta), n, delta);
+        let out = ev.rescale(&prod);
+        budget = budget.rescale(n, out.scale);
+
+        let reference: Vec<f64> = xs.iter().map(|&x| 2.0 * x * x).collect();
+        let measured = measured_error(&ev, &out, &sk, &reference);
+        assert!(
+            measured <= budget.error_bound,
+            "measured {measured} > bound {}",
+            budget.error_bound
+        );
+        assert!(budget.precision_bits().unwrap() > 8.0);
+    }
+
+    #[test]
+    fn precision_bits_reports_exhaustion() {
+        let dead = NoiseBudget {
+            value_bound: 1.0,
+            error_bound: 2.0,
+        };
+        assert!(dead.precision_bits().is_none());
+        let alive = NoiseBudget {
+            value_bound: 1.0,
+            error_bound: 1.0 / 1024.0,
+        };
+        assert!((alive.precision_bits().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_grows_monotonically_through_ops() {
+        let n = 64;
+        let delta = 2f64.powi(34);
+        let fresh = NoiseBudget::fresh(1.0, n, delta);
+        let added = fresh.add(&fresh);
+        let mulled = added.mul_ct(&fresh, n, delta);
+        assert!(added.error_bound > fresh.error_bound);
+        assert!(mulled.error_bound > added.error_bound);
+        assert_eq!(mulled.value_bound, 2.0);
+    }
+}

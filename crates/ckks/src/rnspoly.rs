@@ -1,0 +1,337 @@
+//! RNS polynomials: one limb per active modulus, carried in either
+//! coefficient or evaluation (NTT) form.
+
+use crate::context::CkksContext;
+use ufc_math::automorph;
+use ufc_math::modops::{mul_mod, sub_mod};
+use ufc_math::poly::{Form, Poly};
+
+/// A polynomial over `Q = q_0 … q_level` (optionally extended by `P`)
+/// in RNS representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    /// One limb per modulus, `limbs[i]` over `moduli[i]`.
+    limbs: Vec<Poly>,
+    /// Representation of all limbs (kept uniform).
+    form: Form,
+}
+
+impl RnsPoly {
+    /// Zero polynomial over the first `count` Q limbs.
+    pub fn zero(ctx: &CkksContext, count: usize, form: Form) -> Self {
+        let limbs = ctx.q_moduli()[..count]
+            .iter()
+            .map(|&q| Poly::zero(ctx.n(), q))
+            .collect();
+        Self { limbs, form }
+    }
+
+    /// Wraps limbs that are already consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs` is empty or dimensions mismatch.
+    pub fn from_limbs(limbs: Vec<Poly>, form: Form) -> Self {
+        assert!(!limbs.is_empty(), "need at least one limb");
+        let n = limbs[0].dim();
+        assert!(limbs.iter().all(|l| l.dim() == n), "limb dims must match");
+        Self { limbs, form }
+    }
+
+    /// Builds from signed coefficients, reducing into every modulus.
+    pub fn from_signed(ctx: &CkksContext, signed: &[i64], count: usize) -> Self {
+        let limbs = ctx.q_moduli()[..count]
+            .iter()
+            .map(|&q| Poly::from_signed(signed, q))
+            .collect();
+        Self {
+            limbs,
+            form: Form::Coeff,
+        }
+    }
+
+    /// The limbs.
+    pub fn limbs(&self) -> &[Poly] {
+        &self.limbs
+    }
+
+    /// Mutable limbs (form invariants are the caller's responsibility).
+    pub fn limbs_mut(&mut self) -> &mut [Poly] {
+        &mut self.limbs
+    }
+
+    /// Current representation.
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// Number of limbs.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Ring dimension.
+    pub fn dim(&self) -> usize {
+        self.limbs[0].dim()
+    }
+
+    /// Converts all limbs to evaluation form (no-op if already there).
+    pub fn to_eval(&self, ctx: &CkksContext) -> Self {
+        if self.form == Form::Eval {
+            return self.clone();
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .map(|l| ctx.ntt_for_modulus(l.modulus()).to_eval(l))
+            .collect();
+        Self {
+            limbs,
+            form: Form::Eval,
+        }
+    }
+
+    /// Converts all limbs to coefficient form (no-op if already there).
+    pub fn to_coeff(&self, ctx: &CkksContext) -> Self {
+        if self.form == Form::Coeff {
+            return self.clone();
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .map(|l| ctx.ntt_for_modulus(l.modulus()).to_coeff(l))
+            .collect();
+        Self {
+            limbs,
+            form: Form::Coeff,
+        }
+    }
+
+    /// Limb-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on form or limb-count mismatch.
+    pub fn add(&self, rhs: &Self) -> Self {
+        self.check(rhs);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&rhs.limbs)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+            form: self.form,
+        }
+    }
+
+    /// Limb-wise subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.check(rhs);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&rhs.limbs)
+                .map(|(a, b)| a.sub(b))
+                .collect(),
+            form: self.form,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            limbs: self.limbs.iter().map(|l| l.neg()).collect(),
+            form: self.form,
+        }
+    }
+
+    /// Limb-wise Hadamard product (both sides must be in evaluation
+    /// form — polynomial multiplication in coefficient form would be
+    /// wrong).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are in evaluation form.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.form, Form::Eval, "mul requires evaluation form");
+        self.check(rhs);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&rhs.limbs)
+                .map(|(a, b)| a.hadamard(b))
+                .collect(),
+            form: Form::Eval,
+        }
+    }
+
+    /// Multiplies limb `i` by scalar `s_i` (one scalar per limb).
+    pub fn scale_per_limb(&self, scalars: &[u64]) -> Self {
+        assert_eq!(scalars.len(), self.limbs.len(), "scalar count mismatch");
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(scalars)
+                .map(|(l, &s)| l.scale(s))
+                .collect(),
+            form: self.form,
+        }
+    }
+
+    /// Drops the last limb (rescale bookkeeping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn drop_last(&self) -> Self {
+        assert!(self.limbs.len() > 1, "cannot drop the last limb");
+        Self {
+            limbs: self.limbs[..self.limbs.len() - 1].to_vec(),
+            form: self.form,
+        }
+    }
+
+    /// Exact RNS rescale: divides by the last modulus with rounding,
+    /// dropping that limb. Requires coefficient form.
+    ///
+    /// For each remaining limb `i`:
+    /// `c'_i = (c_i - [c_last]_{q_i}) * q_last^{-1} mod q_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless in coefficient form with at least two limbs.
+    pub fn rescale(&self) -> Self {
+        assert_eq!(self.form, Form::Coeff, "rescale requires coefficient form");
+        assert!(self.limbs.len() > 1, "rescale needs two or more limbs");
+        let last = &self.limbs[self.limbs.len() - 1];
+        let q_last = last.modulus();
+        let limbs = self.limbs[..self.limbs.len() - 1]
+            .iter()
+            .map(|l| {
+                let qi = l.modulus();
+                let q_last_inv =
+                    ufc_math::modops::inv_mod(q_last % qi, qi).expect("moduli coprime");
+                let coeffs = l
+                    .coeffs()
+                    .iter()
+                    .zip(last.coeffs())
+                    .map(|(&a, &b)| mul_mod(sub_mod(a, b % qi, qi), q_last_inv, qi))
+                    .collect();
+                Poly::from_coeffs(coeffs, qi)
+            })
+            .collect();
+        Self {
+            limbs,
+            form: Form::Coeff,
+        }
+    }
+
+    /// Applies the Galois automorphism `X → X^k` limb-wise, in either
+    /// form.
+    pub fn automorphism(&self, k: usize) -> Self {
+        let apply = match self.form {
+            Form::Coeff => automorph::apply_coeff,
+            Form::Eval => automorph::apply_eval,
+        };
+        Self {
+            limbs: self.limbs.iter().map(|l| apply(l, k)).collect(),
+            form: self.form,
+        }
+    }
+
+    fn check(&self, rhs: &Self) {
+        assert_eq!(self.form, rhs.form, "representation mismatch");
+        assert_eq!(self.limbs.len(), rhs.limbs.len(), "limb count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(32, 4, 2, 2, 36, 26)
+    }
+
+    #[test]
+    fn zero_and_from_signed() {
+        let c = ctx();
+        let z = RnsPoly::zero(&c, 3, Form::Coeff);
+        assert_eq!(z.limb_count(), 3);
+        let p = RnsPoly::from_signed(&c, &[1, -1, 0, 5], 2);
+        assert_eq!(p.limbs()[0].coeffs()[1], c.q_moduli()[0] - 1);
+        assert_eq!(p.limbs()[1].coeffs()[3], 5);
+    }
+
+    #[test]
+    fn eval_roundtrip() {
+        let c = ctx();
+        let signed: Vec<i64> = (0..32).map(|i| i * 3 - 40).collect();
+        let p = RnsPoly::from_signed(&c, &signed, 4);
+        let back = p.to_eval(&c).to_coeff(&c);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_per_limb() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &(0..32).map(|i| i % 7).collect::<Vec<_>>(), 2);
+        let b = RnsPoly::from_signed(&c, &(0..32).map(|i| (i % 5) - 2).collect::<Vec<_>>(), 2);
+        let prod = a.to_eval(&c).mul(&b.to_eval(&c)).to_coeff(&c);
+        for (i, limb) in prod.limbs().iter().enumerate() {
+            let expect = a.limbs()[i].negacyclic_mul_schoolbook(&b.limbs()[i]);
+            assert_eq!(limb, &expect, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn rescale_divides_exactly_scaled_values() {
+        let c = ctx();
+        // Value v * q_last should rescale to exactly v.
+        let q_last = c.q_moduli()[3];
+        let v: Vec<i64> = (0..32).map(|i| i - 16).collect();
+        // Construct v * q_last in all four limbs.
+        let scaled: Vec<Poly> = c.q_moduli()[..4]
+            .iter()
+            .map(|&q| {
+                let coeffs: Vec<u64> = v
+                    .iter()
+                    .map(|&x| {
+                        let sv = ufc_math::modops::from_signed(x, q);
+                        mul_mod(sv, q_last % q, q)
+                    })
+                    .collect();
+                Poly::from_coeffs(coeffs, q)
+            })
+            .collect();
+        let p = RnsPoly::from_limbs(scaled, Form::Coeff);
+        let r = p.rescale();
+        assert_eq!(r.limb_count(), 3);
+        let expect = RnsPoly::from_signed(&c, &v, 3);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn automorphism_consistent_between_forms() {
+        let c = ctx();
+        let signed: Vec<i64> = (0..32).map(|i| i * i % 11).collect();
+        let p = RnsPoly::from_signed(&c, &signed, 3);
+        let k = 5;
+        let via_coeff = p.automorphism(k).to_eval(&c);
+        let via_eval = p.to_eval(&c).automorphism(k);
+        assert_eq!(via_coeff, via_eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation form")]
+    fn mul_in_coeff_form_is_rejected() {
+        let c = ctx();
+        let a = RnsPoly::from_signed(&c, &[1; 32], 2);
+        let _ = a.mul(&a);
+    }
+}

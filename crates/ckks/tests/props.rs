@@ -1,0 +1,85 @@
+//! Property-based tests for CKKS homomorphism invariants.
+//!
+//! Key generation is expensive, so keys are built once per property
+//! and the case count is kept small; the *values* are what proptest
+//! explores.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use ufc_ckks::{CkksContext, Evaluator, KeySet, SecretKey};
+
+struct Env {
+    ev: Evaluator,
+    sk: SecretKey,
+    keys: KeySet,
+}
+
+fn env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let ctx = CkksContext::new(32, 3, 2, 2, 36, 34);
+        let mut rng = StdRng::seed_from_u64(777);
+        let sk = SecretKey::generate(&ctx, &mut rng);
+        let keys = KeySet::generate(&ctx, &sk, &mut rng);
+        Env {
+            ev: Evaluator::new(ctx),
+            sk,
+            keys,
+        }
+    })
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_encrypt_decrypt_roundtrip(xs in values(), seed in any::<u64>()) {
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = e.ev.encrypt_real(&xs, &e.keys, &mut rng);
+        let dec = e.ev.decrypt_real(&ct, &e.sk);
+        prop_assert!(max_err(&xs, &dec) < 1e-3);
+    }
+
+    #[test]
+    fn prop_addition_is_homomorphic(a in values(), b in values(), seed in any::<u64>()) {
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = e.ev.encrypt_real(&a, &e.keys, &mut rng);
+        let cb = e.ev.encrypt_real(&b, &e.keys, &mut rng);
+        let dec = e.ev.decrypt_real(&e.ev.add(&ca, &cb), &e.sk);
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert!(max_err(&dec, &expect) < 2e-3);
+    }
+
+    #[test]
+    fn prop_multiplication_is_homomorphic(a in values(), b in values(), seed in any::<u64>()) {
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = e.ev.encrypt_real(&a, &e.keys, &mut rng);
+        let cb = e.ev.encrypt_real(&b, &e.keys, &mut rng);
+        let prod = e.ev.rescale(&e.ev.mul(&ca, &cb, &e.keys));
+        let dec = e.ev.decrypt_real(&prod, &e.sk);
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        prop_assert!(max_err(&dec, &expect) < 0.05, "err {}", max_err(&dec, &expect));
+    }
+
+    #[test]
+    fn prop_sub_of_self_is_zero(a in values(), seed in any::<u64>()) {
+        let e = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = e.ev.encrypt_real(&a, &e.keys, &mut rng);
+        let dec = e.ev.decrypt_real(&e.ev.sub(&ca, &ca), &e.sk);
+        prop_assert!(dec.iter().all(|v| v.abs() < 1e-3));
+    }
+}

@@ -1,0 +1,163 @@
+//! Design-space exploration (§VII-E): CG-NTT network count × scratchpad
+//! capacity (Fig. 13) and lanes per PE × scratchpad capacity (Fig. 14).
+
+use crate::runner::Ufc;
+use ufc_compiler::CompileOptions;
+use ufc_isa::trace::Trace;
+use ufc_sim::machines::UfcConfig;
+use ufc_sim::SimReport;
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// The configuration evaluated.
+    pub config: UfcConfig,
+    /// Short label ("2 nets / 128 MiB").
+    pub label: String,
+    /// Aggregated report over the workload mix (sums of delay and
+    /// energy; EDP/EDAP derived from the sums).
+    pub total_seconds: f64,
+    /// Total energy over the mix.
+    pub total_energy_j: f64,
+    /// Chip area of the point.
+    pub area_mm2: f64,
+}
+
+impl DsePoint {
+    /// EDP over the mix.
+    pub fn edp(&self) -> f64 {
+        self.total_seconds * self.total_energy_j
+    }
+
+    /// EDAP over the mix.
+    pub fn edap(&self) -> f64 {
+        self.edp() * self.area_mm2
+    }
+}
+
+fn evaluate(config: UfcConfig, label: String, mix: &[Trace]) -> DsePoint {
+    let ufc = Ufc::new(config, CompileOptions::default());
+    let mut seconds = 0.0;
+    let mut energy = 0.0;
+    let mut area = 0.0;
+    for tr in mix {
+        let r: SimReport = ufc.run(tr);
+        seconds += r.seconds;
+        energy += r.energy_j;
+        area = r.area_mm2;
+    }
+    DsePoint {
+        config,
+        label,
+        total_seconds: seconds,
+        total_energy_j: energy,
+        area_mm2: area,
+    }
+}
+
+/// Fig. 13 sweep: number of CG-NTT networks × scratchpad capacity.
+pub fn sweep_cg_networks(mix: &[Trace]) -> Vec<DsePoint> {
+    let mut out = Vec::new();
+    for &nets in &[1u32, 2, 4] {
+        for &sp in &[64u32, 128, 256] {
+            let config = UfcConfig {
+                cg_networks: nets,
+                scratchpad_mib: sp,
+                ..UfcConfig::default()
+            };
+            out.push(evaluate(config, format!("{nets} net / {sp} MiB"), mix));
+        }
+    }
+    out
+}
+
+/// Fig. 14 sweep: lanes per PE × scratchpad capacity.
+pub fn sweep_lanes(mix: &[Trace]) -> Vec<DsePoint> {
+    let mut out = Vec::new();
+    for &lanes in &[64u32, 128, 256] {
+        for &sp in &[64u32, 128, 256] {
+            let config = UfcConfig {
+                butterfly_per_pe: lanes,
+                alu_per_pe: 2 * lanes,
+                scratchpad_mib: sp,
+                ..UfcConfig::default()
+            };
+            out.push(evaluate(config, format!("{lanes} bf / {sp} MiB"), mix));
+        }
+    }
+    out
+}
+
+/// The default DSE workload mix: one CKKS-heavy trace plus two
+/// compute-bound TFHE traces (the paper's sweeps evaluate "FHE
+/// workloads in various scenarios"; the mix is kept small so sweeps
+/// finish quickly).
+pub fn default_mix() -> Vec<Trace> {
+    vec![
+        ufc_workloads::ckks_bootstrap::generate("C1"),
+        ufc_workloads::tfhe_apps::pbs_throughput("T2", 256),
+        ufc_workloads::tfhe_apps::zama_nn("T2", 50),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_global_network_wins() {
+        // Fig. 13: "a single large CG-NTT network constantly
+        // outperforms systems with more CG-NTT networks."
+        let mix = default_mix();
+        let points = sweep_cg_networks(&mix);
+        let best_1 = points
+            .iter()
+            .filter(|p| p.config.cg_networks == 1)
+            .map(|p| p.total_seconds)
+            .fold(f64::MAX, f64::min);
+        let best_4 = points
+            .iter()
+            .filter(|p| p.config.cg_networks == 4)
+            .map(|p| p.total_seconds)
+            .fold(f64::MAX, f64::min);
+        assert!(best_1 < best_4);
+    }
+
+    #[test]
+    fn smaller_scratchpad_better_edap() {
+        // Fig. 13: "UFC with a smaller scratchpad provides better EDP
+        // and EDAP."
+        let mix = default_mix();
+        let points = sweep_cg_networks(&mix);
+        let edap = |sp: u32| {
+            points
+                .iter()
+                .find(|p| p.config.cg_networks == 1 && p.config.scratchpad_mib == sp)
+                .unwrap()
+                .edap()
+        };
+        assert!(edap(64) < edap(256));
+    }
+
+    #[test]
+    fn more_lanes_better_edp() {
+        // Fig. 14: "UFC achieves better EDP and EDAP on configurations
+        // with more lanes."
+        let mix = default_mix();
+        let points = sweep_lanes(&mix);
+        let metric = |bf: u32, f: fn(&DsePoint) -> f64| {
+            f(points
+                .iter()
+                .find(|p| p.config.butterfly_per_pe == bf && p.config.scratchpad_mib == 256)
+                .unwrap())
+        };
+        assert!(
+            metric(256, DsePoint::edp) < metric(64, DsePoint::edp),
+            "EDP must improve with lanes"
+        );
+        assert!(
+            metric(256, DsePoint::edap) < metric(64, DsePoint::edap),
+            "EDAP must improve with lanes (paper Fig. 14)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # ufc-core — the UFC accelerator as a library
+//!
+//! The top of the stack: configure a UFC instance (Table II defaults
+//! or any design-space point), feed it a workload trace, and get back
+//! delay / energy / EDP / EDAP / utilization — plus side-by-side
+//! comparisons against the SHARP, Strix and composed baselines and
+//! the full design-space-exploration driver of §VII-E.
+//!
+//! ```
+//! use ufc_core::Ufc;
+//! use ufc_workloads::tfhe_apps;
+//!
+//! let ufc = Ufc::paper_default();
+//! let trace = tfhe_apps::pbs_throughput("T1", 64);
+//! let report = ufc.run(&trace);
+//! assert!(report.cycles > 0);
+//! ```
+
+pub mod compare;
+pub mod dse;
+pub mod runner;
+
+pub use compare::{compare, ComparisonRow};
+pub use dse::{sweep_cg_networks, sweep_lanes, DsePoint};
+pub use runner::{compile_with_barriers, Ufc};
+
+pub use ufc_sim::machines::{UfcConfig, UfcMachine};

@@ -1,0 +1,185 @@
+//! The `Ufc` façade and the barrier-aware trace compiler shared by
+//! every machine (fair-comparison methodology, §VI-C).
+
+use ufc_compiler::{CompileOptions, Compiler};
+use ufc_isa::instr::InstrStream;
+use ufc_isa::params::ckks_params;
+use ufc_isa::trace::{Trace, TraceOp};
+use ufc_compiler::memory::SpillModel;
+use ufc_sim::machines::{Machine, UfcConfig, UfcMachine};
+use ufc_sim::{simulate, SimReport};
+
+/// Compiles a trace, inserting a dependency barrier whenever the
+/// program switches schemes (or crosses a chip-to-chip transfer):
+/// hybrid phases are data-dependent, so neither UFC nor the composed
+/// baseline may overlap them.
+pub fn compile_with_barriers(trace: &Trace, opts: CompileOptions) -> InstrStream {
+    let compiler = Compiler::for_trace(trace, opts);
+    let mut out = InstrStream::new();
+    let mut prev_exits: Vec<usize> = Vec::new();
+    let mut prev_scheme: Option<bool> = None; // Some(is_ckks)
+    for op in &trace.ops {
+        let scheme = if matches!(op, TraceOp::SchemeTransfer { .. }) {
+            None
+        } else {
+            Some(op.is_ckks())
+        };
+        let crosses = match (prev_scheme, scheme) {
+            (Some(a), Some(b)) => a != b,
+            (_, None) | (None, _) => true,
+        };
+        let block = compiler.lower_op(op);
+        let deps: &[usize] = if crosses { &prev_exits } else { &[] };
+        let exits = out.append(block, deps);
+        if crosses {
+            prev_exits = exits;
+        } else {
+            prev_exits.extend(exits);
+        }
+        prev_scheme = scheme;
+    }
+    out
+}
+
+/// A configured UFC accelerator instance.
+#[derive(Debug, Clone)]
+pub struct Ufc {
+    config: UfcConfig,
+    opts: CompileOptions,
+}
+
+impl Ufc {
+    /// The paper's Table II configuration with default compiler
+    /// options (TvLP+PLP packing).
+    pub fn paper_default() -> Self {
+        Self::new(UfcConfig::default(), CompileOptions::default())
+    }
+
+    /// A custom design point.
+    pub fn new(config: UfcConfig, opts: CompileOptions) -> Self {
+        let opts = CompileOptions {
+            total_lanes: (config.pes * config.alu_per_pe).max(1),
+            ..opts
+        };
+        Self { config, opts }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &UfcConfig {
+        &self.config
+    }
+
+    /// The compiler options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.opts
+    }
+
+    /// Builds the machine model for a given workload (applying the
+    /// scratchpad working-set model to set the spill fraction, §V-C).
+    pub fn machine_for(&self, trace: &Trace) -> UfcMachine {
+        let mut cfg = self.config;
+        cfg.spill_fraction = self.spill_fraction(trace);
+        UfcMachine::new(cfg)
+    }
+
+    /// Fraction of overflowed working set that actually re-streams
+    /// from HBM: the scheduler tiles and reuses data, so only a
+    /// quarter of the raw overflow turns into traffic.
+    const SPILL_REUSE: f64 = 0.25;
+
+    fn spill_fraction(&self, trace: &Trace) -> f64 {
+        let spill = SpillModel::new(self.config.scratchpad_mib as u64 * 1024 * 1024);
+        let mut frac: f64 = 0.0;
+        if let Some(id) = trace.ckks_params {
+            let p = ckks_params(id).expect("unknown CKKS set");
+            let ws = SpillModel::ckks_working_set(&p, p.max_level(), 4);
+            frac = frac.max(spill.spill_fraction(ws));
+        }
+        if let Some(id) = trace.tfhe_params {
+            let p = ufc_isa::params::tfhe_params(id).expect("unknown TFHE set");
+            let ws = SpillModel::tfhe_working_set(&p, self.opts.max_batch);
+            frac = frac.max(spill.spill_fraction(ws));
+        }
+        frac * Self::SPILL_REUSE
+    }
+
+    /// Compiles and simulates a workload on this UFC instance.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        let stream = compile_with_barriers(trace, self.opts);
+        let machine = self.machine_for(trace);
+        simulate(&machine, &stream)
+    }
+
+    /// Simulates the same workload on an arbitrary baseline machine,
+    /// using the identical instruction stream (§VI-C).
+    pub fn run_on(&self, machine: &dyn Machine, trace: &Trace) -> SimReport {
+        let stream = compile_with_barriers(trace, self.opts);
+        simulate(machine, &stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_sim::machines::{ComposedMachine, SharpMachine, StrixMachine};
+
+    #[test]
+    fn ckks_workload_runs() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_workloads::helr::generate("C1");
+        let r = ufc.run(&tr);
+        assert!(r.cycles > 10_000);
+        assert!(r.energy_j > 0.0);
+        assert!(r.util("Ntt") > 0.1, "NTT util = {}", r.util("Ntt"));
+    }
+
+    #[test]
+    fn tfhe_workload_runs() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_workloads::tfhe_apps::pbs_throughput("T2", 128);
+        let r = ufc.run(&tr);
+        assert!(r.cycles > 1000);
+    }
+
+    #[test]
+    fn barriers_serialize_hybrid_phases() {
+        let tr = ufc_workloads::knn::generate("C2", "T1", Default::default());
+        let stream = compile_with_barriers(&tr, CompileOptions::default());
+        // Some instruction after the extract must depend on earlier
+        // exits (the barrier).
+        let has_cross_deps = stream
+            .instrs()
+            .iter()
+            .any(|i| i.deps.iter().any(|&d| i.id - d > 1000));
+        assert!(has_cross_deps, "hybrid phases must be chained");
+    }
+
+    #[test]
+    fn same_stream_runs_on_all_machines() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_workloads::knn::generate("C2", "T1", Default::default());
+        for m in [
+            &SharpMachine::new() as &dyn Machine,
+            &StrixMachine::new(),
+            &ComposedMachine::new(),
+        ] {
+            let r = ufc.run_on(m, &tr);
+            assert!(r.cycles > 0, "{}", r.machine);
+        }
+    }
+
+    #[test]
+    fn small_scratchpad_spills_on_ckks() {
+        let small = Ufc::new(
+            UfcConfig {
+                scratchpad_mib: 32,
+                ..UfcConfig::default()
+            },
+            CompileOptions::default(),
+        );
+        let tr = ufc_workloads::ckks_bootstrap::generate("C1");
+        assert!(small.spill_fraction(&tr) > 0.0);
+        let big = Ufc::paper_default();
+        assert_eq!(big.spill_fraction(&tr), 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ufc-isa — the two-level IR of the UFC toolchain
+//!
+//! The UFC paper's software stack (§VI-B) traces FHE programs "at the
+//! granularity of ciphertext" and feeds the traces to a compiler that
+//! emits hardware instructions. This crate defines both levels:
+//!
+//! * [`trace`] — ciphertext-granularity [`trace::TraceOp`]s, the
+//!   output of the tracing tool (what OpenFHE emitted in the paper,
+//!   what `ufc-ckks`/`ufc-tfhe`/`ufc-workloads` emit here);
+//! * [`instr`] — hardware [`instr::MacroInstr`]s over polynomial
+//!   limbs: the primitive kernels of Table I ((i)NTT, EWMM/A, AUTO,
+//!   Rotate, Extract, Decomp, REDC) plus BConv MACs and memory
+//!   movement;
+//! * [`params`] — the FHE parameter registry of Table III (CKKS
+//!   C1–C3, TFHE T1–T4) with all derived quantities (RNS limb counts,
+//!   key-switching digit counts, ciphertext sizes) that both the
+//!   schemes and the cost models consume.
+
+pub mod instr;
+pub mod params;
+pub mod trace;
+
+pub use instr::{InstrStream, Kernel, MacroInstr};
+pub use params::{CkksParams, TfheParams};
+pub use trace::{Trace, TraceOp};

@@ -1,0 +1,255 @@
+//! Ciphertext-granularity operation traces (§VI-B).
+//!
+//! A [`Trace`] is what the tracing tool produces from an FHE program:
+//! an ordered list of high-level homomorphic operations, each
+//! annotated with enough shape information (level, rotation step,
+//! batch size) for the compiler to lower it into hardware
+//! macro-instructions without re-executing the cryptography.
+
+use serde::{Deserialize, Serialize};
+
+/// One ciphertext-level homomorphic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    // ---- CKKS (SIMD scheme) ----
+    /// Homomorphic addition of two ciphertexts at the given level.
+    CkksAdd { level: u32 },
+    /// Ciphertext × plaintext multiplication (no key switch).
+    CkksMulPlain { level: u32 },
+    /// Ciphertext × ciphertext multiplication, including
+    /// relinearization key switch.
+    CkksMulCt { level: u32 },
+    /// Rescale: divide by one RNS limb, dropping a level.
+    CkksRescale { level: u32 },
+    /// Homomorphic rotation by `step` slots (automorphism + key
+    /// switch).
+    CkksRotate { level: u32, step: i32 },
+    /// Complex conjugation (automorphism + key switch).
+    CkksConjugate { level: u32 },
+    /// Raise the ciphertext modulus back to full (bootstrapping step).
+    CkksModRaise { from_level: u32 },
+    // ---- TFHE (logic scheme) ----
+    /// One programmable (functional) bootstrap: packing + blind
+    /// rotation + extraction, `batch` independent ciphertexts.
+    TfhePbs { batch: u32 },
+    /// TFHE LWE key switch for `batch` ciphertexts.
+    TfheKeySwitch { batch: u32 },
+    /// Trivial LWE linear ops (adds / scalar muls), `count` of them.
+    TfheLinear { count: u32 },
+    // ---- Scheme switching (hybrid programs) ----
+    /// Extract `count` LWE ciphertexts from one CKKS RLWE ciphertext
+    /// (§II-D); includes the TFHE key switch to standard parameters.
+    Extract { level: u32, count: u32 },
+    /// Repack `count` LWE ciphertexts into one RLWE ciphertext:
+    /// homomorphic linear transform + key switch (§II-D).
+    Repack { count: u32, level: u32 },
+    /// Chip-to-chip transfer on the composed SHARP+Strix baseline
+    /// (PCIe 5.0 ×16). UFC executes this as a no-op: data stays
+    /// on-chip.
+    SchemeTransfer { bytes: u64 },
+}
+
+impl TraceOp {
+    /// Whether this op executes on the SIMD-scheme (CKKS) pipeline.
+    pub fn is_ckks(&self) -> bool {
+        matches!(
+            self,
+            TraceOp::CkksAdd { .. }
+                | TraceOp::CkksMulPlain { .. }
+                | TraceOp::CkksMulCt { .. }
+                | TraceOp::CkksRescale { .. }
+                | TraceOp::CkksRotate { .. }
+                | TraceOp::CkksConjugate { .. }
+                | TraceOp::CkksModRaise { .. }
+                | TraceOp::Repack { .. }
+        )
+    }
+
+    /// Whether this op executes on the logic-scheme (TFHE) pipeline.
+    pub fn is_tfhe(&self) -> bool {
+        matches!(
+            self,
+            TraceOp::TfhePbs { .. }
+                | TraceOp::TfheKeySwitch { .. }
+                | TraceOp::TfheLinear { .. }
+                | TraceOp::Extract { .. }
+        )
+    }
+}
+
+/// A complete program trace plus the parameter environment it ran in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload name (e.g. "HELR", "ResNet-20", "kNN/T4").
+    pub name: String,
+    /// CKKS parameter set id, if CKKS ops appear ("C1".."C3").
+    pub ckks_params: Option<&'static str>,
+    /// TFHE parameter set id, if TFHE ops appear ("T1".."T4").
+    pub tfhe_params: Option<&'static str>,
+    /// The operation sequence.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ckks_params: None,
+            tfhe_params: None,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Sets the CKKS parameter environment (builder style).
+    pub fn with_ckks(mut self, id: &'static str) -> Self {
+        self.ckks_params = Some(id);
+        self
+    }
+
+    /// Sets the TFHE parameter environment (builder style).
+    pub fn with_tfhe(mut self, id: &'static str) -> Self {
+        self.tfhe_params = Some(id);
+        self
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Counts ops on each scheme: `(ckks, tfhe, transfer)`.
+    pub fn scheme_mix(&self) -> (usize, usize, usize) {
+        let mut c = 0;
+        let mut t = 0;
+        let mut x = 0;
+        for op in &self.ops {
+            if op.is_ckks() {
+                c += 1;
+            } else if op.is_tfhe() {
+                t += 1;
+            } else {
+                x += 1;
+            }
+        }
+        (c, t, x)
+    }
+
+    /// True when ops from both schemes appear (a hybrid program).
+    pub fn is_hybrid(&self) -> bool {
+        let (c, t, _) = self.scheme_mix();
+        c > 0 && t > 0
+    }
+
+    /// Counts ops by variant name (workload inventory tables).
+    pub fn op_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for op in &self.ops {
+            let name = match op {
+                TraceOp::CkksAdd { .. } => "CkksAdd",
+                TraceOp::CkksMulPlain { .. } => "CkksMulPlain",
+                TraceOp::CkksMulCt { .. } => "CkksMulCt",
+                TraceOp::CkksRescale { .. } => "CkksRescale",
+                TraceOp::CkksRotate { .. } => "CkksRotate",
+                TraceOp::CkksConjugate { .. } => "CkksConjugate",
+                TraceOp::CkksModRaise { .. } => "CkksModRaise",
+                TraceOp::TfhePbs { .. } => "TfhePbs",
+                TraceOp::TfheKeySwitch { .. } => "TfheKeySwitch",
+                TraceOp::TfheLinear { .. } => "TfheLinear",
+                TraceOp::Extract { .. } => "Extract",
+                TraceOp::Repack { .. } => "Repack",
+                TraceOp::SchemeTransfer { .. } => "SchemeTransfer",
+            };
+            *h.entry(name).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Appends every op of `other` (sequential program composition).
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.ops.extend(other.ops.iter().copied());
+        if self.ckks_params.is_none() {
+            self.ckks_params = other.ckks_params;
+        }
+        if self.tfhe_params.is_none() {
+            self.tfhe_params = other.tfhe_params;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_mix() {
+        let mut tr = Trace::new("demo").with_ckks("C1").with_tfhe("T2");
+        tr.push(TraceOp::CkksMulCt { level: 20 });
+        tr.push(TraceOp::CkksRescale { level: 20 });
+        tr.push(TraceOp::Extract { level: 5, count: 64 });
+        tr.push(TraceOp::TfhePbs { batch: 64 });
+        tr.push(TraceOp::SchemeTransfer { bytes: 4096 });
+        assert_eq!(tr.len(), 5);
+        assert_eq!(tr.scheme_mix(), (2, 2, 1));
+        assert!(tr.is_hybrid());
+    }
+
+    #[test]
+    fn scheme_classification_is_exhaustive() {
+        let ops = [
+            TraceOp::CkksAdd { level: 1 },
+            TraceOp::CkksRotate { level: 1, step: 3 },
+            TraceOp::CkksModRaise { from_level: 0 },
+            TraceOp::TfheLinear { count: 10 },
+            TraceOp::TfheKeySwitch { batch: 4 },
+            TraceOp::Repack { count: 32, level: 3 },
+        ];
+        for op in ops {
+            assert!(
+                op.is_ckks() ^ op.is_tfhe() || matches!(op, TraceOp::SchemeTransfer { .. }),
+                "{op:?} must belong to exactly one scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_trace_is_not_hybrid() {
+        let mut tr = Trace::new("ckks-only").with_ckks("C1");
+        tr.push(TraceOp::CkksAdd { level: 3 });
+        assert!(!tr.is_hybrid());
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn histogram_and_composition() {
+        let mut a = Trace::new("a").with_ckks("C1");
+        a.push(TraceOp::CkksAdd { level: 1 });
+        a.push(TraceOp::CkksAdd { level: 2 });
+        let mut b = Trace::new("b").with_tfhe("T1");
+        b.push(TraceOp::TfhePbs { batch: 4 });
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.is_hybrid());
+        let h = a.op_histogram();
+        assert_eq!(h["CkksAdd"], 2);
+        assert_eq!(h["TfhePbs"], 1);
+    }
+
+    #[test]
+    fn traces_are_comparable_and_cloneable() {
+        let mut tr = Trace::new("s").with_tfhe("T1");
+        tr.push(TraceOp::TfhePbs { batch: 8 });
+        let copy = tr.clone();
+        assert_eq!(tr, copy);
+    }
+}

@@ -1,0 +1,56 @@
+//! # ufc-math — arithmetic substrate for the UFC reproduction
+//!
+//! This crate implements, from scratch, every piece of finite-field and
+//! polynomial-ring arithmetic that the FHE schemes accelerated by UFC
+//! (MICRO 2024) are built on:
+//!
+//! * 64-bit modular arithmetic: plain, [Barrett][modops::Barrett],
+//!   [Shoup][modops::ShoupMul] and [Montgomery][mont::Montgomery]
+//!   reductions,
+//! * NTT-friendly prime generation and primitive-root search
+//!   ([`prime`]),
+//! * the classical iterative radix-2 number-theoretic transform and the
+//!   **constant-geometry (Pease) NTT** that UFC's interconnect co-design
+//!   is built around ([`ntt`], [`cgntt`]), plus the double-precision
+//!   FFT datapath of the Strix baseline ([`fft`], §VII-D),
+//! * negacyclic polynomial rings `Z_q[X]/(X^N + 1)` ([`poly`]),
+//! * residue number systems and fast base conversion (`BConv`)
+//!   ([`rns`]),
+//! * gadget / digit decomposition used by key-switching and RGSW
+//!   external products ([`gadget`]),
+//! * automorphism index maps, including the shuffle-free
+//!   automorphism-via-NTT trick of the paper's §IV-C2 ([`automorph`]),
+//! * secret / noise samplers ([`sample`]).
+//!
+//! Everything is pure, deterministic (given an RNG) and extensively
+//! property-tested; no `unsafe` code is used.
+//!
+//! ## Example
+//!
+//! ```
+//! use ufc_math::{ntt::NttContext, poly::Poly};
+//!
+//! // A negacyclic ring Z_q[X]/(X^8 + 1) with an NTT-friendly prime.
+//! let ctx = NttContext::new(8, ufc_math::prime::generate_ntt_prime(8, 40).unwrap());
+//! let a = Poly::from_coeffs(vec![1, 2, 3, 4, 5, 6, 7, 8], ctx.modulus());
+//! let b = Poly::from_coeffs(vec![8, 7, 6, 5, 4, 3, 2, 1], ctx.modulus());
+//! let c = ctx.negacyclic_mul(&a, &b);
+//! assert_eq!(c.coeffs().len(), 8);
+//! ```
+
+pub mod automorph;
+pub mod cgntt;
+pub mod fft;
+pub mod gadget;
+pub mod modops;
+pub mod mont;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sample;
+
+pub use modops::{inv_mod, mul_mod, pow_mod};
+pub use ntt::NttContext;
+pub use poly::Poly;
+pub use rns::RnsBasis;

@@ -1,0 +1,119 @@
+//! Montgomery multiplication with `R = 2^64`.
+//!
+//! The UFC paper adopts "an optimized Montgomery multiplier design for
+//! moduli `q_i = -1 mod 2^16`, similar to F1" (§VI-A). This module
+//! provides a software Montgomery multiplier, used both as a reference
+//! for the cost model's multiplier lane and as an alternative backend
+//! for the NTT kernels.
+
+/// Montgomery arithmetic context for an odd modulus `q < 2^63`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Montgomery {
+    q: u64,
+    /// `-q^{-1} mod 2^64`.
+    q_inv_neg: u64,
+    /// `R^2 mod q` where `R = 2^64`, used to enter Montgomery form.
+    r2: u64,
+}
+
+impl Montgomery {
+    /// Creates a Montgomery context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is even or `q >= 2^63`.
+    pub fn new(q: u64) -> Self {
+        assert!(q & 1 == 1, "Montgomery modulus must be odd");
+        assert!(q < (1 << 63), "modulus must fit in 63 bits");
+        // Newton iteration for q^{-1} mod 2^64.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        let q_inv_neg = inv.wrapping_neg();
+        // R^2 mod q = 2^128 mod q, computed directly in u128.
+        let r2 = ((u128::MAX % q as u128 + 1) % q as u128) as u64;
+        Self { q, q_inv_neg, r2 }
+    }
+
+    /// The modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Montgomery reduction: computes `t * R^{-1} mod q` for `t < q*R`.
+    #[inline]
+    pub fn redc(&self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.q_inv_neg);
+        let u = ((t + m as u128 * self.q as u128) >> 64) as u64;
+        if u >= self.q {
+            u - self.q
+        } else {
+            u
+        }
+    }
+
+    /// Converts `a` into Montgomery form (`a * R mod q`).
+    #[inline]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        self.redc(a as u128 * self.r2 as u128)
+    }
+
+    /// Converts out of Montgomery form.
+    #[inline]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.redc(a as u128)
+    }
+
+    /// Multiplies two Montgomery-form residues, result in Montgomery form.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(a as u128 * b as u128)
+    }
+
+    /// Convenience: multiplies two *plain* residues via Montgomery form.
+    #[inline]
+    pub fn mul_plain(&self, a: u64, b: u64) -> u64 {
+        self.from_mont(self.mul(self.to_mont(a), self.to_mont(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::mul_mod;
+
+    const P: u64 = 1_152_921_504_598_720_513; // NTT-friendly 60-bit prime
+
+    #[test]
+    fn roundtrip_mont_form() {
+        let m = Montgomery::new(P);
+        for a in [0u64, 1, 2, P - 1, 123_456_789_012_345] {
+            assert_eq!(m.from_mont(m.to_mont(a)), a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let m = Montgomery::new(P);
+        let cases = [(1u64, 1u64), (P - 1, P - 1), (2, 3), (98765, 43210)];
+        for (a, b) in cases {
+            assert_eq!(m.mul_plain(a, b), mul_mod(a, b, P));
+        }
+    }
+
+    #[test]
+    fn works_for_small_odd_moduli() {
+        let m = Montgomery::new(97);
+        assert_eq!(m.mul_plain(50, 60), 50 * 60 % 97);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_modulus() {
+        let _ = Montgomery::new(64);
+    }
+}

@@ -1,0 +1,320 @@
+//! Classical iterative radix-2 number-theoretic transform over
+//! `Z_q[X]/(X^N + 1)`.
+//!
+//! This is the reference transform: natural-order in, natural-order
+//! out, negacyclic via the `2N`-th root `ψ` (pre/post scaling). The
+//! constant-geometry variant UFC's interconnect is designed around
+//! lives in [`crate::cgntt`] and is validated against this one.
+
+use crate::modops::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod};
+use crate::poly::Poly;
+use crate::prime::primitive_root_of_unity;
+
+/// Precomputed tables for NTTs of a fixed `(N, q)` pair.
+#[derive(Debug, Clone)]
+pub struct NttContext {
+    n: usize,
+    q: u64,
+    /// ψ: primitive 2N-th root of unity.
+    psi: u64,
+    /// ψ^i for i in 0..N (negacyclic pre-twist).
+    psi_pows: Vec<u64>,
+    /// ψ^{-i} for i in 0..N.
+    psi_inv_pows: Vec<u64>,
+    /// ω = ψ² powers: ω^i for i in 0..N.
+    omega_pows: Vec<u64>,
+    /// ω^{-i} for i in 0..N.
+    omega_inv_pows: Vec<u64>,
+    /// N^{-1} mod q.
+    n_inv: u64,
+}
+
+impl NttContext {
+    /// Builds tables for ring dimension `n` (a power of two) and an
+    /// NTT-friendly prime `q ≡ 1 mod 2n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` is not ≡ 1 mod 2n.
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two(), "ring dimension must be a power of two");
+        assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
+        let psi = primitive_root_of_unity(2 * n as u64, q);
+        Self::with_psi(n, q, psi)
+    }
+
+    /// Builds tables using a caller-chosen 2N-th root `psi`.
+    ///
+    /// Used by the automorphism-via-NTT trick (§IV-C2), which swaps ψ
+    /// for ψ^k to fold a Galois automorphism into the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi` is not a primitive 2N-th root of unity mod `q`.
+    pub fn with_psi(n: usize, q: u64, psi: u64) -> Self {
+        assert_eq!(pow_mod(psi, 2 * n as u64, q), 1, "psi^2N must be 1");
+        assert_eq!(pow_mod(psi, n as u64, q), q - 1, "psi^N must be -1");
+        let mut psi_pows = Vec::with_capacity(n);
+        let mut omega_pows = Vec::with_capacity(n);
+        let omega = mul_mod(psi, psi, q);
+        let mut p = 1u64;
+        let mut w = 1u64;
+        for _ in 0..n {
+            psi_pows.push(p);
+            omega_pows.push(w);
+            p = mul_mod(p, psi, q);
+            w = mul_mod(w, omega, q);
+        }
+        let psi_inv = inv_mod(psi, q).expect("psi invertible");
+        let omega_inv = inv_mod(omega, q).expect("omega invertible");
+        let mut psi_inv_pows = Vec::with_capacity(n);
+        let mut omega_inv_pows = Vec::with_capacity(n);
+        let mut p = 1u64;
+        let mut w = 1u64;
+        for _ in 0..n {
+            psi_inv_pows.push(p);
+            omega_inv_pows.push(w);
+            p = mul_mod(p, psi_inv, q);
+            w = mul_mod(w, omega_inv, q);
+        }
+        let n_inv = inv_mod(n as u64, q).expect("N invertible");
+        Self {
+            n,
+            q,
+            psi,
+            psi_pows,
+            psi_inv_pows,
+            omega_pows,
+            omega_inv_pows,
+            n_inv,
+        }
+    }
+
+    /// Ring dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The 2N-th root ψ in use.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place cyclic NTT (natural order in and out), ω = ψ².
+    pub fn forward_cyclic(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        bit_reverse_permute(a);
+        let q = self.q;
+        let mut len = 2;
+        while len <= self.n {
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for j in 0..len / 2 {
+                    let w = self.omega_pows[j * step];
+                    let u = a[start + j];
+                    let v = mul_mod(a[start + j + len / 2], w, q);
+                    a[start + j] = add_mod(u, v, q);
+                    a[start + j + len / 2] = sub_mod(u, v, q);
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place cyclic inverse NTT (natural order in and out).
+    pub fn inverse_cyclic(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        bit_reverse_permute(a);
+        let q = self.q;
+        let mut len = 2;
+        while len <= self.n {
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for j in 0..len / 2 {
+                    let w = self.omega_inv_pows[j * step];
+                    let u = a[start + j];
+                    let v = mul_mod(a[start + j + len / 2], w, q);
+                    a[start + j] = add_mod(u, v, q);
+                    a[start + j + len / 2] = sub_mod(u, v, q);
+                }
+            }
+            len <<= 1;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+
+    /// Negacyclic forward NTT: coefficient form → evaluation form.
+    ///
+    /// Evaluation point `i` is `ψ^(2i+1)` (odd powers), matching the
+    /// factorization of `X^N + 1`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_mod(*x, self.psi_pows[i], self.q);
+        }
+        self.forward_cyclic(a);
+    }
+
+    /// Negacyclic inverse NTT: evaluation form → coefficient form.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.inverse_cyclic(a);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_mod(*x, self.psi_inv_pows[i], self.q);
+        }
+    }
+
+    /// Converts a polynomial to evaluation form (out of place).
+    pub fn to_eval(&self, p: &Poly) -> Poly {
+        let mut c = p.coeffs().to_vec();
+        self.forward(&mut c);
+        Poly::from_coeffs(c, self.q)
+    }
+
+    /// Converts a polynomial back to coefficient form (out of place).
+    pub fn to_coeff(&self, p: &Poly) -> Poly {
+        let mut c = p.coeffs().to_vec();
+        self.inverse(&mut c);
+        Poly::from_coeffs(c, self.q)
+    }
+
+    /// Negacyclic polynomial product via NTT:
+    /// `iNTT(NTT(a) ∘ NTT(b))`.
+    pub fn negacyclic_mul(&self, a: &Poly, b: &Poly) -> Poly {
+        let ea = self.to_eval(a);
+        let eb = self.to_eval(b);
+        self.to_coeff(&ea.hadamard(&eb))
+    }
+}
+
+/// In-place bit-reversal permutation.
+pub fn bit_reverse_permute<T>(a: &mut [T]) {
+    let n = a.len();
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_prime;
+    use proptest::prelude::*;
+
+    fn ctx(n: usize) -> NttContext {
+        NttContext::new(n, generate_ntt_prime(n, 40).unwrap())
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for log_n in [3usize, 6, 10] {
+            let n = 1 << log_n;
+            let c = ctx(n);
+            let orig: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let mut a = orig.clone();
+            c.forward(&mut a);
+            assert_ne!(a, orig, "transform must change data");
+            c.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook() {
+        let n = 32;
+        let c = ctx(n);
+        let a = Poly::from_coeffs((0..n as u64).map(|i| i * i + 3).collect(), c.modulus());
+        let b = Poly::from_coeffs((0..n as u64).map(|i| 5 * i + 11).collect(), c.modulus());
+        assert_eq!(c.negacyclic_mul(&a, &b), a.negacyclic_mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn eval_of_monomial_x_is_odd_psi_powers_permuted() {
+        // NTT(X) must be the multiset { psi^(2i+1) } since the
+        // evaluation points are the primitive 2N-th roots.
+        let n = 16;
+        let c = ctx(n);
+        let x = Poly::monomial(1, 1, n, c.modulus());
+        let eval = c.to_eval(&x);
+        let mut expected: Vec<u64> = (0..n)
+            .map(|i| pow_mod(c.psi(), (2 * i + 1) as u64, c.modulus()))
+            .collect();
+        let mut got = eval.coeffs().to_vec();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn constant_poly_is_fixed_point() {
+        let n = 8;
+        let c = ctx(n);
+        let k = Poly::from_coeffs(vec![42, 0, 0, 0, 0, 0, 0, 0], c.modulus());
+        let eval = c.to_eval(&k);
+        assert!(eval.coeffs().iter().all(|&v| v == 42));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(seed in any::<u64>()) {
+            let n = 64;
+            let c = ctx(n);
+            let mut rng = seed;
+            let orig: Vec<u64> = (0..n).map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                rng % c.modulus()
+            }).collect();
+            let mut a = orig.clone();
+            c.forward(&mut a);
+            c.inverse(&mut a);
+            prop_assert_eq!(a, orig);
+        }
+
+        #[test]
+        fn prop_mul_commutes(seed in any::<u64>()) {
+            let n = 32;
+            let c = ctx(n);
+            let mut rng = seed | 1;
+            let mut next = || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng % c.modulus()
+            };
+            let a = Poly::from_coeffs((0..n).map(|_| next()).collect(), c.modulus());
+            let b = Poly::from_coeffs((0..n).map(|_| next()).collect(), c.modulus());
+            prop_assert_eq!(c.negacyclic_mul(&a, &b), c.negacyclic_mul(&b, &a));
+        }
+
+        #[test]
+        fn prop_mul_distributes_over_add(seed in any::<u64>()) {
+            let n = 16;
+            let c = ctx(n);
+            let mut rng = seed | 1;
+            let mut next = || {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng % c.modulus()
+            };
+            let a = Poly::from_coeffs((0..n).map(|_| next()).collect(), c.modulus());
+            let b = Poly::from_coeffs((0..n).map(|_| next()).collect(), c.modulus());
+            let d = Poly::from_coeffs((0..n).map(|_| next()).collect(), c.modulus());
+            let lhs = c.negacyclic_mul(&a, &b.add(&d));
+            let rhs = c.negacyclic_mul(&a, &b).add(&c.negacyclic_mul(&a, &d));
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

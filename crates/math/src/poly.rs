@@ -1,0 +1,328 @@
+//! Dense polynomials over `Z_q`, the data type flowing through every
+//! UFC primitive (Table I of the paper: RLWE polynomials in coefficient
+//! or evaluation form).
+
+use crate::modops::{add_mod, from_signed, mul_mod, neg_mod, sub_mod};
+
+/// Which basis a polynomial's limb data is expressed in.
+///
+/// UFC's compiler tracks this per polynomial because NTT/iNTT macro-ops
+/// convert between the two and element-wise ops require matching forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Form {
+    /// Coefficient (original) form.
+    Coeff,
+    /// Evaluation (NTT) form.
+    Eval,
+}
+
+/// A dense polynomial with coefficients in `Z_q`.
+///
+/// The degree bound (ring dimension) is implied by the coefficient
+/// vector's length; all arithmetic requires both operands to share the
+/// same modulus and length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    modulus: u64,
+}
+
+impl Poly {
+    /// Creates the zero polynomial of dimension `n`.
+    pub fn zero(n: usize, modulus: u64) -> Self {
+        Self {
+            coeffs: vec![0; n],
+            modulus,
+        }
+    }
+
+    /// Wraps a coefficient vector. Coefficients are reduced mod `q`.
+    pub fn from_coeffs(mut coeffs: Vec<u64>, modulus: u64) -> Self {
+        for c in &mut coeffs {
+            *c %= modulus;
+        }
+        Self { coeffs, modulus }
+    }
+
+    /// Builds a polynomial from signed (centered) coefficients.
+    pub fn from_signed(signed: &[i64], modulus: u64) -> Self {
+        Self {
+            coeffs: signed.iter().map(|&v| from_signed(v, modulus)).collect(),
+            modulus,
+        }
+    }
+
+    /// The monomial `c * X^k` in dimension `n` (with negacyclic wrap:
+    /// `k` may be any value below `2n`, where `X^n = -1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 2n`.
+    pub fn monomial(c: u64, k: usize, n: usize, modulus: u64) -> Self {
+        assert!(k < 2 * n, "monomial exponent must be below 2N");
+        let mut p = Self::zero(n, modulus);
+        if k < n {
+            p.coeffs[k] = c % modulus;
+        } else {
+            p.coeffs[k - n] = neg_mod(c % modulus, modulus);
+        }
+        p
+    }
+
+    /// The ring dimension (number of coefficients).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Read-only view of the coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Mutable view of the coefficients.
+    #[inline]
+    pub fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// Consumes the polynomial, returning its coefficient vector.
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
+    /// Element-wise sum. Works in either form (both operands must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched dimension or modulus.
+    pub fn add(&self, rhs: &Self) -> Self {
+        self.check_compat(rhs);
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&rhs.coeffs)
+            .map(|(&a, &b)| add_mod(a, b, self.modulus))
+            .collect();
+        Self {
+            coeffs,
+            modulus: self.modulus,
+        }
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.check_compat(rhs);
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&rhs.coeffs)
+            .map(|(&a, &b)| sub_mod(a, b, self.modulus))
+            .collect();
+        Self {
+            coeffs,
+            modulus: self.modulus,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| neg_mod(a, self.modulus))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Element-wise (Hadamard) product — the EWMM primitive. Only
+    /// meaningful when both polynomials are in evaluation form.
+    pub fn hadamard(&self, rhs: &Self) -> Self {
+        self.check_compat(rhs);
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&rhs.coeffs)
+            .map(|(&a, &b)| mul_mod(a, b, self.modulus))
+            .collect();
+        Self {
+            coeffs,
+            modulus: self.modulus,
+        }
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, s: u64) -> Self {
+        let s = s % self.modulus;
+        Self {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| mul_mod(a, s, self.modulus))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Schoolbook negacyclic multiplication in `Z_q[X]/(X^N + 1)`.
+    ///
+    /// Quadratic-time reference used to validate the NTT-based path.
+    pub fn negacyclic_mul_schoolbook(&self, rhs: &Self) -> Self {
+        self.check_compat(rhs);
+        let n = self.dim();
+        let q = self.modulus;
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            if self.coeffs[i] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                let prod = mul_mod(self.coeffs[i], rhs.coeffs[j], q);
+                let k = i + j;
+                if k < n {
+                    out[k] = add_mod(out[k], prod, q);
+                } else {
+                    out[k - n] = sub_mod(out[k - n], prod, q);
+                }
+            }
+        }
+        Self {
+            coeffs: out,
+            modulus: q,
+        }
+    }
+
+    /// Rotates coefficients: multiplies by the monomial `X^k` in the
+    /// negacyclic ring (`k < 2N`; `X^N = -1`). This is TFHE's `Rotate`
+    /// primitive (Table I).
+    pub fn rotate_monomial(&self, k: usize) -> Self {
+        let n = self.dim();
+        let k = k % (2 * n);
+        let q = self.modulus;
+        let mut out = vec![0u64; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let mut pos = i + k;
+            let mut v = c;
+            if pos >= 2 * n {
+                pos -= 2 * n;
+            }
+            if pos >= n {
+                pos -= n;
+                v = neg_mod(v, q);
+            }
+            out[pos] = v;
+        }
+        Self {
+            coeffs: out,
+            modulus: q,
+        }
+    }
+
+    /// Switches every coefficient to a new modulus by rounding
+    /// `round(c * new_q / old_q)` on centered representatives.
+    pub fn mod_switch(&self, new_q: u64) -> Self {
+        let coeffs = self
+            .coeffs
+            .iter()
+            .map(|&c| {
+                let centered = crate::modops::to_signed(c, self.modulus);
+                let scaled = (centered as i128 * new_q as i128
+                    + if centered >= 0 {
+                        self.modulus as i128 / 2
+                    } else {
+                        -(self.modulus as i128 / 2)
+                    })
+                    / self.modulus as i128;
+                from_signed(scaled as i64, new_q)
+            })
+            .collect();
+        Self {
+            coeffs,
+            modulus: new_q,
+        }
+    }
+
+    fn check_compat(&self, rhs: &Self) {
+        assert_eq!(self.dim(), rhs.dim(), "polynomial dimension mismatch");
+        assert_eq!(self.modulus, rhs.modulus, "polynomial modulus mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 97;
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Poly::from_coeffs(vec![1, 2, 3, 4], Q);
+        let b = Poly::from_coeffs(vec![96, 95, 94, 93], Q);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), Poly::zero(4, Q));
+    }
+
+    #[test]
+    fn monomial_wraps_negacyclically() {
+        // X^5 in dimension 4 is -X.
+        let m = Poly::monomial(1, 5, 4, Q);
+        assert_eq!(m.coeffs(), &[0, Q - 1, 0, 0]);
+        // X^3 stays put.
+        let m = Poly::monomial(2, 3, 4, Q);
+        assert_eq!(m.coeffs(), &[0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn schoolbook_mul_known_case() {
+        // (1 + X) * (1 + X) = 1 + 2X + X^2 in Z_97[X]/(X^4+1).
+        let a = Poly::from_coeffs(vec![1, 1, 0, 0], Q);
+        let c = a.negacyclic_mul_schoolbook(&a);
+        assert_eq!(c.coeffs(), &[1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn schoolbook_mul_wraps_sign() {
+        // X^2 * X^3 = X^5 = -X in dimension 4.
+        let a = Poly::monomial(1, 2, 4, Q);
+        let b = Poly::monomial(1, 3, 4, Q);
+        let c = a.negacyclic_mul_schoolbook(&b);
+        assert_eq!(c.coeffs(), &[0, Q - 1, 0, 0]);
+    }
+
+    #[test]
+    fn rotate_matches_monomial_mul() {
+        let a = Poly::from_coeffs(vec![1, 2, 3, 4, 5, 6, 7, 8], Q);
+        for k in 0..16 {
+            let rotated = a.rotate_monomial(k);
+            let via_mul = a.negacyclic_mul_schoolbook(&Poly::monomial(1, k % 16, 8, Q));
+            assert_eq!(rotated, via_mul, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn mod_switch_preserves_message_scaled() {
+        // A value near q/4 should land near new_q/4.
+        let q = 1u64 << 30;
+        let new_q = 1u64 << 20;
+        let p = Poly::from_coeffs(vec![q / 4, q / 2 - 1, 0, 3 * (q / 4)], q);
+        let s = p.mod_switch(new_q);
+        assert_eq!(s.modulus(), new_q);
+        assert!((s.coeffs()[0] as i64 - (new_q / 4) as i64).abs() <= 1);
+        assert!((s.coeffs()[3] as i64 - (3 * (new_q / 4)) as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn from_signed_centered() {
+        let p = Poly::from_signed(&[-1, 0, 1, -48], Q);
+        assert_eq!(p.coeffs(), &[96, 0, 1, 49]);
+    }
+}

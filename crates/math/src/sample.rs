@@ -1,0 +1,89 @@
+//! Randomness for FHE: uniform ring elements, ternary/binary secrets,
+//! and rounded-Gaussian noise.
+
+use crate::poly::Poly;
+use rand::Rng;
+
+/// Samples a uniformly random polynomial over `Z_q`.
+pub fn uniform_poly<R: Rng + ?Sized>(rng: &mut R, n: usize, q: u64) -> Poly {
+    Poly::from_coeffs((0..n).map(|_| rng.gen_range(0..q)).collect(), q)
+}
+
+/// Samples a ternary secret polynomial with coefficients in `{-1,0,1}`.
+pub fn ternary_poly<R: Rng + ?Sized>(rng: &mut R, n: usize, q: u64) -> Poly {
+    let signed: Vec<i64> = (0..n).map(|_| rng.gen_range(-1..=1)).collect();
+    Poly::from_signed(&signed, q)
+}
+
+/// Samples a binary secret vector (for LWE keys).
+pub fn binary_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..=1u64)).collect()
+}
+
+/// Samples one rounded Gaussian with standard deviation `sigma`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
+    // Box–Muller; two uniforms -> one normal.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (z * sigma).round() as i64
+}
+
+/// Samples a noise polynomial with rounded-Gaussian coefficients.
+pub fn gaussian_poly<R: Rng + ?Sized>(rng: &mut R, n: usize, q: u64, sigma: f64) -> Poly {
+    let signed: Vec<i64> = (0..n).map(|_| gaussian(rng, sigma)).collect();
+    Poly::from_signed(&signed, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_reduced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = uniform_poly(&mut rng, 256, 97);
+        assert!(p.coeffs().iter().all(|&c| c < 97));
+    }
+
+    #[test]
+    fn ternary_values_are_ternary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let q = 1_000_003;
+        let p = ternary_poly(&mut rng, 512, q);
+        assert!(p
+            .coeffs()
+            .iter()
+            .all(|&c| c == 0 || c == 1 || c == q - 1));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sigma = 3.2;
+        let samples: Vec<i64> = (0..20_000).map(|_| gaussian(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / samples.len() as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.15, "mean drifted: {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.3, "sigma off: {}", var.sqrt());
+    }
+
+    #[test]
+    fn binary_vec_is_binary() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(binary_vec(&mut rng, 1000).iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform_poly(&mut StdRng::seed_from_u64(42), 64, 12289);
+        let b = uniform_poly(&mut StdRng::seed_from_u64(42), 64, 12289);
+        assert_eq!(a, b);
+    }
+}

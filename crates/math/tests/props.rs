@@ -1,0 +1,69 @@
+//! Cross-module property tests for the arithmetic substrate.
+
+use proptest::prelude::*;
+use ufc_math::cgntt::{perfect_shuffle_dest, CgNtt, ShuffleDecomposition};
+use ufc_math::fft::negacyclic_mul_fft;
+use ufc_math::ntt::NttContext;
+use ufc_math::poly::Poly;
+use ufc_math::prime::generate_ntt_prime;
+
+fn random_poly(seed: u64, n: usize, q: u64) -> Poly {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x
+    };
+    Poly::from_coeffs((0..n).map(|_| next() % q).collect(), q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_cg_and_classical_ntt_agree_on_products(seed in any::<u64>()) {
+        let n = 64;
+        let q = generate_ntt_prime(n, 40).unwrap();
+        let ctx = NttContext::new(n, q);
+        let cg = CgNtt::new(ctx.clone());
+        let a = random_poly(seed, n, q);
+        let b = random_poly(seed.wrapping_add(1), n, q);
+        prop_assert_eq!(cg.negacyclic_mul(&a, &b), ctx.negacyclic_mul(&a, &b));
+    }
+
+    #[test]
+    fn prop_shuffle_decomposition_matches_perfect_shuffle(
+        rows_log in 1u32..4, cols_log in 1u32..4, lanes_log in 1u32..5
+    ) {
+        let d = ShuffleDecomposition::new(1 << rows_log, 1 << cols_log, 1 << lanes_log);
+        let n = d.len();
+        for p in 0..n {
+            prop_assert_eq!(d.composite_dest(p), perfect_shuffle_dest(p, n));
+        }
+    }
+
+    #[test]
+    fn prop_fft_matches_ntt_in_small_regime(seed in any::<u64>()) {
+        let n = 128;
+        let q = generate_ntt_prime(n, 31).unwrap();
+        let ctx = NttContext::new(n, q);
+        // Small signed operands: well inside the f64 mantissa budget.
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (x % 256) as i64 - 128
+        };
+        let a = Poly::from_signed(&(0..n).map(|_| next()).collect::<Vec<_>>(), q);
+        let b = Poly::from_signed(&(0..n).map(|_| next()).collect::<Vec<_>>(), q);
+        prop_assert_eq!(negacyclic_mul_fft(&a, &b), ctx.negacyclic_mul(&a, &b));
+    }
+
+    #[test]
+    fn prop_mul_by_monomial_equals_rotation(seed in any::<u64>(), k in 0usize..128) {
+        let n = 64;
+        let q = generate_ntt_prime(n, 40).unwrap();
+        let ctx = NttContext::new(n, q);
+        let a = random_poly(seed, n, q);
+        let m = Poly::monomial(1, k % (2 * n), n, q);
+        prop_assert_eq!(ctx.negacyclic_mul(&a, &m), a.rotate_monomial(k % (2 * n)));
+    }
+}

@@ -1,0 +1,120 @@
+//! The composed SHARP+Strix baseline for hybrid workloads (§VI-D3):
+//! "the baseline system has one SHARP and one Strix simultaneously
+//! and uses the 16 PCIe5 lanes to handle data communication between
+//! these different chips."
+
+use super::{cdiv, Machine, SharpMachine, StrixMachine};
+use crate::engine::{InstrCost, ResKind};
+use ufc_isa::instr::{Kernel, MacroInstr};
+
+/// PCIe 5.0 ×16 bandwidth in bytes per cycle at 1 GHz (≈ 64 GB/s).
+pub const PCIE_BYTES_PER_CYCLE: u64 = 64;
+
+/// SHARP + Strix + PCIe link. Instructions are dispatched by word
+/// size: 36-bit limbs (CKKS) run on SHARP, 32-bit torus words (TFHE)
+/// run on Strix, transfers ride the PCIe link.
+#[derive(Debug, Clone, Default)]
+pub struct ComposedMachine {
+    sharp: SharpMachine,
+    strix: StrixMachine,
+}
+
+impl ComposedMachine {
+    /// Creates the composed system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The SHARP half.
+    pub fn sharp(&self) -> &SharpMachine {
+        &self.sharp
+    }
+
+    /// The Strix half.
+    pub fn strix(&self) -> &StrixMachine {
+        &self.strix
+    }
+}
+
+impl Machine for ComposedMachine {
+    fn name(&self) -> &str {
+        "SHARP+Strix"
+    }
+
+    fn freq_hz(&self) -> f64 {
+        1e9
+    }
+
+    fn area_mm2(&self) -> f64 {
+        self.sharp.area_mm2() + self.strix.area_mm2()
+    }
+
+    fn static_power_w(&self) -> f64 {
+        // Both chips stay powered for the whole workload.
+        self.sharp.static_power_w() + self.strix.static_power_w()
+    }
+
+    fn cost(&self, i: &MacroInstr) -> InstrCost {
+        if i.kernel == Kernel::Transfer {
+            let c = cdiv(i.hbm_bytes, PCIE_BYTES_PER_CYCLE);
+            // PCIe serializes, and both ends burn energy moving the
+            // data (≈10 pJ/byte including SerDes).
+            return InstrCost::free()
+                .with(ResKind::Pcie, c)
+                .with_energy(i.hbm_bytes as f64 * 10.0);
+        }
+        if i.word_bits >= 36 {
+            self.sharp.cost(i)
+        } else {
+            self.strix.cost(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::instr::{Phase, PolyShape};
+
+    fn instr(kernel: Kernel, log_n: u32, count: u32, word_bits: u32, hbm: u64) -> MacroInstr {
+        MacroInstr {
+            id: 0,
+            kernel,
+            shape: PolyShape::new(log_n, count),
+            word_bits,
+            deps: vec![],
+            hbm_bytes: hbm,
+            phase: Phase::Other,
+            pack: u32::MAX,
+        }
+    }
+
+    #[test]
+    fn dispatch_by_word_size() {
+        let m = ComposedMachine::new();
+        let ckks = m.cost(&instr(Kernel::Ntt, 16, 1, 36, 0));
+        assert!(ckks.demands.iter().any(|(r, _)| *r == ResKind::Ntt));
+        let tfhe = m.cost(&instr(Kernel::Ntt, 10, 1, 32, 0));
+        assert!(tfhe.demands.iter().any(|(r, _)| *r == ResKind::Fft));
+    }
+
+    #[test]
+    fn transfers_ride_pcie() {
+        let m = ComposedMachine::new();
+        let c = m.cost(&instr(Kernel::Transfer, 0, 1, 8, 1 << 20));
+        let pcie = c
+            .demands
+            .iter()
+            .find(|(r, _)| *r == ResKind::Pcie)
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(pcie, (1u64 << 20) / PCIE_BYTES_PER_CYCLE);
+    }
+
+    #[test]
+    fn area_and_power_are_sums() {
+        let m = ComposedMachine::new();
+        assert!(m.area_mm2() > SharpMachine::new().area_mm2());
+        assert!(m.static_power_w() > SharpMachine::new().static_power_w());
+    }
+}

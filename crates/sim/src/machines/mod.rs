@@ -1,0 +1,34 @@
+//! Machine models: the `Machine` trait plus UFC, SHARP, Strix and the
+//! composed SHARP+Strix system.
+
+pub mod composed;
+pub mod sharp;
+pub mod strix;
+pub mod ufc;
+
+pub use composed::ComposedMachine;
+pub use sharp::SharpMachine;
+pub use strix::StrixMachine;
+pub use ufc::{UfcConfig, UfcMachine};
+
+use crate::engine::InstrCost;
+use ufc_isa::instr::MacroInstr;
+
+/// A performance/energy/area model of one accelerator.
+pub trait Machine: std::fmt::Debug {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Clock frequency in Hz (all modeled chips run at 1 GHz, §VI-A).
+    fn freq_hz(&self) -> f64;
+    /// Chip area in mm² (7 nm-scaled).
+    fn area_mm2(&self) -> f64;
+    /// Static (leakage) power in watts.
+    fn static_power_w(&self) -> f64;
+    /// Busy-cycle demands and dynamic energy of one instruction.
+    fn cost(&self, instr: &MacroInstr) -> InstrCost;
+}
+
+/// Ceil-division helper for cycle counts.
+pub(crate) fn cdiv(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1)).max(1)
+}

@@ -1,0 +1,125 @@
+//! Simulation results: delay, energy, EDP/EDAP and utilization.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Machine name.
+    pub machine: String,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Makespan in seconds (at the machine clock).
+    pub seconds: f64,
+    /// Total energy (dynamic + static) in joules.
+    pub energy_j: f64,
+    /// Dynamic energy in joules.
+    pub dynamic_j: f64,
+    /// Static (leakage) energy in joules.
+    pub static_j: f64,
+    /// Chip area in mm².
+    pub area_mm2: f64,
+    /// Per-resource utilization (busy/makespan), by resource name.
+    pub utilization: Vec<(String, f64)>,
+    /// Total off-chip traffic in bytes.
+    pub hbm_bytes: u64,
+    /// Busy cycles attributed to each program phase (operation
+    /// breakdown, Figs. 3–4 flavor), largest first.
+    pub phase_cycles: Vec<(String, u64)>,
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms, {:.2} J ({:.1} W avg), EDP {:.3e}, EDAP {:.3e}",
+            self.machine,
+            self.seconds * 1e3,
+            self.energy_j,
+            self.avg_power_w(),
+            self.edp(),
+            self.edap()
+        )
+    }
+}
+
+impl SimReport {
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.seconds
+    }
+
+    /// Energy-delay-area product (J·s·mm²).
+    pub fn edap(&self) -> f64 {
+        self.edp() * self.area_mm2
+    }
+
+    /// Average power in watts.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.seconds
+        }
+    }
+
+    /// Utilization of a named resource (0.0 when absent).
+    pub fn util(&self, name: &str) -> f64 {
+        self.utilization
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Speedup of `self` over `other` (other.seconds / self.seconds).
+    pub fn speedup_over(&self, other: &SimReport) -> f64 {
+        other.seconds / self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seconds: f64, energy: f64, area: f64) -> SimReport {
+        SimReport {
+            machine: "m".into(),
+            cycles: (seconds * 1e9) as u64,
+            seconds,
+            energy_j: energy,
+            dynamic_j: energy,
+            static_j: 0.0,
+            area_mm2: area,
+            utilization: vec![("Ntt".into(), 0.5)],
+            hbm_bytes: 0,
+            phase_cycles: vec![("CkksEval".into(), 10)],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report(2.0, 3.0, 4.0);
+        assert_eq!(r.edp(), 6.0);
+        assert_eq!(r.edap(), 24.0);
+        assert_eq!(r.avg_power_w(), 1.5);
+        assert_eq!(r.util("Ntt"), 0.5);
+        assert_eq!(r.util("Hbm"), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_named() {
+        let r = report(0.5, 1.0, 2.0);
+        let text = r.to_string();
+        assert!(text.starts_with("m:"));
+        assert!(text.contains("EDAP"));
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let fast = report(1.0, 1.0, 1.0);
+        let slow = report(4.0, 1.0, 1.0);
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+        assert_eq!(slow.speedup_over(&fast), 0.25);
+    }
+}

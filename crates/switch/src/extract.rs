@@ -1,0 +1,259 @@
+//! Extraction: CKKS RLWE → TFHE LWE ciphertexts (§II-D).
+//!
+//! Pipeline: drop the CKKS ciphertext to level 0 (single limb `q_0`),
+//! sample-extract the wanted coefficients as LWE ciphertexts under the
+//! flattened CKKS ring key, key-switch each to the TFHE small key
+//! (still at modulus `q_0`), and finally modulus-switch down to the
+//! TFHE modulus. UFC runs the extraction/reduction steps on its
+//! near-memory LWE unit (§IV-B4).
+
+use rand::Rng;
+use ufc_ckks::{Ciphertext as CkksCiphertext, CkksContext, Evaluator as CkksEvaluator, SecretKey};
+use ufc_isa::trace::TraceOp;
+use ufc_math::gadget::Gadget;
+use ufc_math::modops::{from_signed, mul_mod, neg_mod};
+use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
+
+/// Precomputed extraction key: switches LWEs under the flattened CKKS
+/// ring key (dimension `N_ckks`, modulus `q_0`) to the TFHE small key.
+#[derive(Debug)]
+pub struct CkksToLwe {
+    /// `ksk[i][j] = LWE_{s_tfhe, q0}(ŝ_ckks_i · w_j)`.
+    ksk: Vec<Vec<LweCiphertext>>,
+    /// Decomposition gadget at modulus `q_0`.
+    gadget: Gadget,
+    /// CKKS level-0 modulus.
+    q0: u64,
+    /// TFHE small-key dimension.
+    lwe_dim: usize,
+}
+
+impl CkksToLwe {
+    /// Generates the switching key. Needs both secret keys (a trusted
+    /// key-generation step, as in any scheme-switching deployment).
+    pub fn new<R: Rng + ?Sized>(
+        ckks_ctx: &CkksContext,
+        ckks_sk: &SecretKey,
+        tfhe_ctx: &TfheContext,
+        tfhe_keys: &TfheKeys,
+        rng: &mut R,
+    ) -> Self {
+        let q0 = ckks_ctx.q_moduli()[0];
+        // 8-bit digits, enough levels to cover q0 exactly.
+        let log_base = 8u32;
+        let levels = (64f64.min((q0 as f64).log2()).ceil() as usize).div_ceil(8);
+        let gadget = Gadget::new(q0, log_base, levels);
+        let ksk = ckks_sk
+            .signed()
+            .iter()
+            .map(|&si| {
+                (0..gadget.levels())
+                    .map(|j| {
+                        let m = mul_mod(from_signed(si, q0), gadget.weight(j), q0);
+                        encrypt_lwe_at(q0, &tfhe_keys.lwe_sk, m, tfhe_ctx.sigma(), rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            ksk,
+            gadget,
+            q0,
+            lwe_dim: tfhe_ctx.lwe_dim(),
+        }
+    }
+
+    /// Extracts coefficients `indices` of the CKKS ciphertext as TFHE
+    /// LWE ciphertexts (at the TFHE modulus, under the small key).
+    ///
+    /// The ciphertext must carry its payload in *coefficients* (after
+    /// a SlotToCoeff transform in a full application); the message
+    /// scale should be `q_0 / space` for a TFHE message space of
+    /// `space`.
+    pub fn extract(
+        &self,
+        ev: &CkksEvaluator,
+        ct: &CkksCiphertext,
+        indices: &[usize],
+        tfhe_ctx: &TfheContext,
+    ) -> Vec<LweCiphertext> {
+        ev.record_public(TraceOp::Extract {
+            level: ct.level as u32,
+            count: indices.len() as u32,
+        });
+        let ct0 = ev.drop_to_level(ct, 0);
+        let c0 = ct0.c0.to_coeff(ev.context());
+        let c1 = ct0.c1.to_coeff(ev.context());
+        let c0 = &c0.limbs()[0];
+        let c1 = &c1.limbs()[0];
+        let n = c0.dim();
+        indices
+            .iter()
+            .map(|&idx| {
+                assert!(idx < n, "coefficient index out of range");
+                // CKKS phase = c0 + c1·s; LWE convention is b − <a,s>,
+                // so b = c0_idx and a = −extract_vec(c1).
+                let mut a = vec![0u64; n];
+                for (j, slot) in a.iter_mut().enumerate() {
+                    let v = if j <= idx {
+                        c1.coeffs()[idx - j]
+                    } else {
+                        neg_mod(c1.coeffs()[n + idx - j], self.q0)
+                    };
+                    *slot = neg_mod(v, self.q0);
+                }
+                let big = LweCiphertext {
+                    a,
+                    b: c0.coeffs()[idx],
+                    q: self.q0,
+                };
+                let switched = self.key_switch(&big);
+                switched.mod_switch(tfhe_ctx.q())
+            })
+            .collect()
+    }
+
+    /// LWE key switch at modulus `q_0` from the ring key to the small
+    /// key.
+    fn key_switch(&self, ct: &LweCiphertext) -> LweCiphertext {
+        let mut out = LweCiphertext::trivial(ct.b, self.lwe_dim, self.q0);
+        for (i, &ai) in ct.a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &d) in self.gadget.decompose_scalar(ai).iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                out = out.sub(&self.ksk[i][j].scale(d));
+            }
+        }
+        out
+    }
+}
+
+/// Encrypts an LWE sample at an arbitrary modulus (the TFHE context is
+/// fixed at its own `q`, so extraction keys need this generalized
+/// helper).
+fn encrypt_lwe_at<R: Rng + ?Sized>(
+    q: u64,
+    s: &[u64],
+    m: u64,
+    sigma: f64,
+    rng: &mut R,
+) -> LweCiphertext {
+    use ufc_math::modops::add_mod;
+    let a: Vec<u64> = (0..s.len()).map(|_| rng.gen_range(0..q)).collect();
+    let dot = a
+        .iter()
+        .zip(s)
+        .fold(0u64, |acc, (&ai, &si)| add_mod(acc, mul_mod(ai, si % q, q), q));
+    let e = from_signed(ufc_math::sample::gaussian(rng, sigma), q);
+    LweCiphertext {
+        b: add_mod(add_mod(dot, m % q, q), e, q),
+        a,
+        q,
+    }
+}
+
+/// Encodes integer messages into CKKS *coefficients* at scale
+/// `q_0/space` — the payload layout extraction expects (what
+/// SlotToCoeff produces in a full pipeline).
+pub fn encode_coefficients(
+    ctx: &CkksContext,
+    messages: &[u64],
+    space: u64,
+) -> ufc_ckks::RnsPoly {
+    let q0 = ctx.q_moduli()[0];
+    let delta = q0 / space;
+    let signed: Vec<i64> = (0..ctx.n())
+        .map(|i| {
+            let m = messages.get(i).copied().unwrap_or(0) % space;
+            (m * delta) as i64
+        })
+        .collect();
+    ufc_ckks::RnsPoly::from_signed(ctx, &signed, ctx.max_level() + 1).to_eval(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ufc_ckks::KeySet;
+
+    fn setup() -> (
+        CkksEvaluator,
+        SecretKey,
+        KeySet,
+        TfheContext,
+        TfheKeys,
+        CkksToLwe,
+        StdRng,
+    ) {
+        let ckks_ctx = CkksContext::new(64, 3, 2, 2, 36, 34);
+        let mut rng = StdRng::seed_from_u64(81);
+        let sk = SecretKey::generate(&ckks_ctx, &mut rng);
+        let keys = KeySet::generate(&ckks_ctx, &sk, &mut rng);
+        let tfhe_ctx = TfheContext::new(64, 256, 7, 3, 6, 4);
+        let tfhe_keys = TfheKeys::generate(&tfhe_ctx, &mut rng);
+        let bridge = CkksToLwe::new(&ckks_ctx, &sk, &tfhe_ctx, &tfhe_keys, &mut rng);
+        (
+            CkksEvaluator::new(ckks_ctx),
+            sk,
+            keys,
+            tfhe_ctx,
+            tfhe_keys,
+            bridge,
+            rng,
+        )
+    }
+
+    #[test]
+    fn extract_recovers_coefficient_messages() {
+        let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        let messages: Vec<u64> = (0..64).map(|i| i % 4).collect();
+        let pt = encode_coefficients(ev.context(), &messages, 8);
+        let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
+        let lwes = bridge.extract(&ev, &ct, &[0, 1, 5, 33], &tfhe_ctx);
+        assert_eq!(lwes.len(), 4);
+        for (lwe, &idx) in lwes.iter().zip(&[0usize, 1, 5, 33]) {
+            assert_eq!(lwe.dim(), 64);
+            assert_eq!(lwe.q, tfhe_ctx.q());
+            assert_eq!(
+                lwe.decrypt(&tfhe_ctx, &tfhe_keys.lwe_sk, 8),
+                messages[idx] % 8,
+                "idx={idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn extracted_lwes_support_tfhe_bootstrap() {
+        // End-to-end §II-D: CKKS → extract → TFHE functional bootstrap.
+        let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        let messages: Vec<u64> = vec![1, 3, 2, 0];
+        let pt = encode_coefficients(ev.context(), &messages, 8);
+        let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
+        let lwes = bridge.extract(&ev, &ct, &[0, 1, 2, 3], &tfhe_ctx);
+        let tv = ufc_tfhe::lut_test_vector(&tfhe_ctx, |m| (m + 1) % 8, 8);
+        for (lwe, &m) in lwes.iter().zip(&messages) {
+            let out = ufc_tfhe::programmable_bootstrap(&tfhe_ctx, &tfhe_keys, lwe, &tv);
+            assert_eq!(out.decrypt(&tfhe_ctx, &tfhe_keys.lwe_sk, 8), (m + 1) % 8);
+        }
+    }
+
+    #[test]
+    fn extraction_records_trace() {
+        let (ev, _sk, keys, tfhe_ctx, _tk, bridge, mut rng) = setup();
+        let pt = encode_coefficients(ev.context(), &[1, 2], 8);
+        let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
+        let _ = ev.take_trace();
+        let _ = bridge.extract(&ev, &ct, &[0, 1], &tfhe_ctx);
+        let tr = ev.take_trace();
+        assert!(tr
+            .ops
+            .iter()
+            .any(|op| matches!(op, TraceOp::Extract { count: 2, .. })));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ufc-switch — scheme switching between CKKS and TFHE
+//!
+//! Hybrid FHE programs (paper §II-D, Fig. 1) alternate between the
+//! SIMD scheme (CKKS, high-throughput arithmetic) and the logic scheme
+//! (TFHE, exact non-linear functions). This crate implements both
+//! directions of the bridge:
+//!
+//! * **Extraction** ([`extract`]): one CKKS RLWE ciphertext →
+//!   many LWE ciphertexts, via sample extraction, an LWE key switch to
+//!   the TFHE key, and a modulus switch to TFHE's modulus — "the
+//!   extraction requires a TFHE key-switching at the end to convert
+//!   the extracted LWE ciphertexts back to the standard parameter
+//!   setting".
+//! * **Repacking** ([`repack`]): many LWE ciphertexts → one CKKS RLWE
+//!   ciphertext, via a homomorphic linear transform against the
+//!   CKKS-encrypted TFHE key, followed by the sine-based modular
+//!   reduction (Pegasus-style: "homomorphic linear transformation
+//!   followed by a key switching and a bootstrapping").
+//! * **Hybrid programs** ([`hybrid`]): a driver composing the two with
+//!   per-op tracing, used by the k-NN workload.
+
+pub mod extract;
+pub mod hybrid;
+pub mod repack;
+
+pub use extract::CkksToLwe;
+pub use repack::LweToCkks;

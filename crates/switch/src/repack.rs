@@ -1,0 +1,249 @@
+//! Repacking: TFHE LWE ciphertexts → one CKKS RLWE ciphertext
+//! (§II-D, Pegasus-style).
+//!
+//! Given LWEs `(a_j, b_j)` under the TFHE small key `s`, the packed
+//! slot values are the phases `μ_j = (b_j − <a_j, s>)/q_t`. With a
+//! CKKS encryption of `s` (the *repacking key*), the phase evaluation
+//! is a homomorphic linear transform with the plaintext matrix
+//! `−A/q_t` plus the plaintext vector `b/q_t`. The result equals
+//! `μ_j − κ_j` for integer wrap counts `κ_j`; the final sine-based
+//! modular reduction (the "bootstrapping" of the repacking algorithm)
+//! removes the integer part.
+
+use rand::Rng;
+use ufc_ckks::bootstrap::eval_poly;
+use ufc_ckks::{Ciphertext as CkksCiphertext, Evaluator as CkksEvaluator, KeySet, SecretKey};
+use ufc_isa::trace::TraceOp;
+use ufc_math::modops::to_signed;
+use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
+
+/// The repacking bridge: a CKKS encryption of the TFHE small key plus
+/// the rotation steps needed by the mat-vec transform.
+#[derive(Debug)]
+pub struct LweToCkks {
+    /// CKKS encryption of the TFHE key bits, one per slot (cycled to
+    /// fill all slots so rotations wrap consistently).
+    key_ct: CkksCiphertext,
+    /// TFHE LWE dimension `n`.
+    lwe_dim: usize,
+}
+
+impl LweToCkks {
+    /// Encrypts the TFHE key under CKKS (trusted setup step) and
+    /// ensures the rotation keys used by the transform exist.
+    pub fn new<R: Rng + ?Sized>(
+        ev: &CkksEvaluator,
+        ckks_keys: &mut KeySet,
+        ckks_sk: &SecretKey,
+        tfhe_keys: &TfheKeys,
+        rng: &mut R,
+    ) -> Self {
+        let slots = ev.context().slots();
+        let n = tfhe_keys.lwe_sk.len();
+        assert!(n <= slots, "TFHE key must fit in the slot count");
+        // Cyclically repeat the key so every rotation of the slot
+        // vector still aligns key bit (j+i) mod n with slot j.
+        assert!(
+            slots.is_multiple_of(n),
+            "slot count must be a multiple of the LWE dimension"
+        );
+        let key_vals: Vec<f64> = (0..slots)
+            .map(|j| tfhe_keys.lwe_sk[j % n] as f64)
+            .collect();
+        let key_ct = ev.encrypt_real(&key_vals, ckks_keys, rng);
+        // Rotation keys for steps 1..n (diagonal method).
+        let ctx = ev.context().clone();
+        for step in 1..n {
+            ckks_keys.gen_rotation_key(&ctx, ckks_sk, step as isize, rng);
+        }
+        Self { key_ct, lwe_dim: n }
+    }
+
+    /// Repacks `lwes` (all under the TFHE small key) into a CKKS
+    /// ciphertext whose slot `j` holds `μ_j − κ_j` (phase in torus
+    /// units, with integer wrap `κ_j`). Call
+    /// [`LweToCkks::mod_reduce`] afterwards to strip the wraps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more LWEs than slots are supplied.
+    pub fn repack(
+        &self,
+        ev: &CkksEvaluator,
+        ckks_keys: &KeySet,
+        lwes: &[LweCiphertext],
+        tfhe_ctx: &TfheContext,
+    ) -> CkksCiphertext {
+        let slots = ev.context().slots();
+        assert!(lwes.len() <= slots, "too many LWEs for the slot count");
+        ev.record_public(TraceOp::Repack {
+            count: lwes.len() as u32,
+            level: self.key_ct.level as u32,
+        });
+        let qt = tfhe_ctx.q() as f64;
+        let n = self.lwe_dim;
+        // Diagonal method over rotation steps 0..n:
+        //   out_j = Σ_i (−a_{j,(j+i) mod n}/q_t) · s_{(j+i) mod n}.
+        let mut acc: Option<CkksCiphertext> = None;
+        for shift in 0..n {
+            let diag: Vec<f64> = (0..slots)
+                .map(|j| {
+                    lwes.get(j)
+                        .map(|lwe| {
+                            let a = lwe.a[(j + shift) % n];
+                            -(to_signed(a, tfhe_ctx.q()) as f64) / qt
+                        })
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            if diag.iter().all(|&d| d == 0.0) {
+                continue;
+            }
+            let rotated = if shift == 0 {
+                self.key_ct.clone()
+            } else {
+                ev.rotate(&self.key_ct, shift as isize, ckks_keys)
+            };
+            let pt = ev.encode_real(&diag, rotated.level);
+            let term = ev.mul_plain(&rotated, &pt);
+            acc = Some(match acc {
+                Some(a) => ev.add(&a, &term),
+                None => term,
+            });
+        }
+        let matvec = ev.rescale(&acc.expect("at least one non-zero diagonal"));
+        // Add the plaintext b_j/q_t.
+        let b_vals: Vec<f64> = (0..slots)
+            .map(|j| {
+                lwes.get(j)
+                    .map(|lwe| to_signed(lwe.b, tfhe_ctx.q()) as f64 / qt)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let b_pt = ev.encode_real_at(&b_vals, matvec.level, matvec.scale);
+        ev.add_plain(&matvec, &b_pt)
+    }
+
+    /// The sine-based modular reduction finishing the repack: maps
+    /// slot values `t − κ` (integer κ, `|t| ≤ 1/8`) to ≈ `t`. This is
+    /// the "bootstrapping" step of the repacking algorithm; it reuses
+    /// the CKKS EvalMod machinery.
+    pub fn mod_reduce(
+        &self,
+        ev: &CkksEvaluator,
+        ckks_keys: &KeySet,
+        ct: &CkksCiphertext,
+    ) -> CkksCiphertext {
+        let cfg = ufc_ckks::bootstrap::BootstrapConfig::default();
+        let normalized = ev.adjust_scale(ct, ev.context().scale(), ct.level - 1);
+        eval_poly(ev, &normalized, &cfg.sine_coeffs, ckks_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_ckks::CkksContext;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds LWEs whose phases are exactly representable and whose
+    /// wrap counts stay small (masks drawn from a reduced range so the
+    /// degree-7 sine stays in its accurate domain — production uses a
+    /// higher-degree EvalMod).
+    fn small_mask_lwe<R: Rng + ?Sized>(
+        ctx: &TfheContext,
+        keys: &TfheKeys,
+        m: u64,
+        space: u64,
+        rng: &mut R,
+    ) -> LweCiphertext {
+        let q = ctx.q();
+        let range = q / 64; // small masks => |wrap| stays tiny
+        let a: Vec<u64> = (0..ctx.lwe_dim()).map(|_| rng.gen_range(0..range)).collect();
+        let dot = a.iter().zip(&keys.lwe_sk).fold(0u64, |acc, (&ai, &si)| {
+            ufc_math::modops::add_mod(acc, ufc_math::modops::mul_mod(ai, si, q), q)
+        });
+        let b = ufc_math::modops::add_mod(dot, ctx.encode(m, space), q);
+        LweCiphertext { a, b, q }
+    }
+
+    fn setup() -> (
+        CkksEvaluator,
+        SecretKey,
+        KeySet,
+        TfheContext,
+        TfheKeys,
+        LweToCkks,
+        StdRng,
+    ) {
+        let ckks_ctx = CkksContext::new(32, 9, 3, 3, 36, 34);
+        let mut rng = StdRng::seed_from_u64(91);
+        let sk = SecretKey::generate(&ckks_ctx, &mut rng);
+        let mut keys = KeySet::generate(&ckks_ctx, &sk, &mut rng);
+        let tfhe_ctx = TfheContext::new(16, 64, 7, 3, 6, 4);
+        let tfhe_keys = TfheKeys::generate(&tfhe_ctx, &mut rng);
+        let ev = CkksEvaluator::new(ckks_ctx);
+        let bridge = LweToCkks::new(&ev, &mut keys, &sk, &tfhe_keys, &mut rng);
+        (ev, sk, keys, tfhe_ctx, tfhe_keys, bridge, rng)
+    }
+
+    #[test]
+    fn repack_recovers_phases_up_to_wraps() {
+        let (ev, sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        let messages = [1u64, 0, 1, 1, 0, 1, 0, 0];
+        let lwes: Vec<LweCiphertext> = messages
+            .iter()
+            .map(|&m| small_mask_lwe(&tfhe_ctx, &tfhe_keys, m, 16, &mut rng))
+            .collect();
+        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let dec = ev.decrypt_real(&packed, &sk);
+        for (j, &m) in messages.iter().enumerate() {
+            // With reduced-range masks the wrap count is zero, so the
+            // packed slot is the signed phase directly.
+            let expect = if m > 8 { m as f64 / 16.0 - 1.0 } else { m as f64 / 16.0 };
+            assert!(
+                (dec[j] - expect).abs() < 0.02,
+                "slot {j}: got {} want {expect}",
+                dec[j]
+            );
+        }
+    }
+
+    #[test]
+    fn repack_with_mod_reduce_recovers_values() {
+        let (ev, sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        // Messages near zero phase so |t| stays in the sine's domain.
+        let messages = [0u64, 1, 15, 0, 1, 15, 0, 1];
+        let lwes: Vec<LweCiphertext> = messages
+            .iter()
+            .map(|&m| small_mask_lwe(&tfhe_ctx, &tfhe_keys, m, 16, &mut rng))
+            .collect();
+        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let reduced = bridge.mod_reduce(&ev, &keys, &packed);
+        let dec = ev.decrypt_real(&reduced, &sk);
+        for (j, &m) in messages.iter().enumerate() {
+            // signed phase: 15/16 == -1/16.
+            let expect = if m > 8 { m as f64 / 16.0 - 1.0 } else { m as f64 / 16.0 };
+            assert!(
+                (dec[j] - expect).abs() < 0.02,
+                "slot {j}: got {} want {expect}",
+                dec[j]
+            );
+        }
+    }
+
+    #[test]
+    fn repack_records_trace() {
+        let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        let lwes =
+            vec![small_mask_lwe(&tfhe_ctx, &tfhe_keys, 1, 16, &mut rng)];
+        let _ = ev.take_trace();
+        let _ = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let tr = ev.take_trace();
+        assert!(tr
+            .ops
+            .iter()
+            .any(|op| matches!(op, TraceOp::Repack { count: 1, .. })));
+    }
+}

@@ -1,0 +1,178 @@
+//! Encrypted circuits built from bootstrapped gates — the building
+//! blocks of the logic-scheme applications (ZAMA-style NN neurons,
+//! the k-NN comparator): multiplexers, ripple adders and integer
+//! comparators over vectors of encrypted bits.
+
+use crate::context::TfheContext;
+use crate::gates::{apply_gate, decrypt_bool, encrypt_bool, not, Gate};
+use crate::keys::TfheKeys;
+use crate::lwe::LweCiphertext;
+use rand::Rng;
+
+/// An unsigned integer encrypted bit-by-bit (LSB first).
+#[derive(Debug, Clone)]
+pub struct EncryptedUint {
+    /// One boolean LWE per bit, least-significant first.
+    pub bits: Vec<LweCiphertext>,
+}
+
+impl EncryptedUint {
+    /// Encrypts `value` into `width` boolean ciphertexts.
+    pub fn encrypt<R: Rng + ?Sized>(
+        ctx: &TfheContext,
+        keys: &TfheKeys,
+        value: u64,
+        width: usize,
+        rng: &mut R,
+    ) -> Self {
+        let bits = (0..width)
+            .map(|i| encrypt_bool(ctx, keys, (value >> i) & 1 == 1, rng))
+            .collect();
+        Self { bits }
+    }
+
+    /// Decrypts back to an integer.
+    pub fn decrypt(&self, ctx: &TfheContext, keys: &TfheKeys) -> u64 {
+        self.bits
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| (decrypt_bool(ctx, keys, ct) as u64) << i)
+            .sum()
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Homomorphic multiplexer: `if sel { a } else { b }`, bitwise.
+///
+/// # Panics
+///
+/// Panics on width mismatch.
+pub fn mux(
+    ctx: &TfheContext,
+    keys: &TfheKeys,
+    sel: &LweCiphertext,
+    a: &EncryptedUint,
+    b: &EncryptedUint,
+) -> EncryptedUint {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    let nsel = not(sel);
+    let bits = a
+        .bits
+        .iter()
+        .zip(&b.bits)
+        .map(|(ai, bi)| {
+            let ta = apply_gate(ctx, keys, Gate::And, sel, ai);
+            let tb = apply_gate(ctx, keys, Gate::And, &nsel, bi);
+            apply_gate(ctx, keys, Gate::Or, &ta, &tb)
+        })
+        .collect();
+    EncryptedUint { bits }
+}
+
+/// Homomorphic ripple-carry addition (result truncated to the operand
+/// width; the final carry is returned separately).
+pub fn add(
+    ctx: &TfheContext,
+    keys: &TfheKeys,
+    a: &EncryptedUint,
+    b: &EncryptedUint,
+) -> (EncryptedUint, LweCiphertext) {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    let mut carry = {
+        // Trivial false: encrypt_bool without noise would need a key;
+        // a fresh encryption of false is fine and keeps the API pure.
+        LweCiphertext::trivial(ctx.encode(7, 8), ctx.lwe_dim(), ctx.q())
+    };
+    let mut bits = Vec::with_capacity(a.width());
+    for (ai, bi) in a.bits.iter().zip(&b.bits) {
+        let axb = apply_gate(ctx, keys, Gate::Xor, ai, bi);
+        let s = apply_gate(ctx, keys, Gate::Xor, &axb, &carry);
+        let ab = apply_gate(ctx, keys, Gate::And, ai, bi);
+        let cx = apply_gate(ctx, keys, Gate::And, &carry, &axb);
+        carry = apply_gate(ctx, keys, Gate::Or, &ab, &cx);
+        bits.push(s);
+    }
+    (EncryptedUint { bits }, carry)
+}
+
+/// Homomorphic comparator: returns an encryption of `a > b`.
+///
+/// Classic MSB-first ripple: `gt_i = a_i·¬b_i + eq_i·gt_{i-1}`.
+pub fn greater_than(
+    ctx: &TfheContext,
+    keys: &TfheKeys,
+    a: &EncryptedUint,
+    b: &EncryptedUint,
+) -> LweCiphertext {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    // Start from LSB: gt = a_0 AND NOT b_0.
+    let mut gt = apply_gate(ctx, keys, Gate::And, &a.bits[0], &not(&b.bits[0]));
+    for (ai, bi) in a.bits.iter().zip(&b.bits).skip(1) {
+        let this_gt = apply_gate(ctx, keys, Gate::And, ai, &not(bi));
+        let eq = apply_gate(ctx, keys, Gate::Xnor, ai, bi);
+        let keep = apply_gate(ctx, keys, Gate::And, &eq, &gt);
+        gt = apply_gate(ctx, keys, Gate::Or, &this_gt, &keep);
+    }
+    gt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (TfheContext, TfheKeys, StdRng) {
+        let ctx = TfheContext::new(64, 256, 7, 3, 6, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = TfheKeys::generate(&ctx, &mut rng);
+        (ctx, keys, rng)
+    }
+
+    #[test]
+    fn uint_roundtrip() {
+        let (ctx, keys, mut rng) = setup(201);
+        for v in [0u64, 1, 5, 7] {
+            let e = EncryptedUint::encrypt(&ctx, &keys, v, 3, &mut rng);
+            assert_eq!(e.decrypt(&ctx, &keys), v);
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition_two_bits() {
+        let (ctx, keys, mut rng) = setup(202);
+        let a = EncryptedUint::encrypt(&ctx, &keys, 3, 2, &mut rng);
+        let b = EncryptedUint::encrypt(&ctx, &keys, 2, 2, &mut rng);
+        let (sum, carry) = add(&ctx, &keys, &a, &b);
+        // 3 + 2 = 5 = 0b101: low bits 01, carry 1.
+        assert_eq!(sum.decrypt(&ctx, &keys), 1);
+        assert!(decrypt_bool(&ctx, &keys, &carry));
+    }
+
+    #[test]
+    fn comparator_matrix() {
+        let (ctx, keys, mut rng) = setup(203);
+        for (x, y) in [(0u64, 1u64), (2, 1), (3, 3), (1, 2)] {
+            let a = EncryptedUint::encrypt(&ctx, &keys, x, 2, &mut rng);
+            let b = EncryptedUint::encrypt(&ctx, &keys, y, 2, &mut rng);
+            let gt = greater_than(&ctx, &keys, &a, &b);
+            assert_eq!(decrypt_bool(&ctx, &keys, &gt), x > y, "{x} > {y}");
+        }
+    }
+
+    #[test]
+    fn mux_selects_words() {
+        let (ctx, keys, mut rng) = setup(204);
+        let a = EncryptedUint::encrypt(&ctx, &keys, 2, 2, &mut rng);
+        let b = EncryptedUint::encrypt(&ctx, &keys, 1, 2, &mut rng);
+        for sel in [true, false] {
+            let es = encrypt_bool(&ctx, &keys, sel, &mut rng);
+            let out = mux(&ctx, &keys, &es, &a, &b);
+            assert_eq!(out.decrypt(&ctx, &keys), if sel { 2 } else { 1 });
+        }
+    }
+}

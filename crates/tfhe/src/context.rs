@@ -1,0 +1,231 @@
+//! TFHE parameter context and the tracing evaluator façade.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use ufc_math::poly::Poly;
+use ufc_isa::trace::{Trace, TraceOp};
+use ufc_math::gadget::Gadget;
+use ufc_math::ntt::NttContext;
+use ufc_math::prime::generate_ntt_prime;
+
+/// Which polynomial-multiplication datapath to use (§VII-D): UFC
+/// computes exact NTTs over an NTT-friendly prime; Strix uses 64-bit
+/// double-precision FFTs over the same 32-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MulBackend {
+    /// Exact number-theoretic transform (UFC's choice).
+    #[default]
+    Ntt,
+    /// Double-precision FFT (Strix's choice) — exact in the TFHE
+    /// operand regime, inexact beyond the f64 mantissa budget.
+    Fft,
+}
+
+/// Shared TFHE parameter environment.
+///
+/// UFC's formulation uses a 32-bit NTT-friendly prime modulus for both
+/// LWE and RLWE ciphertexts (paper §VII-D); Strix's power-of-two/FFT
+/// formulation is modelled separately in the simulator.
+#[derive(Debug, Clone)]
+pub struct TfheContext {
+    /// Ciphertext modulus (NTT-friendly prime, ≈ 2^31).
+    q: u64,
+    /// LWE dimension `n`.
+    lwe_dim: usize,
+    /// RLWE ring dimension `N`.
+    ring_dim: usize,
+    /// NTT tables for the RLWE ring.
+    ntt: Arc<NttContext>,
+    /// RGSW / external-product gadget.
+    gadget: Gadget,
+    /// Key-switching gadget (base `B_ks`, `d_ks` levels).
+    ks_gadget: Gadget,
+    /// Noise standard deviation for fresh encryptions.
+    sigma: f64,
+    /// Polynomial-multiplication datapath.
+    backend: MulBackend,
+}
+
+impl TfheContext {
+    /// Builds a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no 31-bit NTT prime exists for `ring_dim` (never for
+    /// power-of-two dims ≤ 2^14) or the gadget budgets exceed 64 bits.
+    pub fn new(
+        lwe_dim: usize,
+        ring_dim: usize,
+        glwe_log_base: u32,
+        glwe_levels: usize,
+        ks_log_base: u32,
+        ks_levels: usize,
+    ) -> Self {
+        let q = generate_ntt_prime(ring_dim, 31).expect("31-bit NTT prime");
+        Self {
+            q,
+            lwe_dim,
+            ring_dim,
+            ntt: Arc::new(NttContext::new(ring_dim, q)),
+            gadget: Gadget::new(q, glwe_log_base, glwe_levels),
+            ks_gadget: Gadget::new(q, ks_log_base, ks_levels),
+            sigma: 3.2,
+            backend: MulBackend::Ntt,
+        }
+    }
+
+    /// Switches the polynomial-multiplication datapath (builder
+    /// style).
+    pub fn with_backend(mut self, backend: MulBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active datapath.
+    pub fn backend(&self) -> MulBackend {
+        self.backend
+    }
+
+    /// Negacyclic polynomial product through the active datapath.
+    pub fn poly_mul(&self, a: &Poly, b: &Poly) -> Poly {
+        match self.backend {
+            MulBackend::Ntt => self.ntt.negacyclic_mul(a, b),
+            MulBackend::Fft => ufc_math::fft::negacyclic_mul_fft(a, b),
+        }
+    }
+
+    /// Builds the context for one of the paper's T1–T4 sets.
+    pub fn from_params(p: &ufc_isa::params::TfheParams) -> Self {
+        Self::new(
+            p.lwe_dim as usize,
+            p.n(),
+            p.glwe_log_base,
+            p.glwe_levels as usize,
+            p.ks_log_base,
+            p.ks_levels as usize,
+        )
+    }
+
+    /// Ciphertext modulus.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// LWE dimension `n`.
+    pub fn lwe_dim(&self) -> usize {
+        self.lwe_dim
+    }
+
+    /// RLWE ring dimension `N`.
+    pub fn ring_dim(&self) -> usize {
+        self.ring_dim
+    }
+
+    /// NTT tables.
+    pub fn ntt(&self) -> &NttContext {
+        &self.ntt
+    }
+
+    /// RGSW gadget.
+    pub fn gadget(&self) -> &Gadget {
+        &self.gadget
+    }
+
+    /// Key-switching gadget.
+    pub fn ks_gadget(&self) -> &Gadget {
+        &self.ks_gadget
+    }
+
+    /// Fresh-encryption noise σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Encodes a message `m` out of `space` values onto the torus:
+    /// `round(m · q / space)`.
+    pub fn encode(&self, m: u64, space: u64) -> u64 {
+        ((m as u128 * self.q as u128 + space as u128 / 2) / space as u128) as u64 % self.q
+    }
+
+    /// Decodes a phase back to the nearest message in `space`.
+    pub fn decode(&self, phase: u64, space: u64) -> u64 {
+        (((phase as u128 * space as u128 + self.q as u128 / 2) / self.q as u128)
+            % space as u128) as u64
+    }
+}
+
+/// Evaluator façade recording ciphertext-granularity trace ops.
+#[derive(Debug)]
+pub struct TfheEvaluator {
+    ctx: TfheContext,
+    trace: Mutex<Trace>,
+}
+
+impl TfheEvaluator {
+    /// Wraps a context with a fresh tracer.
+    pub fn new(ctx: TfheContext) -> Self {
+        Self {
+            ctx,
+            trace: Mutex::new(Trace::new("tfhe")),
+        }
+    }
+
+    /// The context.
+    pub fn context(&self) -> &TfheContext {
+        &self.ctx
+    }
+
+    /// Records a trace op.
+    pub fn record(&self, op: TraceOp) {
+        self.trace.lock().push(op);
+    }
+
+    /// Takes the accumulated trace, resetting the recorder.
+    pub fn take_trace(&self) -> Trace {
+        std::mem::replace(&mut self.trace.lock(), Trace::new("tfhe"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_from_table_iii() {
+        let t1 = ufc_isa::params::tfhe_params("T1").unwrap();
+        let ctx = TfheContext::from_params(&t1);
+        assert_eq!(ctx.lwe_dim(), 500);
+        assert_eq!(ctx.ring_dim(), 1024);
+        assert_eq!(ctx.q() % (2 * 1024), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = TfheContext::new(16, 64, 7, 3, 4, 3);
+        for space in [2u64, 4, 8, 16] {
+            for m in 0..space {
+                assert_eq!(ctx.decode(ctx.encode(m, space), space), m, "m={m} space={space}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_noise() {
+        let ctx = TfheContext::new(16, 64, 7, 3, 4, 3);
+        let enc = ctx.encode(3, 8);
+        let noisy = (enc + ctx.q() / 64) % ctx.q();
+        assert_eq!(ctx.decode(noisy, 8), 3);
+        let noisy = (enc + ctx.q() - ctx.q() / 64) % ctx.q();
+        assert_eq!(ctx.decode(noisy, 8), 3);
+    }
+
+    #[test]
+    fn evaluator_traces() {
+        let ctx = TfheContext::new(16, 64, 7, 3, 4, 3);
+        let ev = TfheEvaluator::new(ctx);
+        ev.record(TraceOp::TfhePbs { batch: 1 });
+        let tr = ev.take_trace();
+        assert_eq!(tr.len(), 1);
+        assert!(ev.take_trace().is_empty());
+    }
+}

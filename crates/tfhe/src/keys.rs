@@ -1,0 +1,105 @@
+//! TFHE key material: LWE key, ring key, bootstrapping key (RGSW
+//! encryptions of the LWE key bits) and the LWE key-switching key.
+
+use crate::context::TfheContext;
+use crate::lwe::LweCiphertext;
+use crate::rgsw::RgswCiphertext;
+use rand::Rng;
+use ufc_math::modops::{from_signed, mul_mod};
+
+/// A complete TFHE key set.
+#[derive(Debug, Clone)]
+pub struct TfheKeys {
+    /// Binary LWE secret of dimension `n`.
+    pub lwe_sk: Vec<u64>,
+    /// Binary ring secret of dimension `N` (signed form).
+    pub ring_sk: Vec<i64>,
+    /// Bootstrapping key: `RGSW(s_i)` for each LWE key bit.
+    pub bsk: Vec<RgswCiphertext>,
+    /// Key-switching key: `ksk[i][j] = LWE_s(ŝ_i · w_j)` over the
+    /// small key, for ring-key coefficient `i` and digit level `j`.
+    pub ksk: Vec<Vec<LweCiphertext>>,
+}
+
+impl TfheKeys {
+    /// Generates all keys.
+    pub fn generate<R: Rng + ?Sized>(ctx: &TfheContext, rng: &mut R) -> Self {
+        let lwe_sk: Vec<u64> = (0..ctx.lwe_dim()).map(|_| rng.gen_range(0..=1u64)).collect();
+        let ring_sk: Vec<i64> = (0..ctx.ring_dim()).map(|_| rng.gen_range(0..=1i64)).collect();
+
+        let bsk = lwe_sk
+            .iter()
+            .map(|&bit| RgswCiphertext::encrypt_bit(ctx, &ring_sk, bit, rng))
+            .collect();
+
+        let g = ctx.ks_gadget();
+        let ksk = ring_sk
+            .iter()
+            .map(|&si| {
+                (0..g.levels())
+                    .map(|j| {
+                        let m = mul_mod(from_signed(si, ctx.q()), g.weight(j), ctx.q());
+                        LweCiphertext::encrypt(ctx, &lwe_sk, m, rng)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            lwe_sk,
+            ring_sk,
+            bsk,
+            ksk,
+        }
+    }
+
+    /// The flattened ring key as an LWE key vector (for decrypting
+    /// extracted samples before key switching).
+    pub fn ring_key_flat(&self, q: u64) -> Vec<u64> {
+        crate::rlwe::flatten_ring_key(&self.ring_sk, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_shapes() {
+        let ctx = TfheContext::new(16, 64, 7, 2, 6, 3);
+        let mut rng = StdRng::seed_from_u64(41);
+        let keys = TfheKeys::generate(&ctx, &mut rng);
+        assert_eq!(keys.lwe_sk.len(), 16);
+        assert_eq!(keys.ring_sk.len(), 64);
+        assert_eq!(keys.bsk.len(), 16);
+        assert_eq!(keys.ksk.len(), 64);
+        assert_eq!(keys.ksk[0].len(), 3);
+        assert!(keys.lwe_sk.iter().all(|&b| b <= 1));
+        assert!(keys.ring_sk.iter().all(|&b| (0..=1).contains(&b)));
+    }
+
+    #[test]
+    fn ksk_entries_decrypt_to_weighted_key_bits() {
+        let ctx = TfheContext::new(16, 64, 7, 2, 6, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let keys = TfheKeys::generate(&ctx, &mut rng);
+        let g = ctx.ks_gadget();
+        for i in [0usize, 5, 63] {
+            for j in 0..g.levels() {
+                let phase = keys.ksk[i][j].phase(&keys.lwe_sk);
+                let expect = mul_mod(
+                    from_signed(keys.ring_sk[i], ctx.q()),
+                    g.weight(j),
+                    ctx.q(),
+                );
+                let diff = ufc_math::modops::to_signed(
+                    ufc_math::modops::sub_mod(phase, expect, ctx.q()),
+                    ctx.q(),
+                );
+                assert!(diff.abs() < 64, "i={i} j={j} diff={diff}");
+            }
+        }
+    }
+}

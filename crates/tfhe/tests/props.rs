@@ -1,0 +1,69 @@
+//! Property-based tests for TFHE LWE invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
+
+fn env() -> &'static (TfheContext, TfheKeys) {
+    static ENV: OnceLock<(TfheContext, TfheKeys)> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let ctx = TfheContext::new(32, 128, 7, 3, 6, 4);
+        let mut rng = StdRng::seed_from_u64(888);
+        let keys = TfheKeys::generate(&ctx, &mut rng);
+        (ctx, keys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_lwe_roundtrip(m in 0u64..16, seed in any::<u64>()) {
+        let (ctx, keys) = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = LweCiphertext::encrypt(ctx, &keys.lwe_sk, ctx.encode(m, 16), &mut rng);
+        prop_assert_eq!(ct.decrypt(ctx, &keys.lwe_sk, 16), m);
+    }
+
+    #[test]
+    fn prop_lwe_addition(a in 0u64..8, b in 0u64..8, seed in any::<u64>()) {
+        let (ctx, keys) = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = LweCiphertext::encrypt(ctx, &keys.lwe_sk, ctx.encode(a, 16), &mut rng);
+        let cb = LweCiphertext::encrypt(ctx, &keys.lwe_sk, ctx.encode(b, 16), &mut rng);
+        prop_assert_eq!(ca.add(&cb).decrypt(ctx, &keys.lwe_sk, 16), (a + b) % 16);
+    }
+
+    #[test]
+    fn prop_scalar_mul(m in 0u64..4, k in 1i64..4, seed in any::<u64>()) {
+        let (ctx, keys) = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = LweCiphertext::encrypt(ctx, &keys.lwe_sk, ctx.encode(m, 16), &mut rng);
+        prop_assert_eq!(
+            ct.scale(k).decrypt(ctx, &keys.lwe_sk, 16),
+            (m * k as u64) % 16
+        );
+    }
+
+    #[test]
+    fn prop_mod_switch_keeps_message(m in 0u64..4, seed in any::<u64>()) {
+        let (ctx, keys) = env();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = LweCiphertext::encrypt(ctx, &keys.lwe_sk, ctx.encode(m, 4), &mut rng);
+        let sw = ct.mod_switch(512);
+        // Decode in the 512 domain.
+        let dot = sw.a.iter().zip(&keys.lwe_sk).fold(0u64, |acc, (&ai, &si)| (acc + ai * si) % 512);
+        let phase = (sw.b + 512 - dot) % 512;
+        let dec = ((phase as f64 * 4.0 / 512.0).round() as u64) % 4;
+        prop_assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn prop_trivial_is_keyless(m in 0u64..16) {
+        let (ctx, keys) = env();
+        let ct = LweCiphertext::trivial(ctx.encode(m, 16), ctx.lwe_dim(), ctx.q());
+        prop_assert_eq!(ct.decrypt(ctx, &keys.lwe_sk, 16), m);
+    }
+}

@@ -1,0 +1,223 @@
+//! A small program builder that tracks the CKKS level schedule while
+//! emitting trace ops — the piece of the tracing tool that workload
+//! generators share.
+
+use ufc_isa::params::{ckks_params, CkksParams};
+use ufc_isa::trace::{Trace, TraceOp};
+
+/// Builds CKKS traces with automatic level tracking and bootstrap
+/// insertion.
+#[derive(Debug)]
+pub struct CkksProgramBuilder {
+    trace: Trace,
+    params: CkksParams,
+    level: u32,
+    /// Bootstrap when the level falls to this floor.
+    floor: u32,
+    bootstrap_count: u32,
+}
+
+impl CkksProgramBuilder {
+    /// Creates a builder for a named workload and parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown parameter-set id.
+    pub fn new(name: impl Into<String>, params_id: &'static str) -> Self {
+        let params = ckks_params(params_id).expect("unknown CKKS parameter set");
+        Self {
+            trace: Trace::new(name).with_ckks(params_id),
+            level: params.max_level(),
+            params,
+            floor: 4,
+            bootstrap_count: 0,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of bootstraps inserted so far.
+    pub fn bootstrap_count(&self) -> u32 {
+        self.bootstrap_count
+    }
+
+    /// Finishes, returning the trace.
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+
+    fn ensure_depth(&mut self, needed: u32) {
+        if self.level < self.floor + needed {
+            self.bootstrap();
+        }
+    }
+
+    /// Emits a ciphertext addition.
+    pub fn add(&mut self) -> &mut Self {
+        self.trace.push(TraceOp::CkksAdd { level: self.level });
+        self
+    }
+
+    /// Emits a ciphertext × plaintext multiply followed by a rescale
+    /// (consumes one level).
+    pub fn mul_plain(&mut self) -> &mut Self {
+        self.ensure_depth(1);
+        self.trace.push(TraceOp::CkksMulPlain { level: self.level });
+        self.trace.push(TraceOp::CkksRescale { level: self.level });
+        self.level -= 1;
+        self
+    }
+
+    /// Emits a ciphertext × ciphertext multiply (with key switch)
+    /// followed by a rescale.
+    pub fn mul_ct(&mut self) -> &mut Self {
+        self.ensure_depth(1);
+        self.trace.push(TraceOp::CkksMulCt { level: self.level });
+        self.trace.push(TraceOp::CkksRescale { level: self.level });
+        self.level -= 1;
+        self
+    }
+
+    /// Emits a rotation (automorphism + key switch).
+    pub fn rotate(&mut self, step: i32) -> &mut Self {
+        self.trace.push(TraceOp::CkksRotate {
+            level: self.level,
+            step,
+        });
+        self
+    }
+
+    /// Emits `count` rotations with distinct steps (BSGS-style sums).
+    pub fn rotations(&mut self, count: u32) -> &mut Self {
+        for k in 0..count {
+            self.rotate(1 << (k % 16));
+        }
+        self
+    }
+
+    /// Evaluates a polynomial of the given multiplicative depth with
+    /// `muls` ct-ct multiplies (approximated activation functions).
+    pub fn poly_eval(&mut self, depth: u32, muls: u32) -> &mut Self {
+        self.ensure_depth(depth);
+        for _ in 0..muls {
+            self.trace.push(TraceOp::CkksMulCt { level: self.level });
+        }
+        for _ in 0..depth {
+            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.level -= 1;
+        }
+        self
+    }
+
+    /// Emits one full CKKS bootstrap: ModRaise, CoeffToSlot (BSGS
+    /// rotations + plaintext multiplies over 3 level-consuming
+    /// stages), EvalMod (sine polynomial), SlotToCoeff. Resets the
+    /// level to `max − bootstrap_depth`.
+    pub fn bootstrap(&mut self) -> &mut Self {
+        self.bootstrap_count += 1;
+        self.trace.push(TraceOp::CkksModRaise {
+            from_level: self.level,
+        });
+        self.level = self.params.max_level();
+        // CoeffToSlot: 3 matrix stages, ~18 rotations + multiplies
+        // each (minimum-key method of ARK, §VI-D1).
+        for _ in 0..3 {
+            for k in 0..18 {
+                self.trace.push(TraceOp::CkksRotate {
+                    level: self.level,
+                    step: 1 << (k % 15),
+                });
+                self.trace.push(TraceOp::CkksMulPlain { level: self.level });
+            }
+            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.level -= 1;
+        }
+        self.trace.push(TraceOp::CkksConjugate { level: self.level });
+        // EvalMod: degree-31 sine ladder — 8 ct-ct multiplies over 5
+        // levels.
+        for _ in 0..5 {
+            for _ in 0..2 {
+                self.trace.push(TraceOp::CkksMulCt { level: self.level });
+            }
+            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.level -= 1;
+        }
+        // SlotToCoeff: 3 more stages.
+        for _ in 0..3 {
+            for k in 0..18 {
+                self.trace.push(TraceOp::CkksRotate {
+                    level: self.level,
+                    step: 1 << (k % 15),
+                });
+                self.trace.push(TraceOp::CkksMulPlain { level: self.level });
+            }
+            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.level -= 1;
+        }
+        debug_assert!(self.level >= self.floor);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_tracking() {
+        let mut b = CkksProgramBuilder::new("t", "C1");
+        let top = b.level();
+        b.mul_ct().mul_ct().mul_plain();
+        assert_eq!(b.level(), top - 3);
+    }
+
+    #[test]
+    fn auto_bootstrap_on_depth_exhaustion() {
+        let mut b = CkksProgramBuilder::new("t", "C1");
+        for _ in 0..100 {
+            b.mul_ct();
+        }
+        assert!(b.bootstrap_count() >= 3);
+        assert!(b.level() >= 4);
+        let tr = b.build();
+        assert!(tr
+            .ops
+            .iter()
+            .any(|op| matches!(op, TraceOp::CkksModRaise { .. })));
+    }
+
+    #[test]
+    fn bootstrap_structure() {
+        let mut b = CkksProgramBuilder::new("t", "C2");
+        b.bootstrap();
+        let tr = b.build();
+        let rot = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksRotate { .. }))
+            .count();
+        let mul = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksMulCt { .. }))
+            .count();
+        assert_eq!(rot, 108, "6 stages × 18 rotations");
+        assert_eq!(mul, 10, "EvalMod multiplies");
+    }
+
+    #[test]
+    fn rescale_levels_are_consistent() {
+        let mut b = CkksProgramBuilder::new("t", "C3");
+        b.mul_ct().rotate(3).mul_plain().add();
+        let tr = b.build();
+        // Every rescale must be recorded at a level > 0.
+        for op in &tr.ops {
+            if let TraceOp::CkksRescale { level } = op {
+                assert!(*level > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The CKKS bootstrapping benchmark (§VI-D1): 30 refreshed (32-bit)
+//! levels per run, using the minimum-rotation-key method of ARK.
+
+use crate::builder::CkksProgramBuilder;
+use ufc_isa::trace::Trace;
+
+/// Levels of computation refreshed per benchmark run.
+pub const REFRESHED_LEVELS: u32 = 30;
+
+/// Generates the bootstrapping benchmark trace: enough consecutive
+/// multiplications to burn 30 levels, with the bootstraps that
+/// sustain them.
+pub fn generate(params: &'static str) -> Trace {
+    let mut b = CkksProgramBuilder::new("Bootstrapping", params);
+    // Force an immediate bootstrap so the trace is dominated by the
+    // bootstrap pipeline itself, then burn the refreshed levels.
+    b.bootstrap();
+    for _ in 0..REFRESHED_LEVELS {
+        b.mul_ct();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::trace::TraceOp;
+
+    #[test]
+    fn bootstrap_work_dominates() {
+        let tr = generate("C1");
+        let rot = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksRotate { .. }))
+            .count();
+        let mul = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksMulCt { .. }))
+            .count();
+        assert!(rot > mul, "bootstrapping is rotation-heavy");
+    }
+
+    #[test]
+    fn multiple_bootstraps_sustain_thirty_levels() {
+        let tr = generate("C3");
+        let boots = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksModRaise { .. }))
+            .count();
+        assert!(boots >= 2, "boots = {boots}");
+    }
+}

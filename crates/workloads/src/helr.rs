@@ -1,0 +1,78 @@
+//! HELR: 30 iterations of homomorphic logistic regression training,
+//! 1024 samples × 256 features per batch (§VI-D1, after Han et al.).
+
+use crate::builder::CkksProgramBuilder;
+use ufc_isa::trace::Trace;
+
+/// Samples per training batch.
+pub const SAMPLES: u32 = 1024;
+/// Features per sample.
+pub const FEATURES: u32 = 256;
+/// Training iterations.
+pub const ITERATIONS: u32 = 30;
+
+/// Generates the HELR trace at the given CKKS parameter set.
+pub fn generate(params: &'static str) -> Trace {
+    let mut b = CkksProgramBuilder::new("HELR", params);
+    // 1024 × 256 values pack into 8 ciphertexts of 2^15 slots.
+    let cts = (SAMPLES * FEATURES).div_ceil(1 << 15);
+    for _ in 0..ITERATIONS {
+        // Inner products X·w: one ct-ct multiply per packed ciphertext
+        // plus a log-depth rotation tree to sum across features.
+        for _ in 0..cts {
+            b.mul_ct();
+            b.rotations(8); // log2(256) rotations for the feature sum
+        }
+        // Sigmoid approximation (degree-7 minimax): depth 3.
+        b.poly_eval(3, 4);
+        // Gradient: X^T·(σ − y): another multiply + sample-sum tree.
+        for _ in 0..cts {
+            b.mul_ct();
+            b.rotations(10); // log2(1024) rotations across samples
+        }
+        // Weight update: scaled addition.
+        b.mul_plain();
+        b.add();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::trace::TraceOp;
+
+    #[test]
+    fn trace_has_thirty_iterations_of_work() {
+        let tr = generate("C1");
+        let muls = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksMulCt { .. }))
+            .count();
+        // ≥ 2 ct-muls per packed ciphertext per iteration.
+        assert!(muls >= (2 * 8 * ITERATIONS) as usize, "muls = {muls}");
+    }
+
+    #[test]
+    fn deep_program_needs_bootstrapping() {
+        // "The multiplication depth is deep, requiring several
+        // bootstrapping operations" (§VI-D1).
+        let tr = generate("C1");
+        let boots = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksModRaise { .. }))
+            .count();
+        assert!(boots >= 3, "bootstraps = {boots}");
+    }
+
+    #[test]
+    fn works_for_all_parameter_sets() {
+        for p in ["C1", "C2", "C3"] {
+            let tr = generate(p);
+            assert_eq!(tr.ckks_params, Some(p));
+            assert!(tr.len() > 1000);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Hybrid k-NN (§VI-D3, after Cong et al.): distances in CKKS,
+//! oblivious top-k selection in TFHE, with scheme switching (and, on
+//! the composed baseline, PCIe transfers) in between.
+
+use crate::builder::CkksProgramBuilder;
+use ufc_isa::params::{ckks_params, tfhe_params};
+use ufc_isa::trace::{Trace, TraceOp};
+
+/// Configuration of the k-NN benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Database size (candidate points).
+    pub candidates: u32,
+    /// Feature dimension.
+    pub dim: u32,
+    /// Neighbors to select.
+    pub k: u32,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self {
+            candidates: 2048,
+            dim: 256,
+            k: 8,
+        }
+    }
+}
+
+/// Generates the hybrid k-NN trace for a CKKS set and a TFHE set
+/// (the Fig. 11 sweep runs T1–T4 against C2).
+///
+/// Following the oblivious top-k structure of Cong et al., the heavy
+/// lifting — pairwise distances plus the approximate pre-selection
+/// network — runs in CKKS; TFHE performs only the *exact* comparisons
+/// on the shortlisted `16k` candidates, so at small TFHE parameters
+/// the CKKS phase dominates end-to-end time (Fig. 11).
+pub fn generate(ckks: &'static str, tfhe: &'static str, cfg: KnnConfig) -> Trace {
+    let cp = ckks_params(ckks).expect("unknown CKKS set");
+    let tp = tfhe_params(tfhe).expect("unknown TFHE set");
+
+    // ---- CKKS phase 1: squared distances ‖x − c_i‖² for all
+    // candidates (packed 32768 values per ciphertext).
+    let mut b = CkksProgramBuilder::new(format!("kNN/{tfhe}"), ckks);
+    let packed = (cfg.candidates * cfg.dim).div_ceil(cp.slots() as u32).max(1);
+    for _ in 0..packed {
+        b.add(); // x − c (broadcast subtract)
+        b.mul_ct(); // squaring
+        b.rotations(cfg.dim.ilog2()); // feature-sum tree
+    }
+    // ---- CKKS phase 2: approximate pre-selection — a shallow
+    // bitonic network over the distance vector narrows the field to
+    // ~16k candidates with sign-polynomial comparisons.
+    let preselect_stages = cfg.candidates.ilog2();
+    for _ in 0..preselect_stages {
+        b.rotate(1);
+        b.poly_eval(4, 6);
+        b.mul_ct();
+        b.add();
+    }
+    // SlotToCoeff so the shortlist sits in coefficients for
+    // extraction.
+    b.rotations(16);
+    b.mul_plain();
+    let mut tr = b.build();
+    tr.tfhe_params = Some(tfhe);
+
+    // ---- Scheme switch: extract one LWE per shortlisted candidate.
+    let shortlist = 16 * cfg.k;
+    tr.push(TraceOp::Extract {
+        level: 0,
+        count: shortlist,
+    });
+    // Composed baseline must ship the extracted LWEs over PCIe.
+    let lwe_bytes = shortlist as u64 * tp.lwe_bytes();
+    tr.push(TraceOp::SchemeTransfer { bytes: lwe_bytes });
+
+    // ---- TFHE phase: exact top-k tournament on the shortlist. Each
+    // round halves the candidate set with one comparator PBS per
+    // surviving pair.
+    let mut remaining = shortlist;
+    while remaining > cfg.k {
+        let pairs = remaining / 2;
+        tr.push(TraceOp::TfheLinear { count: pairs });
+        tr.push(TraceOp::TfhePbs { batch: pairs });
+        tr.push(TraceOp::TfheKeySwitch { batch: pairs });
+        remaining = pairs.max(cfg.k);
+    }
+
+    // ---- Scheme switch back: repack the k winners for the caller.
+    tr.push(TraceOp::SchemeTransfer {
+        bytes: cfg.k as u64 * tp.lwe_bytes(),
+    });
+    tr.push(TraceOp::Repack {
+        count: cfg.k,
+        level: 4,
+    });
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_hybrid() {
+        let tr = generate("C2", "T1", KnnConfig::default());
+        assert!(tr.is_hybrid());
+        assert_eq!(tr.ckks_params, Some("C2"));
+        assert_eq!(tr.tfhe_params, Some("T1"));
+    }
+
+    #[test]
+    fn tournament_shrinks_to_k() {
+        let tr = generate("C2", "T2", KnnConfig::default());
+        let pbs_batches: Vec<u32> = tr
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                TraceOp::TfhePbs { batch } => Some(*batch),
+                _ => None,
+            })
+            .collect();
+        // Shortlist 16k = 128 halves per round down to k = 8.
+        assert!(pbs_batches.len() >= 4);
+        assert!(pbs_batches.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*pbs_batches.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn transfers_bracket_the_tfhe_phase() {
+        let tr = generate("C2", "T4", KnnConfig::default());
+        let transfers = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::SchemeTransfer { .. }))
+            .count();
+        assert_eq!(transfers, 2);
+    }
+
+    #[test]
+    fn all_tfhe_sets_supported() {
+        for t in ["T1", "T2", "T3", "T4"] {
+            let tr = generate("C2", t, KnnConfig::default());
+            assert!(tr.len() > 20, "{t}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # ufc-workloads — the paper's evaluation workloads as trace generators
+//!
+//! Every workload of §VI-D, emitted as a ciphertext-granularity
+//! [`ufc_isa::Trace`] at the paper's Table III parameters:
+//!
+//! * **HELR** — 30 iterations of homomorphic logistic regression,
+//!   1024 samples × 256 features per batch ([`helr`]);
+//! * **ResNet-20** — CIFAR-10 inference with multi-channel
+//!   convolutions and approximated ReLU ([`resnet`]);
+//! * **Sorting** — 2-way bitonic sorting of 16384 elements
+//!   ([`sorting`]);
+//! * **Bootstrapping** — the CKKS bootstrapping benchmark
+//!   ([`ckks_bootstrap`]);
+//! * **TFHE PBS throughput** and **ZAMA NN-20/NN-50** ([`tfhe_apps`]);
+//! * **hybrid k-NN** with scheme switching ([`knn`]).
+//!
+//! The generators build traces analytically from the published
+//! algorithm structures (op sequence + level schedule); functional
+//! correctness of the underlying operations is established separately
+//! by the scheme crates, whose tracing evaluators emit the same op
+//! vocabulary.
+
+//! ```
+//! let trace = ufc_workloads::helr::generate("C1");
+//! assert!(trace.len() > 1000);
+//! assert_eq!(trace.ckks_params, Some("C1"));
+//! ```
+
+pub mod builder;
+pub mod ckks_bootstrap;
+pub mod helr;
+pub mod knn;
+pub mod resnet;
+pub mod sorting;
+pub mod tfhe_apps;
+
+pub use builder::CkksProgramBuilder;
+
+use ufc_isa::trace::Trace;
+
+/// All CKKS workloads of Fig. 10(a), at the given parameter set.
+pub fn all_ckks_workloads(params: &'static str) -> Vec<Trace> {
+    vec![
+        helr::generate(params),
+        resnet::generate(params),
+        sorting::generate(params),
+        ckks_bootstrap::generate(params),
+    ]
+}
+
+/// All TFHE workloads of Fig. 10(b), at the given parameter set.
+pub fn all_tfhe_workloads(params: &'static str) -> Vec<Trace> {
+    vec![
+        tfhe_apps::pbs_throughput(params, 256),
+        tfhe_apps::zama_nn(params, 20),
+        tfhe_apps::zama_nn(params, 50),
+    ]
+}

@@ -1,0 +1,74 @@
+//! ResNet-20: homomorphic CIFAR-10 inference (§VI-D1, after Lee et
+//! al.): 3 residual stages of multi-channel convolutions with
+//! approximated ReLU, a final average-pool and a dense layer.
+
+use crate::builder::CkksProgramBuilder;
+use ufc_isa::trace::Trace;
+
+/// Convolution layers in ResNet-20.
+pub const CONV_LAYERS: u32 = 19;
+
+/// Generates the ResNet-20 trace at the given CKKS parameter set.
+pub fn generate(params: &'static str) -> Trace {
+    let mut b = CkksProgramBuilder::new("ResNet-20", params);
+    for layer in 0..CONV_LAYERS {
+        // Packed 3×3 convolution: 9 plaintext (weight) multiplies and
+        // 8 shift rotations, repeated per channel block (channels are
+        // packed; deeper layers have more channel blocks but smaller
+        // spatial dims — net block count grows slowly).
+        let channel_blocks = 1 + layer / 8;
+        for _ in 0..channel_blocks {
+            for _ in 0..9 {
+                b.rotate(1);
+                b.mul_plain();
+            }
+            // Channel accumulation tree.
+            b.rotations(4);
+            b.add();
+        }
+        // Approximated ReLU: high-degree composite polynomial
+        // (depth-8, ~14 multiplies in the Lee et al. recipe).
+        b.poly_eval(8, 14);
+    }
+    // Average pool (rotation tree) + fully-connected layer.
+    b.rotations(6);
+    b.mul_plain();
+    b.rotations(4);
+    b.add();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::trace::TraceOp;
+
+    #[test]
+    fn network_depth_forces_many_bootstraps() {
+        let tr = generate("C2");
+        let boots = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksModRaise { .. }))
+            .count();
+        // 19 ReLUs of depth 8 on a ~20-level budget: roughly one
+        // bootstrap per couple of layers.
+        assert!(boots >= 6, "boots = {boots}");
+    }
+
+    #[test]
+    fn convolutions_dominate_plaintext_multiplies() {
+        let tr = generate("C2");
+        let mp = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksMulPlain { .. }))
+            .count();
+        assert!(mp >= (9 * CONV_LAYERS) as usize);
+    }
+
+    #[test]
+    fn trace_is_substantial() {
+        assert!(generate("C1").len() > 2000);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sorting: 2-way bitonic sorting of a 16384-element array (§VI-D1,
+//! after Hong et al. — the same configuration SHARP evaluates).
+
+use crate::builder::CkksProgramBuilder;
+use ufc_isa::trace::Trace;
+
+/// Elements to sort.
+pub const ELEMENTS: u32 = 16_384;
+
+/// Generates the bitonic-sort trace at the given CKKS parameter set.
+pub fn generate(params: &'static str) -> Trace {
+    let mut b = CkksProgramBuilder::new("Sorting", params);
+    let k = ELEMENTS.ilog2(); // 14
+    // Bitonic network: k(k+1)/2 = 105 compare-exchange stages.
+    for stage in 1..=k {
+        for substage in (1..=stage).rev() {
+            let step = 1i32 << (substage - 1);
+            // Compare-exchange on packed data: rotate partner lanes
+            // next to each other, evaluate the comparison polynomial
+            // (approximate max/min: depth-4 composite), then blend.
+            b.rotate(step);
+            b.poly_eval(4, 6);
+            b.mul_ct(); // blend: a·cmp + b·(1−cmp)
+            b.add();
+            b.rotate(-step);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::trace::TraceOp;
+
+    #[test]
+    fn stage_count_matches_bitonic_network() {
+        let tr = generate("C1");
+        // 105 compare stages, 2 rotations each, plus bootstrap
+        // rotations on top.
+        let rot = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksRotate { .. }))
+            .count();
+        assert!(rot >= 210, "rot = {rot}");
+    }
+
+    #[test]
+    fn comparison_depth_forces_bootstraps() {
+        let tr = generate("C3");
+        let boots = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::CkksModRaise { .. }))
+            .count();
+        assert!(boots >= 10, "boots = {boots}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Logic-scheme workloads (§VI-D2): functional-bootstrapping
+//! throughput tests and the ZAMA neural networks.
+
+use ufc_isa::trace::{Trace, TraceOp};
+
+/// Functional bootstrapping throughput test: `count` independent
+/// PBS operations (batched — the TvLP source).
+pub fn pbs_throughput(params: &'static str, count: u32) -> Trace {
+    let mut tr = Trace::new(format!("PBS-throughput/{params}")).with_tfhe(params);
+    let batch = 64u32;
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(batch);
+        tr.push(TraceOp::TfhePbs { batch: b });
+        tr.push(TraceOp::TfheKeySwitch { batch: b });
+        remaining -= b;
+    }
+    tr
+}
+
+/// A ZAMA-style deep NN (Chillotti et al., programmable
+/// bootstrapping inference): `layers` dense layers of 92 neurons,
+/// each neuron a weighted sum (LWE linear ops) followed by one PBS
+/// activation.
+pub fn zama_nn(params: &'static str, layers: u32) -> Trace {
+    let neurons = 92u32;
+    let mut tr = Trace::new(format!("NN-{layers}/{params}")).with_tfhe(params);
+    for _ in 0..layers {
+        // Weighted sums: `neurons` dot products of width `neurons`.
+        tr.push(TraceOp::TfheLinear {
+            count: neurons * neurons,
+        });
+        // One PBS per neuron, batched.
+        tr.push(TraceOp::TfhePbs { batch: neurons });
+        tr.push(TraceOp::TfheKeySwitch { batch: neurons });
+    }
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_test_batches() {
+        let tr = pbs_throughput("T1", 256);
+        let pbs: u32 = tr
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                TraceOp::TfhePbs { batch } => Some(*batch),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(pbs, 256);
+    }
+
+    #[test]
+    fn nn_has_one_pbs_batch_per_layer() {
+        let tr = zama_nn("T2", 20);
+        let pbs_ops = tr
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::TfhePbs { .. }))
+            .count();
+        assert_eq!(pbs_ops, 20);
+        assert_eq!(tr.tfhe_params, Some("T2"));
+    }
+
+    #[test]
+    fn deeper_nn_is_proportionally_bigger() {
+        assert_eq!(zama_nn("T1", 50).len(), 50 * 3);
+        assert_eq!(zama_nn("T1", 20).len(), 20 * 3);
+    }
+}
+
+/// Gate-bootstrapping throughput test: `count` two-input gates, each
+/// one linear combination + one sign bootstrap + key switch (the
+/// workload Strix's gates/s numbers measure).
+pub fn gate_throughput(params: &'static str, count: u32) -> Trace {
+    let mut tr = Trace::new(format!("gates/{params}")).with_tfhe(params);
+    let batch = 64u32;
+    let mut remaining = count;
+    while remaining > 0 {
+        let b = remaining.min(batch);
+        tr.push(TraceOp::TfheLinear { count: 2 * b });
+        tr.push(TraceOp::TfhePbs { batch: b });
+        tr.push(TraceOp::TfheKeySwitch { batch: b });
+        remaining -= b;
+    }
+    tr
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+
+    #[test]
+    fn gate_throughput_counts() {
+        let tr = gate_throughput("T1", 200);
+        let total: u32 = tr
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                TraceOp::TfhePbs { batch } => Some(*batch),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 200);
+        // Each batch carries its linear part.
+        assert!(tr.ops.iter().any(|o| matches!(o, TraceOp::TfheLinear { .. })));
+    }
+}

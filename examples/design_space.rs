@@ -1,0 +1,32 @@
+//! Design-space exploration (§VII-E): sweep CG-NTT network counts and
+//! lane widths, reporting delay/EDP/EDAP per point (Figs. 13–14).
+//!
+//! Run: `cargo run --example design_space --release`
+
+use ufc_core::dse::{default_mix, sweep_cg_networks, sweep_lanes};
+
+fn main() {
+    let mix = default_mix();
+    println!("== Fig. 13 sweep: CG-NTT networks x scratchpad ==");
+    for p in sweep_cg_networks(&mix) {
+        println!(
+            "{:>16}: {:>8.2} ms  EDP {:.3e}  EDAP {:.3e}  ({:.0} mm²)",
+            p.label,
+            p.total_seconds * 1e3,
+            p.edp(),
+            p.edap(),
+            p.area_mm2
+        );
+    }
+    println!("\n== Fig. 14 sweep: lanes per PE x scratchpad ==");
+    for p in sweep_lanes(&mix) {
+        println!(
+            "{:>16}: {:>8.2} ms  EDP {:.3e}  EDAP {:.3e}  ({:.0} mm²)",
+            p.label,
+            p.total_seconds * 1e3,
+            p.edp(),
+            p.edap(),
+            p.area_mm2
+        );
+    }
+}

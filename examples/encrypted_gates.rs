@@ -1,0 +1,43 @@
+//! Encrypted logic with TFHE: a homomorphic 2-bit ripple-carry adder
+//! built from bootstrapped gates — every gate is one programmable
+//! bootstrap on real ciphertexts.
+//!
+//! Run: `cargo run --example encrypted_gates --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_tfhe::gates::{apply_gate, decrypt_bool, encrypt_bool, Gate};
+use ufc_tfhe::{TfheContext, TfheKeys};
+
+fn main() {
+    let ctx = TfheContext::new(64, 256, 7, 3, 6, 4);
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = TfheKeys::generate(&ctx, &mut rng);
+
+    // Add two 2-bit numbers a=0b11 (3) and b=0b01 (1) homomorphically.
+    let a = [true, true]; // LSB first
+    let b = [true, false];
+    let ea: Vec<_> = a.iter().map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng)).collect();
+    let eb: Vec<_> = b.iter().map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng)).collect();
+
+    // Full adder per bit: s = a^b^c, c' = (a&b) | (c&(a^b)).
+    let mut carry = encrypt_bool(&ctx, &keys, false, &mut rng);
+    let mut sum_bits = Vec::new();
+    for i in 0..2 {
+        let axb = apply_gate(&ctx, &keys, Gate::Xor, &ea[i], &eb[i]);
+        let s = apply_gate(&ctx, &keys, Gate::Xor, &axb, &carry);
+        let ab = apply_gate(&ctx, &keys, Gate::And, &ea[i], &eb[i]);
+        let cx = apply_gate(&ctx, &keys, Gate::And, &carry, &axb);
+        carry = apply_gate(&ctx, &keys, Gate::Or, &ab, &cx);
+        sum_bits.push(s);
+    }
+    sum_bits.push(carry);
+
+    let decoded: u32 = sum_bits
+        .iter()
+        .enumerate()
+        .map(|(i, ct)| (decrypt_bool(&ctx, &keys, ct) as u32) << i)
+        .sum();
+    println!("3 + 1 = {decoded} (computed under encryption, 8 bootstrapped gates)");
+    assert_eq!(decoded, 4);
+}

@@ -1,0 +1,38 @@
+//! Hybrid FHE in action: the scheme-switching comparator at the heart
+//! of encrypted k-NN (functional, at test scale), followed by the
+//! paper-scale k-NN simulation comparing UFC against the composed
+//! SHARP+Strix baseline (Fig. 11).
+//!
+//! Run: `cargo run --example hybrid_knn --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_core::compare::compare;
+use ufc_core::Ufc;
+use ufc_sim::machines::ComposedMachine;
+use ufc_switch::hybrid::HybridEnv;
+
+fn main() {
+    // ---- Functional: CKKS → extract → TFHE comparator.
+    let mut rng = StdRng::seed_from_u64(3);
+    let env = HybridEnv::new_test_scale(&mut rng);
+    let distances = [0u64, 3, 1, 2, 3, 0];
+    let (bits, trace) = env.threshold_compare(&distances, 2, 8, &mut rng);
+    println!("distances {distances:?} >= 2 ? -> {bits:?}");
+    println!("(hybrid trace: {} ops, scheme mix {:?})\n", trace.len(), trace.scheme_mix());
+
+    // ---- Simulated at paper scale: Fig. 11.
+    let ufc = Ufc::paper_default();
+    let composed = ComposedMachine::new();
+    for set in ["T1", "T4"] {
+        let tr = ufc_workloads::knn::generate("C2", set, Default::default());
+        let row = compare(&ufc, &composed, &tr);
+        println!(
+            "k-NN/{set}: UFC {:.2} ms vs SHARP+Strix {:.2} ms -> {:.2}x speedup, {:.2}x EDAP",
+            row.ufc.seconds * 1e3,
+            row.baseline.seconds * 1e3,
+            row.speedup(),
+            row.edap_gain()
+        );
+    }
+}

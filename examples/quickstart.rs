@@ -1,0 +1,47 @@
+//! Quickstart: the three layers of the UFC stack in one file.
+//!
+//! 1. Real homomorphic computation with CKKS (encrypt → multiply →
+//!    rotate → decrypt),
+//! 2. the ciphertext-granularity trace the evaluator records,
+//! 3. compiling that trace and simulating it on the UFC accelerator
+//!    model.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_ckks::{CkksContext, Evaluator, KeySet, SecretKey};
+use ufc_core::Ufc;
+
+fn main() {
+    // ---- 1. Real CKKS computation at test-scale parameters.
+    let ctx = CkksContext::new(64, 4, 2, 2, 36, 34);
+    let mut rng = StdRng::seed_from_u64(42);
+    let sk = SecretKey::generate(&ctx, &mut rng);
+    let mut keys = KeySet::generate(&ctx, &sk, &mut rng);
+    keys.gen_rotation_key(&ctx, &sk, 1, &mut rng);
+    let ev = Evaluator::new(ctx);
+
+    let xs: Vec<f64> = (0..32).map(|i| i as f64 * 0.1).collect();
+    let ct = ev.encrypt_real(&xs, &keys, &mut rng);
+    let squared = ev.rescale(&ev.mul(&ct, &ct, &keys));
+    let rotated = ev.rotate(&squared, 1, &keys);
+    let result = ev.decrypt_real(&rotated, &sk);
+    println!("x[1]^2 = {:.4} (expect {:.4})", result[0], (0.1f64).powi(2));
+
+    // ---- 2. The trace recorded while computing.
+    let trace = ev.take_trace();
+    println!("recorded {} ciphertext-level ops: {:?} ...", trace.len(), &trace.ops[..3.min(trace.len())]);
+
+    // ---- 3. Simulate a paper-scale workload on the UFC model.
+    let ufc = Ufc::paper_default();
+    let workload = ufc_workloads::helr::generate("C1");
+    let report = ufc.run(&workload);
+    println!(
+        "HELR (30 iters, C1) on UFC: {:.1} ms, {:.1} J, {:.1} W avg, NTT util {:.0}%",
+        report.seconds * 1e3,
+        report.energy_j,
+        report.avg_power_w(),
+        report.util("Ntt") * 100.0
+    );
+}

@@ -1,0 +1,28 @@
+//! # ufc — Unified FHE aCcelerator (UFC, MICRO 2024) reproduction
+//!
+//! Umbrella crate re-exporting the whole workspace: arithmetic
+//! substrate, CKKS and TFHE schemes, scheme switching, the trace/ISA
+//! layers, the compiler, the cycle simulator with UFC/SHARP/Strix
+//! machine models, and workload generators.
+//!
+//! Start with [`ufc_core::Ufc`] for the accelerator façade, or see
+//! `examples/quickstart.rs`.
+//!
+//! ```
+//! use ufc::core::Ufc;
+//!
+//! let ufc = Ufc::paper_default();
+//! let trace = ufc::workloads::tfhe_apps::pbs_throughput("T1", 16);
+//! let report = ufc.run(&trace);
+//! assert!(report.cycles > 0 && report.energy_j > 0.0);
+//! ```
+
+pub use ufc_ckks as ckks;
+pub use ufc_compiler as compiler;
+pub use ufc_core as core;
+pub use ufc_isa as isa;
+pub use ufc_math as math;
+pub use ufc_sim as sim;
+pub use ufc_switch as switch;
+pub use ufc_tfhe as tfhe;
+pub use ufc_workloads as workloads;

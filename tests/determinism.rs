@@ -1,0 +1,39 @@
+//! Reproducibility guarantees: identical inputs produce identical
+//! simulation results (the property that makes the DSE sweeps and the
+//! paper-claim regression bands meaningful).
+
+use ufc_core::Ufc;
+
+#[test]
+fn simulation_is_deterministic() {
+    let ufc = Ufc::paper_default();
+    let tr = ufc_workloads::knn::generate("C2", "T2", Default::default());
+    let a = ufc.run(&tr);
+    let b = ufc.run(&tr);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.utilization, b.utilization);
+}
+
+#[test]
+fn trace_generation_is_deterministic() {
+    let a = ufc_workloads::helr::generate("C1");
+    let b = ufc_workloads::helr::generate("C1");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn crypto_is_deterministic_given_seed() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let ctx = ufc_ckks::CkksContext::new(32, 3, 2, 2, 36, 34);
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sk = ufc_ckks::SecretKey::generate(&ctx, &mut rng);
+        let keys = ufc_ckks::KeySet::generate(&ctx, &sk, &mut rng);
+        let ev = ufc_ckks::Evaluator::new(ctx.clone());
+        let ct = ev.encrypt_real(&[1.0; 16], &keys, &mut rng);
+        ev.decrypt_coeffs(&ct, &sk)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,47 @@
+//! Cross-crate integration: hybrid scheme switching, functionally and
+//! in simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_core::compare::compare;
+use ufc_core::Ufc;
+use ufc_sim::machines::ComposedMachine;
+use ufc_switch::hybrid::HybridEnv;
+
+#[test]
+fn hybrid_comparator_is_correct() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let env = HybridEnv::new_test_scale(&mut rng);
+    let values = [3u64, 0, 2, 1];
+    let (bits, trace) = env.threshold_compare(&values, 2, 8, &mut rng);
+    assert_eq!(bits, vec![true, false, true, false]);
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn ufc_beats_composed_system_on_knn() {
+    let ufc = Ufc::paper_default();
+    let composed = ComposedMachine::new();
+    let mut prev_speedup = 0.0;
+    for set in ["T1", "T4"] {
+        let tr = ufc_workloads::knn::generate("C2", set, Default::default());
+        let row = compare(&ufc, &composed, &tr);
+        assert!(row.speedup() > 1.0, "{set}: {}", row.speedup());
+        assert!(row.edap_gain() > row.edp_gain(), "area term must help UFC");
+        assert!(
+            row.speedup() > prev_speedup,
+            "larger TFHE params must widen the gap (Fig. 11)"
+        );
+        prev_speedup = row.speedup();
+    }
+}
+
+#[test]
+fn transfers_only_cost_on_the_composed_system() {
+    let ufc = Ufc::paper_default();
+    let tr = ufc_workloads::knn::generate("C2", "T1", Default::default());
+    let u = ufc.run(&tr);
+    let c = ufc.run_on(&ComposedMachine::new(), &tr);
+    assert_eq!(u.util("Pcie"), 0.0);
+    assert!(c.util("Pcie") > 0.0);
+}

@@ -1,0 +1,50 @@
+//! Cross-crate integration: TFHE functional pipeline + simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_core::Ufc;
+use ufc_sim::machines::StrixMachine;
+use ufc_tfhe::gates::{apply_gate, decrypt_bool, encrypt_bool, Gate};
+use ufc_tfhe::{TfheContext, TfheKeys};
+
+#[test]
+fn encrypted_mux_through_gates() {
+    // mux(s, a, b) = (s AND a) OR (NOT s AND b), all bootstrapped.
+    let ctx = TfheContext::new(64, 256, 7, 3, 6, 4);
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys = TfheKeys::generate(&ctx, &mut rng);
+    for (s, a, b) in [(true, true, false), (false, true, false), (true, false, true)] {
+        let es = encrypt_bool(&ctx, &keys, s, &mut rng);
+        let ea = encrypt_bool(&ctx, &keys, a, &mut rng);
+        let eb = encrypt_bool(&ctx, &keys, b, &mut rng);
+        let sa = apply_gate(&ctx, &keys, Gate::And, &es, &ea);
+        let nsb = apply_gate(&ctx, &keys, Gate::And, &ufc_tfhe::gates::not(&es), &eb);
+        let out = apply_gate(&ctx, &keys, Gate::Or, &sa, &nsb);
+        assert_eq!(decrypt_bool(&ctx, &keys, &out), if s { a } else { b });
+    }
+}
+
+#[test]
+fn pbs_traces_simulate_faster_on_ufc_than_strix() {
+    let ufc = Ufc::paper_default();
+    let strix = StrixMachine::new();
+    for set in ["T1", "T2", "T3", "T4"] {
+        let tr = ufc_workloads::tfhe_apps::pbs_throughput(set, 128);
+        let u = ufc.run(&tr);
+        let s = ufc.run_on(&strix, &tr);
+        let speedup = s.seconds / u.seconds;
+        assert!(
+            (3.0..10.0).contains(&speedup),
+            "{set}: UFC/Strix speedup {speedup:.2} out of the expected band"
+        );
+    }
+}
+
+#[test]
+fn zama_nn_scales_linearly_with_depth() {
+    let ufc = Ufc::paper_default();
+    let t20 = ufc.run(&ufc_workloads::tfhe_apps::zama_nn("T2", 20));
+    let t50 = ufc.run(&ufc_workloads::tfhe_apps::zama_nn("T2", 50));
+    let ratio = t50.seconds / t20.seconds;
+    assert!((2.0..3.0).contains(&ratio), "depth scaling ratio {ratio:.2}");
+}

@@ -13,5 +13,5 @@ fn bench_lowering(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lowering, );
+criterion_group!(benches, bench_lowering,);
 criterion_main!(benches);

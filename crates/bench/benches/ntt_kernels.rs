@@ -17,10 +17,10 @@ fn bench_ntts(c: &mut Criterion) {
         let cg = CgNtt::new(ctx.clone());
         let p = Poly::from_coeffs((0..n as u64).map(|i| i * 31 + 5).collect(), ctx.modulus());
         g.bench_with_input(BenchmarkId::new("classical", log_n), &p, |b, p| {
-            b.iter(|| ctx.to_eval(p))
+            b.iter(|| ctx.to_eval(p));
         });
         g.bench_with_input(BenchmarkId::new("constant-geometry", log_n), &p, |b, p| {
-            b.iter(|| cg.forward(p))
+            b.iter(|| cg.forward(p));
         });
     }
     g.finish();
@@ -32,7 +32,7 @@ fn bench_negacyclic_mul(c: &mut Criterion) {
     let a = Poly::from_coeffs((0..n as u64).collect(), ctx.modulus());
     let b2 = Poly::from_coeffs((0..n as u64).map(|i| 7 * i + 3).collect(), ctx.modulus());
     c.bench_function("negacyclic_mul/1024", |b| {
-        b.iter(|| ctx.negacyclic_mul(&a, &b2))
+        b.iter(|| ctx.negacyclic_mul(&a, &b2));
     });
 }
 

@@ -13,7 +13,7 @@ fn bench_ckks(c: &mut Criterion) {
     let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.01).collect();
     let ct = ev.encrypt_real(&vals, &keys, &mut rng);
     c.bench_function("ckks/mul_ct+rescale (N=64)", |b| {
-        b.iter(|| ev.rescale(&ev.mul(&ct, &ct, &keys)))
+        b.iter(|| ev.rescale(&ev.mul(&ct, &ct, &keys)));
     });
 }
 
@@ -26,7 +26,7 @@ fn bench_tfhe(c: &mut Criterion) {
     let mut g = c.benchmark_group("tfhe");
     g.sample_size(10);
     g.bench_function("pbs (n=64, N=256)", |b| {
-        b.iter(|| ufc_tfhe::programmable_bootstrap(&ctx, &keys, &ct, &tv))
+        b.iter(|| ufc_tfhe::programmable_bootstrap(&ctx, &keys, &ct, &tv));
     });
     g.finish();
 }

@@ -13,7 +13,7 @@ fn bench_simulate(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(criterion::Throughput::Elements(stream.len() as u64));
     g.bench_function("bootstrap-trace on UFC", |b| {
-        b.iter(|| simulate(&machine, &stream))
+        b.iter(|| simulate(&machine, &stream));
     });
     g.finish();
 }

@@ -9,7 +9,13 @@ use ufc_sim::machines::UfcConfig;
 
 fn main() {
     println!("# Bandwidth sensitivity (0.5× / 1× / 2× HBM)\n");
-    header(&["workload", "512 GB/s", "1 TB/s", "2 TB/s", "2× speedup over 1×"]);
+    header(&[
+        "workload",
+        "512 GB/s",
+        "1 TB/s",
+        "2 TB/s",
+        "2× speedup over 1×",
+    ]);
     let mk = |bpc: u32| {
         Ufc::new(
             UfcConfig {

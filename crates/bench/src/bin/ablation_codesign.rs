@@ -21,7 +21,13 @@ fn main() {
         },
         CompileOptions::default(),
     );
-    header(&["workload", "co-design delay", "dedicated delay", "delay ratio", "EDAP ratio (co-design gain)"]);
+    header(&[
+        "workload",
+        "co-design delay",
+        "dedicated delay",
+        "delay ratio",
+        "EDAP ratio (co-design gain)",
+    ]);
     for tr in ufc_workloads::all_ckks_workloads("C1") {
         let a = codesign.run(&tr);
         let b = dedicated.run(&tr);
@@ -33,8 +39,16 @@ fn main() {
             ratio(b.edap() / a.edap()),
         ]);
     }
-    let area_a = codesign.machine_for(&ufc_workloads::helr::generate("C1")).config().area_breakdown().total();
-    let area_b = dedicated.machine_for(&ufc_workloads::helr::generate("C1")).config().area_breakdown().total();
+    let area_a = codesign
+        .machine_for(&ufc_workloads::helr::generate("C1"))
+        .config()
+        .area_breakdown()
+        .total();
+    let area_b = dedicated
+        .machine_for(&ufc_workloads::helr::generate("C1"))
+        .config()
+        .area_breakdown()
+        .total();
     println!("\nArea: co-design {area_a:.1} mm² vs dedicated network {area_b:.1} mm².");
     println!("The co-design gives up a little permutation speed to avoid the all-to-all wiring —");
     println!("the trade §IV-C calls \"minimizing the complexity of the interconnect network\".");

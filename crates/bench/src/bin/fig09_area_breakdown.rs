@@ -15,7 +15,11 @@ fn main() {
         ("LWEU + HBM crossbar", a.lweu),
         ("HBM PHY + misc", a.hbm_phy),
     ] {
-        row(&[name.into(), format!("{v:.1}"), format!("{:.0}%", v / total * 100.0)]);
+        row(&[
+            name.into(),
+            format!("{v:.1}"),
+            format!("{:.0}%", v / total * 100.0),
+        ]);
     }
     row(&["**Total**".into(), format!("{total:.1}"), "100%".into()]);
     println!("\nPaper total: 197.7 mm² / 76.9 W; \"interconnect takes up a significant part of the chip\".");

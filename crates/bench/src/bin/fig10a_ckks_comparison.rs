@@ -9,26 +9,35 @@ fn main() {
     let ufc = Ufc::paper_default();
     let sharp = SharpMachine::new();
     println!("# Fig. 10(a): CKKS workloads, UFC vs SHARP (sets C1-C3)\n");
-    header(&["workload", "set", "UFC delay", "SHARP delay", "speedup", "energy gain", "EDP gain", "EDAP gain"]);
+    header(&[
+        "workload",
+        "set",
+        "UFC delay",
+        "SHARP delay",
+        "speedup",
+        "energy gain",
+        "EDP gain",
+        "EDAP gain",
+    ]);
     let (mut sp, mut en, mut edp, mut edap) = (vec![], vec![], vec![], vec![]);
     for set in ["C1", "C2", "C3"] {
-      for tr in ufc_workloads::all_ckks_workloads(set) {
-        let r = compare(&ufc, &sharp, &tr);
-        row(&[
-            r.workload.clone(),
-            set.into(),
-            time(r.ufc.seconds),
-            time(r.baseline.seconds),
-            ratio(r.speedup()),
-            ratio(r.energy_gain()),
-            ratio(r.edp_gain()),
-            ratio(r.edap_gain()),
-        ]);
-        sp.push(r.speedup());
-        en.push(r.energy_gain());
-        edp.push(r.edp_gain());
-        edap.push(r.edap_gain());
-      }
+        for tr in ufc_workloads::all_ckks_workloads(set) {
+            let r = compare(&ufc, &sharp, &tr);
+            row(&[
+                r.workload.clone(),
+                set.into(),
+                time(r.ufc.seconds),
+                time(r.baseline.seconds),
+                ratio(r.speedup()),
+                ratio(r.energy_gain()),
+                ratio(r.edp_gain()),
+                ratio(r.edap_gain()),
+            ]);
+            sp.push(r.speedup());
+            en.push(r.energy_gain());
+            edp.push(r.edp_gain());
+            edap.push(r.edap_gain());
+        }
     }
     row(&[
         "**geomean**".into(),

@@ -9,7 +9,15 @@ fn main() {
     let ufc = Ufc::paper_default();
     let strix = StrixMachine::new();
     println!("# Fig. 10(b): TFHE workloads, UFC vs Strix\n");
-    header(&["workload", "set", "UFC delay", "Strix delay", "speedup", "energy gain", "EDAP gain"]);
+    header(&[
+        "workload",
+        "set",
+        "UFC delay",
+        "Strix delay",
+        "speedup",
+        "energy gain",
+        "EDAP gain",
+    ]);
     let (mut sp, mut en, mut edap) = (vec![], vec![], vec![]);
     for set in ["T1", "T2", "T3", "T4"] {
         for tr in ufc_workloads::all_tfhe_workloads(set) {

@@ -9,7 +9,14 @@ fn main() {
     let ufc = Ufc::paper_default();
     let composed = ComposedMachine::new();
     println!("# Fig. 11: hybrid k-NN, UFC vs SHARP+Strix+PCIe (CKKS set C2)\n");
-    header(&["TFHE set", "UFC delay", "composed delay", "speedup", "EDP gain", "EDAP gain"]);
+    header(&[
+        "TFHE set",
+        "UFC delay",
+        "composed delay",
+        "speedup",
+        "EDP gain",
+        "EDAP gain",
+    ]);
     let (mut sp, mut edp, mut edap) = (vec![], vec![], vec![]);
     for set in ["T1", "T2", "T3", "T4"] {
         let tr = ufc_workloads::knn::generate("C2", set, Default::default());

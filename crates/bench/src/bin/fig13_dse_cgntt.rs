@@ -12,7 +12,14 @@ fn main() {
         .find(|p| p.config.cg_networks == 1 && p.config.scratchpad_mib == 256)
         .expect("baseline point")
         .clone();
-    header(&["networks", "scratchpad", "delay", "EDP (rel)", "EDAP (rel)", "area mm²"]);
+    header(&[
+        "networks",
+        "scratchpad",
+        "delay",
+        "EDP (rel)",
+        "EDAP (rel)",
+        "area mm²",
+    ]);
     for p in &points {
         row(&[
             p.config.cg_networks.to_string(),

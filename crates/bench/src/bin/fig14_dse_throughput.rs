@@ -12,7 +12,14 @@ fn main() {
         .find(|p| p.config.butterfly_per_pe == 128 && p.config.scratchpad_mib == 256)
         .expect("baseline point")
         .clone();
-    header(&["butterflies/PE", "scratchpad", "delay", "EDP (rel)", "EDAP (rel)", "area mm²"]);
+    header(&[
+        "butterflies/PE",
+        "scratchpad",
+        "delay",
+        "EDP (rel)",
+        "EDAP (rel)",
+        "area mm²",
+    ]);
     for p in &points {
         row(&[
             p.config.butterfly_per_pe.to_string(),

@@ -11,7 +11,10 @@ fn main() {
         ufc_workloads::tfhe_apps::pbs_throughput("T2", 128),
     ] {
         let r = ufc.run(&tr);
-        println!("# {} — phase breakdown ({} cycles total)\n", tr.name, r.cycles);
+        println!(
+            "# {} — phase breakdown ({} cycles total)\n",
+            tr.name, r.cycles
+        );
         header(&["phase", "busy cycles", "share"]);
         let total: u64 = r.phase_cycles.iter().map(|(_, c)| c).sum();
         for (phase, cycles) in &r.phase_cycles {

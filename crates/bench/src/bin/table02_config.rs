@@ -1,23 +1,44 @@
 //! Table II — Architecture configuration of UFC.
 
 use ufc_bench::{header, row};
-use ufc_sim::machines::{UfcConfig, UfcMachine};
 use ufc_sim::machines::Machine;
+use ufc_sim::machines::{UfcConfig, UfcMachine};
 
 fn main() {
     let cfg = UfcConfig::default();
     let m = UfcMachine::new(cfg);
     println!("# Table II: UFC architecture configuration\n");
     header(&["Component", "Value"]);
-    row(&["Butterfly ALU / PE".into(), cfg.butterfly_per_pe.to_string()]);
+    row(&[
+        "Butterfly ALU / PE".into(),
+        cfg.butterfly_per_pe.to_string(),
+    ]);
     row(&["Mod.ADD/Mul / PE".into(), cfg.alu_per_pe.to_string()]);
     row(&["Register file / PE".into(), "72 × 4 × 1 KB".into()]);
     row(&["PE array".into(), format!("{} (8 × 8)", cfg.pes)]);
-    row(&["Scratchpad".into(), format!("64 × 4 MiB = {} MiB", cfg.scratchpad_mib)]);
+    row(&[
+        "Scratchpad".into(),
+        format!("64 × 4 MiB = {} MiB", cfg.scratchpad_mib),
+    ]);
     row(&["CG-NTT networks".into(), cfg.cg_networks.to_string()]);
-    row(&["NTT throughput".into(), format!("{} words/cycle/stage", cfg.ntt_words_per_cycle())]);
-    row(&["ELEW/BConv throughput".into(), format!("{} words/cycle", cfg.elew_words_per_cycle())]);
-    row(&["Off-chip BW".into(), format!("{} B/cycle (1 TB/s @ 1 GHz)", cfg.hbm_bytes_per_cycle)]);
-    row(&["Area @ 7 nm".into(), format!("{:.1} mm² (paper: 197.7)", m.area_mm2())]);
-    row(&["Static power".into(), format!("{:.1} W", m.static_power_w())]);
+    row(&[
+        "NTT throughput".into(),
+        format!("{} words/cycle/stage", cfg.ntt_words_per_cycle()),
+    ]);
+    row(&[
+        "ELEW/BConv throughput".into(),
+        format!("{} words/cycle", cfg.elew_words_per_cycle()),
+    ]);
+    row(&[
+        "Off-chip BW".into(),
+        format!("{} B/cycle (1 TB/s @ 1 GHz)", cfg.hbm_bytes_per_cycle),
+    ]);
+    row(&[
+        "Area @ 7 nm".into(),
+        format!("{:.1} mm² (paper: 197.7)", m.area_mm2()),
+    ]);
+    row(&[
+        "Static power".into(),
+        format!("{:.1} W", m.static_power_w()),
+    ]);
 }

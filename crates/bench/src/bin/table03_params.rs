@@ -6,7 +6,16 @@ use ufc_isa::params::{CKKS_SETS, TFHE_SETS};
 fn main() {
     println!("# Table III: FHE parameter settings\n");
     println!("## CKKS");
-    header(&["id", "logN", "dnum", "logPQ", "Q limbs", "P limbs", "ct (full) MB", "ksk MB"]);
+    header(&[
+        "id",
+        "logN",
+        "dnum",
+        "logPQ",
+        "Q limbs",
+        "P limbs",
+        "ct (full) MB",
+        "ksk MB",
+    ]);
     for p in CKKS_SETS {
         row(&[
             p.id.into(),
@@ -20,7 +29,9 @@ fn main() {
         ]);
     }
     println!("\n## TFHE");
-    header(&["id", "n", "logN", "g_k", "log B", "d_ks", "bsk MB", "ksk MB"]);
+    header(&[
+        "id", "n", "logN", "g_k", "log B", "d_ks", "bsk MB", "ksk MB",
+    ]);
     for p in TFHE_SETS {
         row(&[
             p.id.into(),

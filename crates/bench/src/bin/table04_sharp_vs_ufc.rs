@@ -1,8 +1,8 @@
 //! Table IV — Comparison between SHARP and UFC.
 
 use ufc_bench::{header, row};
-use ufc_sim::machines::{Machine, SharpMachine, UfcConfig, UfcMachine};
 use ufc_sim::machines::sharp::{SHARP_BCONV_WPC, SHARP_ELEW_WPC, SHARP_NOC_WPC, SHARP_NTT_WPC};
+use ufc_sim::machines::{Machine, SharpMachine, UfcConfig, UfcMachine};
 
 fn main() {
     let cfg = UfcConfig::default();
@@ -10,14 +10,46 @@ fn main() {
     let sharp = SharpMachine::new();
     println!("# Table IV: SHARP vs UFC\n");
     header(&["metric", "SHARP", "UFC"]);
-    row(&["Word length".into(), "36-bit".into(), "32-bit (double-scaling)".into()]);
+    row(&[
+        "Word length".into(),
+        "36-bit".into(),
+        "32-bit (double-scaling)".into(),
+    ]);
     row(&["Core frequency".into(), "1 GHz".into(), "1 GHz".into()]);
-    row(&["# of lanes".into(), "1,024".into(), format!("{}", cfg.elew_words_per_cycle())]);
+    row(&[
+        "# of lanes".into(),
+        "1,024".into(),
+        format!("{}", cfg.elew_words_per_cycle()),
+    ]);
     row(&["Off-chip BW".into(), "1 TB/s".into(), "1 TB/s".into()]);
-    row(&["On-chip memory".into(), "180+18 MB".into(), format!("{}+18 MB", cfg.scratchpad_mib)]);
-    row(&["Global NoC BW".into(), format!("{SHARP_NOC_WPC} w/c"), format!("{} w/c", 2 * cfg.elew_words_per_cycle())]);
-    row(&["NTTU throughput".into(), format!("{SHARP_NTT_WPC} w/c"), format!("{} w/c", cfg.ntt_words_per_cycle() / 16)]);
-    row(&["BConv throughput".into(), format!("{SHARP_BCONV_WPC} w/c"), format!("{} w/c", cfg.elew_words_per_cycle())]);
-    row(&["ELEW throughput".into(), format!("{SHARP_ELEW_WPC} w/c"), format!("{} w/c", cfg.elew_words_per_cycle())]);
-    row(&["Area @7nm".into(), format!("{:.1} mm²", sharp.area_mm2()), format!("{:.1} mm²", ufc.area_mm2())]);
+    row(&[
+        "On-chip memory".into(),
+        "180+18 MB".into(),
+        format!("{}+18 MB", cfg.scratchpad_mib),
+    ]);
+    row(&[
+        "Global NoC BW".into(),
+        format!("{SHARP_NOC_WPC} w/c"),
+        format!("{} w/c", 2 * cfg.elew_words_per_cycle()),
+    ]);
+    row(&[
+        "NTTU throughput".into(),
+        format!("{SHARP_NTT_WPC} w/c"),
+        format!("{} w/c", cfg.ntt_words_per_cycle() / 16),
+    ]);
+    row(&[
+        "BConv throughput".into(),
+        format!("{SHARP_BCONV_WPC} w/c"),
+        format!("{} w/c", cfg.elew_words_per_cycle()),
+    ]);
+    row(&[
+        "ELEW throughput".into(),
+        format!("{SHARP_ELEW_WPC} w/c"),
+        format!("{} w/c", cfg.elew_words_per_cycle()),
+    ]);
+    row(&[
+        "Area @7nm".into(),
+        format!("{:.1} mm²", sharp.area_mm2()),
+        format!("{:.1} mm²", ufc.area_mm2()),
+    ]);
 }

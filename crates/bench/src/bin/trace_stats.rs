@@ -6,7 +6,15 @@ use ufc_bench::{header, row};
 
 fn main() {
     println!("# Workload trace statistics (ciphertext-granularity ops)\n");
-    header(&["workload", "ops", "muls", "rotations", "bootstraps", "PBS", "switches"]);
+    header(&[
+        "workload",
+        "ops",
+        "muls",
+        "rotations",
+        "bootstraps",
+        "PBS",
+        "switches",
+    ]);
     let mut traces = ufc_workloads::all_ckks_workloads("C1");
     traces.extend(ufc_workloads::all_tfhe_workloads("T2"));
     traces.push(ufc_workloads::knn::generate("C2", "T2", Default::default()));

@@ -35,7 +35,10 @@ pub fn row(cells: &[String]) {
 /// Prints a Markdown-style header plus separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a ratio with two decimals and a times sign.

@@ -24,13 +24,17 @@ impl LinearTransform {
     /// matrix, extracting non-zero diagonals.
     pub fn from_matrix(m: &[Vec<Complex>]) -> Self {
         let slots = m.len();
-        assert!(slots > 0 && m.iter().all(|r| r.len() == slots), "square matrix");
+        assert!(
+            slots > 0 && m.iter().all(|r| r.len() == slots),
+            "square matrix"
+        );
         let mut diagonals = Vec::new();
         for shift in 0..slots {
-            let diag: Vec<Complex> = (0..slots)
-                .map(|i| m[i][(i + shift) % slots])
-                .collect();
-            if diag.iter().any(|&(re, im)| re.abs() > 1e-12 || im.abs() > 1e-12) {
+            let diag: Vec<Complex> = (0..slots).map(|i| m[i][(i + shift) % slots]).collect();
+            if diag
+                .iter()
+                .any(|&(re, im)| re.abs() > 1e-12 || im.abs() > 1e-12)
+            {
                 diagonals.push((shift, diag));
             }
         }
@@ -50,7 +54,11 @@ impl LinearTransform {
     /// The rotation steps needed to evaluate this transform (one per
     /// diagonal, plain method).
     pub fn rotation_steps(&self) -> Vec<isize> {
-        self.diagonals.iter().map(|&(s, _)| s as isize).filter(|&s| s != 0).collect()
+        self.diagonals
+            .iter()
+            .map(|&(s, _)| s as isize)
+            .filter(|&s| s != 0)
+            .collect()
     }
 
     /// Reference (plaintext) application for validation.
@@ -123,9 +131,8 @@ impl LinearTransform {
                 }
                 let Some(diag) = table[shift] else { continue };
                 // rot_{-g·bs}(diag): entry i holds diag[(i − g·bs) mod s].
-                let twisted: Vec<Complex> = (0..s)
-                    .map(|i| diag[(i + s - (g * bs) % s) % s])
-                    .collect();
+                let twisted: Vec<Complex> =
+                    (0..s).map(|i| diag[(i + s - (g * bs) % s) % s]).collect();
                 let coeffs = ev.encoder().encode(&twisted);
                 let pt = RnsPoly::from_signed(ev.context(), &coeffs, baby.level + 1)
                     .to_eval(ev.context());
@@ -182,13 +189,11 @@ impl LinearTransform {
 ///
 /// Consumes `ceil(log2(deg+1))` levels for the power ladder plus one
 /// per coefficient multiply.
-pub fn eval_poly(
-    ev: &Evaluator,
-    ct: &Ciphertext,
-    coeffs: &[f64],
-    keys: &KeySet,
-) -> Ciphertext {
-    assert!(!coeffs.is_empty() && coeffs.len() <= 8, "degree 0..7 supported");
+pub fn eval_poly(ev: &Evaluator, ct: &Ciphertext, coeffs: &[f64], keys: &KeySet) -> Ciphertext {
+    assert!(
+        !coeffs.is_empty() && coeffs.len() <= 8,
+        "degree 0..7 supported"
+    );
     // Build powers x^1..x^d with a simple square-and-multiply ladder.
     let deg = coeffs.len() - 1;
     let mut powers: Vec<Option<Ciphertext>> = vec![None; deg + 1];
@@ -223,7 +228,12 @@ pub fn eval_poly(
         );
         terms.push(ev.rescale(&raw));
     }
-    let target_level = terms.iter().map(|t| t.level).min().expect("non-constant poly") - 1;
+    let target_level = terms
+        .iter()
+        .map(|t| t.level)
+        .min()
+        .expect("non-constant poly")
+        - 1;
     let target_scale = ev.context().scale();
     let aligned: Vec<Ciphertext> = terms
         .iter()
@@ -252,12 +262,7 @@ pub fn eval_poly(
 ///
 /// Panics for degree 0 or degree > 8, or when the level budget runs
 /// out.
-pub fn eval_chebyshev(
-    ev: &Evaluator,
-    x: &Ciphertext,
-    coeffs: &[f64],
-    keys: &KeySet,
-) -> Ciphertext {
+pub fn eval_chebyshev(ev: &Evaluator, x: &Ciphertext, coeffs: &[f64], keys: &KeySet) -> Ciphertext {
     let deg = coeffs.len().saturating_sub(1);
     assert!((1..=8).contains(&deg), "degree 1..8 supported");
     let slots = ev.context().slots();
@@ -431,20 +436,14 @@ impl Bootstrapper {
     /// ModRaise trace op. At test scale the modulus chain is short, so
     /// this validates the *pipeline structure and noise behaviour*
     /// rather than depth-30 parameters.
-    pub fn bootstrap(
-        &self,
-        ev: &Evaluator,
-        ct: &Ciphertext,
-        keys: &KeySet,
-    ) -> Ciphertext {
+    pub fn bootstrap(&self, ev: &Evaluator, ct: &Ciphertext, keys: &KeySet) -> Ciphertext {
         ev.trace_mod_raise(ct.level as u32);
         let in_slots = self.coeff_to_slot.apply(ev, ct, keys);
         // Normalize the scale to exactly Δ before the polynomial
         // ladder: entering EvalMod below Δ compounds multiplicatively
         // through the power ladder and drops x^7 under the noise
         // floor.
-        let normalized =
-            ev.adjust_scale(&in_slots, ev.context().scale(), in_slots.level - 1);
+        let normalized = ev.adjust_scale(&in_slots, ev.context().scale(), in_slots.level - 1);
         let reduced = eval_poly(ev, &normalized, &self.config.sine_coeffs, keys);
         self.slot_to_coeff.apply(ev, &reduced, keys)
     }
@@ -478,14 +477,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
-    fn setup(
-        n: usize,
-        q_limbs: usize,
-        seed: u64,
-    ) -> (Evaluator, SecretKey, KeySet, StdRng) {
+    fn setup(n: usize, q_limbs: usize, seed: u64) -> (Evaluator, SecretKey, KeySet, StdRng) {
         let dnum = q_limbs.div_ceil(3);
         let ctx = CkksContext::new(n, q_limbs, 3, dnum, 36, 34);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -514,7 +512,7 @@ mod tests {
     fn homomorphic_linear_transform_matches_plain() {
         let (ev, sk, mut keys, mut rng) = setup(16, 3, 31);
         let slots = ev.context().slots(); // 8
-        // A small dense real matrix.
+                                          // A small dense real matrix.
         let m: Vec<Vec<Complex>> = (0..slots)
             .map(|i| {
                 (0..slots)
@@ -533,7 +531,11 @@ mod tests {
         let dec = ev.decrypt_real(&out, &sk);
         let zc: Vec<Complex> = z.iter().map(|&v| (v, 0.0)).collect();
         let expect: Vec<f64> = lt.apply_plain(&zc).into_iter().map(|c| c.0).collect();
-        assert!(max_err(&dec, &expect) < 0.05, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 0.05,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]
@@ -570,12 +572,17 @@ mod tests {
         let (ev, sk, mut keys, mut rng) = setup(16, 3, 36);
         let slots = ev.context().slots();
         // Dense matrix → all `slots` diagonals present.
-        let m: Vec<Vec<Complex>> =
-            (0..slots).map(|i| (0..slots).map(|j| ((i + j) as f64 * 0.01, 0.0)).collect()).collect();
+        let m: Vec<Vec<Complex>> = (0..slots)
+            .map(|i| (0..slots).map(|j| ((i + j) as f64 * 0.01, 0.0)).collect())
+            .collect();
         let lt = LinearTransform::from_matrix(&m);
         let ctx = ev.context().clone();
         let bs = 3usize;
-        for step in lt.rotation_steps().into_iter().chain(lt.bsgs_rotation_steps(bs)) {
+        for step in lt
+            .rotation_steps()
+            .into_iter()
+            .chain(lt.bsgs_rotation_steps(bs))
+        {
             keys.gen_rotation_key(&ctx, &sk, step, &mut rng);
         }
         let ct = ev.encrypt_real(&vec![0.1; slots], &keys, &mut rng);
@@ -608,7 +615,11 @@ mod tests {
         let out = eval_poly(&ev, &ct, &[0.5, 1.0, 0.0, -2.0], &keys);
         let dec = ev.decrypt_real(&out, &sk);
         let expect: Vec<f64> = x.iter().map(|&v| 0.5 + v - 2.0 * v * v * v).collect();
-        assert!(max_err(&dec, &expect) < 0.05, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 0.05,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]
@@ -629,8 +640,15 @@ mod tests {
         let coeffs = [0.3, 0.5, -0.2, 0.1, 0.05];
         let out = eval_chebyshev(&ev, &ct, &coeffs, &keys);
         let dec = ev.decrypt_real(&out, &sk);
-        let expect: Vec<f64> = xs.iter().map(|&x| chebyshev_reference(&coeffs, x)).collect();
-        assert!(max_err(&dec, &expect) < 0.03, "err {}", max_err(&dec, &expect));
+        let expect: Vec<f64> = xs
+            .iter()
+            .map(|&x| chebyshev_reference(&coeffs, x))
+            .collect();
+        assert!(
+            max_err(&dec, &expect) < 0.03,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl Ciphertext {
     pub fn new(c0: RnsPoly, c1: RnsPoly, level: usize, scale: f64) -> Self {
         assert_eq!(c0.limb_count(), level + 1, "c0 limb count != level+1");
         assert_eq!(c1.limb_count(), level + 1, "c1 limb count != level+1");
-        Self { c0, c1, level, scale }
+        Self {
+            c0,
+            c1,
+            level,
+            scale,
+        }
     }
 
     /// Ring dimension.

@@ -41,7 +41,10 @@ impl Encoder {
     ///
     /// Panics if `n` is not a power of two or `scale <= 0`.
     pub fn new(n: usize, scale: f64) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "n must be a power of two >= 4"
+        );
         assert!(scale > 0.0, "scale must be positive");
         let two_n = 2 * n;
         let mut rot_group = Vec::with_capacity(n / 2);
@@ -50,7 +53,11 @@ impl Encoder {
             rot_group.push(k);
             k = k * 5 % two_n;
         }
-        Self { n, scale, rot_group }
+        Self {
+            n,
+            scale,
+            rot_group,
+        }
     }
 
     /// Number of slots (`N/2`).
@@ -121,7 +128,10 @@ impl Encoder {
 
     /// Decodes, returning only real parts.
     pub fn decode_real(&self, coeffs: &[i64], scale: f64) -> Vec<f64> {
-        self.decode(coeffs, scale).into_iter().map(|z| z.0).collect()
+        self.decode(coeffs, scale)
+            .into_iter()
+            .map(|z| z.0)
+            .collect()
     }
 }
 
@@ -142,13 +152,19 @@ mod tests {
         let vals: Vec<f64> = (0..32).map(|i| (i as f64) / 7.0 - 2.0).collect();
         let coeffs = enc.encode_real(&vals);
         let back = enc.decode_real(&coeffs, enc.scale());
-        assert!(max_err(&vals, &back) < 1e-6, "err = {}", max_err(&vals, &back));
+        assert!(
+            max_err(&vals, &back) < 1e-6,
+            "err = {}",
+            max_err(&vals, &back)
+        );
     }
 
     #[test]
     fn roundtrip_complex() {
         let enc = Encoder::new(32, 2f64.powi(28));
-        let slots: Vec<Complex> = (0..16).map(|i| (i as f64 * 0.5, -(i as f64) * 0.25)).collect();
+        let slots: Vec<Complex> = (0..16)
+            .map(|i| (i as f64 * 0.5, -(i as f64) * 0.25))
+            .collect();
         let coeffs = enc.encode(&slots);
         let back = enc.decode(&coeffs, enc.scale());
         for (z, w) in slots.iter().zip(&back) {

@@ -7,12 +7,12 @@ use crate::context::CkksContext;
 use crate::encoding::{Complex, Encoder};
 use crate::keys::{KeySet, SecretKey, SwitchingKey, NOISE_SIGMA};
 use crate::rnspoly::RnsPoly;
-use rand::Rng;
 use parking_lot::Mutex;
+use rand::Rng;
+use ufc_isa::trace::{Trace, TraceOp};
 use ufc_math::automorph;
 use ufc_math::poly::{Form, Poly};
 use ufc_math::sample::{gaussian_poly, ternary_poly};
-use ufc_isa::trace::{Trace, TraceOp};
 
 /// Homomorphic evaluator bound to a context, key set and encoder.
 ///
@@ -128,9 +128,7 @@ impl Evaluator {
         let s = sk.rns_eval(&self.ctx, ct.limb_count());
         let m = ct.c0.add(&ct.c1.mul(&s)).to_coeff(&self.ctx);
         let use_limbs = m.limb_count().min(3);
-        let basis = ufc_math::rns::RnsBasis::new(
-            self.ctx.q_moduli()[..use_limbs].to_vec(),
-        );
+        let basis = ufc_math::rns::RnsBasis::new(self.ctx.q_moduli()[..use_limbs].to_vec());
         (0..self.ctx.n())
             .map(|i| {
                 let residues: Vec<u64> = m.limbs()[..use_limbs]
@@ -170,7 +168,9 @@ impl Evaluator {
             a.scale,
             b.scale
         );
-        self.record(TraceOp::CkksAdd { level: level as u32 });
+        self.record(TraceOp::CkksAdd {
+            level: level as u32,
+        });
         Ciphertext::new(a.c0.add(&b.c0), a.c1.add(&b.c1), level, a.scale)
     }
 
@@ -178,7 +178,9 @@ impl Evaluator {
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         let level = a.level.min(b.level);
         let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
-        self.record(TraceOp::CkksAdd { level: level as u32 });
+        self.record(TraceOp::CkksAdd {
+            level: level as u32,
+        });
         Ciphertext::new(a.c0.sub(&b.c0), a.c1.sub(&b.c1), level, a.scale)
     }
 
@@ -186,7 +188,9 @@ impl Evaluator {
     /// form at the same level, encoded at the context scale).
     pub fn mul_plain(&self, a: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
         assert_eq!(pt.limb_count(), a.limb_count(), "plaintext level mismatch");
-        self.record(TraceOp::CkksMulPlain { level: a.level as u32 });
+        self.record(TraceOp::CkksMulPlain {
+            level: a.level as u32,
+        });
         Ciphertext::new(
             a.c0.mul(pt),
             a.c1.mul(pt),
@@ -198,7 +202,9 @@ impl Evaluator {
     /// Adds an encoded plaintext to the ciphertext (scales must match).
     pub fn add_plain(&self, a: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
         assert_eq!(pt.limb_count(), a.limb_count(), "plaintext level mismatch");
-        self.record(TraceOp::CkksAdd { level: a.level as u32 });
+        self.record(TraceOp::CkksAdd {
+            level: a.level as u32,
+        });
         Ciphertext::new(a.c0.add(pt), a.c1.clone(), a.level, a.scale)
     }
 
@@ -206,7 +212,9 @@ impl Evaluator {
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
         let level = a.level.min(b.level);
         let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
-        self.record(TraceOp::CkksMulCt { level: level as u32 });
+        self.record(TraceOp::CkksMulCt {
+            level: level as u32,
+        });
         let d0 = a.c0.mul(&b.c0);
         let d1 = a.c0.mul(&b.c1).add(&a.c1.mul(&b.c0));
         let d2 = a.c1.mul(&b.c1);
@@ -218,7 +226,9 @@ impl Evaluator {
     /// Rescale: divide by the last limb's modulus, dropping one level.
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
         assert!(a.level > 0, "no levels left to rescale");
-        self.record(TraceOp::CkksRescale { level: a.level as u32 });
+        self.record(TraceOp::CkksRescale {
+            level: a.level as u32,
+        });
         let q_last = self.ctx.q_moduli()[a.level];
         let c0 = a.c0.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
         let c1 = a.c1.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
@@ -249,7 +259,9 @@ impl Evaluator {
     /// Homomorphic complex conjugation.
     pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
         let k = 2 * self.ctx.n() - 1;
-        self.record(TraceOp::CkksConjugate { level: a.level as u32 });
+        self.record(TraceOp::CkksConjugate {
+            level: a.level as u32,
+        });
         self.apply_galois(a, k, &keys.conj)
     }
 
@@ -295,7 +307,9 @@ impl Evaluator {
             a.level,
             a.scale * factor_scale,
         );
-        self.record(TraceOp::CkksMulPlain { level: a.level as u32 });
+        self.record(TraceOp::CkksMulPlain {
+            level: a.level as u32,
+        });
         let out = self.rescale(&scaled);
         // Snap the bookkeeping to the exact target (the numeric drift
         // is far below encoding noise).
@@ -326,12 +340,7 @@ impl Evaluator {
     /// This is the paper's dominant CKKS kernel: digit decomposition,
     /// ModUp base conversions, the big MAC accumulation against the
     /// key, and the ModDown division by `P` (§II-B3).
-    pub fn key_switch(
-        &self,
-        d: &RnsPoly,
-        key: &SwitchingKey,
-        level: usize,
-    ) -> (RnsPoly, RnsPoly) {
+    pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey, level: usize) -> (RnsPoly, RnsPoly) {
         let ctx = &self.ctx;
         let active = level + 1;
         let d_coeff = d.to_coeff(ctx);
@@ -347,9 +356,7 @@ impl Evaluator {
             let hi_l = hi.min(active);
             // d~_j = [d * Qhat_j^{-1}]_{Q_j} on the digit limbs.
             let digit_limbs: Vec<Poly> = (lo..hi_l)
-                .map(|i| {
-                    d_coeff.limbs()[i].scale(dt.qhat_inv[level][i - lo])
-                })
+                .map(|i| d_coeff.limbs()[i].scale(dt.qhat_inv[level][i - lo]))
                 .collect();
             // ModUp to the complement moduli.
             let conv = dt.mod_up[level].as_ref().expect("digit active");
@@ -438,7 +445,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -473,7 +483,11 @@ mod tests {
         let prod = ev.rescale(&ev.mul_plain(&ca, &pb));
         let dec = ev.decrypt_real(&prod, &sk);
         let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
-        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 1e-2,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]
@@ -486,7 +500,11 @@ mod tests {
         let prod = ev.rescale(&ev.mul(&ca, &cb, &keys));
         let dec = ev.decrypt_real(&prod, &sk);
         let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
-        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 1e-2,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]
@@ -498,7 +516,11 @@ mod tests {
         let quad = ev.rescale(&ev.mul(&sq, &sq, &keys));
         let dec = ev.decrypt_real(&quad, &sk);
         let expect: Vec<f64> = a.iter().map(|x| x.powi(4)).collect();
-        assert!(max_err(&dec, &expect) < 5e-2, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 5e-2,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]
@@ -512,9 +534,7 @@ mod tests {
         for step in [1isize, 5] {
             let rot = ev.rotate(&ct, step, &keys);
             let dec = ev.decrypt_real(&rot, &sk);
-            let expect: Vec<f64> = (0..32)
-                .map(|i| vals[(i + step as usize) % 32])
-                .collect();
+            let expect: Vec<f64> = (0..32).map(|i| vals[(i + step as usize) % 32]).collect();
             assert!(
                 max_err(&dec, &expect) < 1e-2,
                 "step {step}: err {}",
@@ -526,7 +546,9 @@ mod tests {
     #[test]
     fn conjugation_conjugates() {
         let (ev, sk, keys, mut rng) = setup(64, 3, 2, 2, 17);
-        let slots: Vec<Complex> = (0..32).map(|i| (i as f64 * 0.1, 1.0 - i as f64 * 0.05)).collect();
+        let slots: Vec<Complex> = (0..32)
+            .map(|i| (i as f64 * 0.1, 1.0 - i as f64 * 0.05))
+            .collect();
         let coeffs = ev.encoder().encode(&slots);
         let m = RnsPoly::from_signed(ev.context(), &coeffs, ev.context().max_level() + 1)
             .to_eval(ev.context());
@@ -547,7 +569,11 @@ mod tests {
         let sq = ev.rescale(&ev.mul(&ca, &ca, &keys));
         let dec = ev.decrypt_real(&sq, &sk);
         let expect: Vec<f64> = a.iter().map(|x| x * x).collect();
-        assert!(max_err(&dec, &expect) < 1e-2, "err {}", max_err(&dec, &expect));
+        assert!(
+            max_err(&dec, &expect) < 1e-2,
+            "err {}",
+            max_err(&dec, &expect)
+        );
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl SwitchingKey {
                     let a_eval = ntt.to_eval(&a);
                     let s_eval = ntt.to_eval(&s);
                     let as_prod = ntt.to_coeff(&a_eval.hadamard(&s_eval));
-                    let b = as_prod
-                        .neg()
-                        .add(&e)
-                        .add(&s_from.scale(factor));
+                    let b = as_prod.neg().add(&e).add(&s_from.scale(factor));
                     b_limbs.push(ntt.to_eval(&b));
                     a_limbs.push(a_eval);
                 }

@@ -101,12 +101,7 @@ impl NoiseBudget {
 
 /// Measures the actual slot-domain error of a ciphertext against
 /// reference values (test harness utility).
-pub fn measured_error(
-    ev: &Evaluator,
-    ct: &Ciphertext,
-    sk: &SecretKey,
-    reference: &[f64],
-) -> f64 {
+pub fn measured_error(ev: &Evaluator, ct: &Ciphertext, sk: &SecretKey, reference: &[f64]) -> f64 {
     let dec = ev.decrypt_real(ct, sk);
     dec.iter()
         .zip(reference)
@@ -137,7 +132,11 @@ mod tests {
         let ct = ev.encrypt_real(&xs, &keys, &mut rng);
         let est = NoiseBudget::fresh(1.5, 64, ev.context().scale());
         let measured = measured_error(&ev, &ct, &sk, &xs);
-        assert!(measured <= est.error_bound, "{measured} > {}", est.error_bound);
+        assert!(
+            measured <= est.error_bound,
+            "{measured} > {}",
+            est.error_bound
+        );
         // The bound should not be absurdly loose either (< 2^20 slack).
         assert!(est.error_bound < measured.max(1e-12) * (1 << 20) as f64);
     }

@@ -142,7 +142,7 @@ impl RnsPoly {
     /// Negation.
     pub fn neg(&self) -> Self {
         Self {
-            limbs: self.limbs.iter().map(|l| l.neg()).collect(),
+            limbs: self.limbs.iter().map(ufc_math::Poly::neg).collect(),
             form: self.form,
         }
     }

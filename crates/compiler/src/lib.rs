@@ -32,9 +32,11 @@
 //! assert!(stream.len() > 10); // tensor + key-switch pipeline
 //! ```
 
+pub mod error;
 pub mod lower;
 pub mod memory;
 pub mod options;
 
+pub use error::CompileError;
 pub use lower::Compiler;
 pub use options::{CompileOptions, Packing};

@@ -5,12 +5,20 @@
 //! the key MAC and ModDown; functional bootstrapping expands into `n`
 //! blind-rotation iterations of decompose → NTT → multiply-accumulate
 //! → iNTT → rotate.
+//!
+//! Library paths are fallible (`try_for_trace`, `try_compile`,
+//! `try_lower_op`) and return [`CompileError`]; the panicking
+//! spellings wrap them for tests and binaries. `try_compile` runs the
+//! static verifier over its own output as a post-condition, so a
+//! lowering bug surfaces here rather than as a nonsense cycle count.
 
+use crate::error::CompileError;
 use crate::memory::key_reuse_factor;
 use crate::options::{CompileOptions, Packing};
 use ufc_isa::instr::{InstrStream, Kernel, Phase, PolyShape};
 use ufc_isa::params::{CkksParams, TfheParams, LIMB_BITS};
 use ufc_isa::trace::{Trace, TraceOp};
+use ufc_verify::{verify_stream, VerifyOptions};
 
 /// CKKS limb word size on the instruction stream.
 pub const CKKS_WORD_BITS: u32 = LIMB_BITS;
@@ -30,27 +38,30 @@ pub struct Compiler {
 
 impl Compiler {
     /// Creates a compiler for the given parameter environment.
-    pub fn new(
-        ckks: Option<CkksParams>,
-        tfhe: Option<TfheParams>,
-        opts: CompileOptions,
-    ) -> Self {
+    pub fn new(ckks: Option<CkksParams>, tfhe: Option<TfheParams>, opts: CompileOptions) -> Self {
         Self { ckks, tfhe, opts }
     }
 
     /// Builds a compiler from a trace's recorded parameter-set ids.
+    pub fn try_for_trace(trace: &Trace, opts: CompileOptions) -> Result<Self, CompileError> {
+        let ckks = trace
+            .ckks_params
+            .map(ufc_isa::params::try_ckks_params)
+            .transpose()?;
+        let tfhe = trace
+            .tfhe_params
+            .map(ufc_isa::params::try_tfhe_params)
+            .transpose()?;
+        Ok(Self::new(ckks, tfhe, opts))
+    }
+
+    /// Like [`Compiler::try_for_trace`].
     ///
     /// # Panics
     ///
     /// Panics if the trace names an unknown parameter set.
     pub fn for_trace(trace: &Trace, opts: CompileOptions) -> Self {
-        let ckks = trace
-            .ckks_params
-            .map(|id| ufc_isa::params::ckks_params(id).expect("unknown CKKS set"));
-        let tfhe = trace
-            .tfhe_params
-            .map(|id| ufc_isa::params::tfhe_params(id).expect("unknown TFHE set"));
-        Self::new(ckks, tfhe, opts)
+        Self::try_for_trace(trace, opts).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The options in use.
@@ -62,18 +73,35 @@ impl Compiler {
     /// cross dependencies (program-level parallelism is abundant in
     /// the evaluated workloads); the simulator's resource model bounds
     /// the achievable overlap.
-    pub fn compile(&self, trace: &Trace) -> InstrStream {
+    ///
+    /// As a post-condition the lowered stream is run through the
+    /// static verifier (`ufc-verify`); error-severity findings mean a
+    /// lowering bug and come back as [`CompileError::PostCondition`].
+    pub fn try_compile(&self, trace: &Trace) -> Result<InstrStream, CompileError> {
         let mut out = InstrStream::new();
         for op in &trace.ops {
-            let block = self.lower_op(op);
+            let block = self.try_lower_op(op)?;
             out.append(block, &[]);
         }
-        out
+        let report = verify_stream(&out, &VerifyOptions::default());
+        if report.has_errors() {
+            return Err(CompileError::PostCondition(report));
+        }
+        Ok(out)
+    }
+
+    /// Like [`Compiler::try_compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`CompileError`].
+    pub fn compile(&self, trace: &Trace) -> InstrStream {
+        self.try_compile(trace).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Lowers a single trace op into its instruction block.
-    pub fn lower_op(&self, op: &TraceOp) -> InstrStream {
-        match *op {
+    pub fn try_lower_op(&self, op: &TraceOp) -> Result<InstrStream, CompileError> {
+        let lowered = match *op {
             TraceOp::CkksAdd { level } => self.ckks_elementwise(level, Kernel::Ewma),
             TraceOp::CkksMulPlain { level } => self.ckks_elementwise(level, Kernel::Ewmm),
             TraceOp::CkksMulCt { level } => self.ckks_mul_ct(level),
@@ -97,19 +125,40 @@ impl Compiler {
                     bytes,
                     Phase::SchemeSwitch,
                 );
-                s
+                Ok(s)
             }
-        }
+        };
+        // The parameter-availability helpers don't know which op asked
+        // for them; attach that context here.
+        lowered.map_err(|e| match e {
+            CompileError::MissingParams { scheme, .. } => CompileError::MissingParams {
+                scheme,
+                op: format!("{op:?}"),
+            },
+            other => other,
+        })
+    }
+
+    /// Like [`Compiler::try_lower_op`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op's scheme has no declared parameter set.
+    pub fn lower_op(&self, op: &TraceOp) -> InstrStream {
+        self.try_lower_op(op).unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ------------------------------------------------------------ CKKS
 
-    fn ckks(&self) -> &CkksParams {
-        self.ckks.as_ref().expect("trace contains CKKS ops but no CKKS params")
+    fn ckks(&self) -> Result<&CkksParams, CompileError> {
+        self.ckks.as_ref().ok_or(CompileError::MissingParams {
+            scheme: "CKKS",
+            op: String::new(),
+        })
     }
 
-    fn ckks_elementwise(&self, level: u32, kernel: Kernel) -> InstrStream {
-        let p = self.ckks();
+    fn ckks_elementwise(&self, level: u32, kernel: Kernel) -> Result<InstrStream, CompileError> {
+        let p = self.ckks()?;
         let limbs = level + 1;
         let mut s = InstrStream::new();
         s.push(
@@ -120,27 +169,62 @@ impl Compiler {
             0,
             Phase::CkksEval,
         );
-        s
+        Ok(s)
     }
 
-    fn ckks_mul_ct(&self, level: u32) -> InstrStream {
-        let p = self.ckks();
+    fn ckks_mul_ct(&self, level: u32) -> Result<InstrStream, CompileError> {
+        let p = self.ckks()?;
         let limbs = level + 1;
         let n = p.log_n;
         let mut s = InstrStream::new();
         // Tensor: d0, d2, and the two cross terms + add.
-        let t0 = s.push(Kernel::Ewmm, PolyShape::new(n, limbs), CKKS_WORD_BITS, vec![], 0, Phase::CkksEval);
-        let t2 = s.push(Kernel::Ewmm, PolyShape::new(n, limbs), CKKS_WORD_BITS, vec![], 0, Phase::CkksEval);
-        let tc = s.push(Kernel::Ewmm, PolyShape::new(n, 2 * limbs), CKKS_WORD_BITS, vec![], 0, Phase::CkksEval);
-        let td = s.push(Kernel::Ewma, PolyShape::new(n, limbs), CKKS_WORD_BITS, vec![tc], 0, Phase::CkksEval);
+        let t0 = s.push(
+            Kernel::Ewmm,
+            PolyShape::new(n, limbs),
+            CKKS_WORD_BITS,
+            vec![],
+            0,
+            Phase::CkksEval,
+        );
+        let t2 = s.push(
+            Kernel::Ewmm,
+            PolyShape::new(n, limbs),
+            CKKS_WORD_BITS,
+            vec![],
+            0,
+            Phase::CkksEval,
+        );
+        let tc = s.push(
+            Kernel::Ewmm,
+            PolyShape::new(n, 2 * limbs),
+            CKKS_WORD_BITS,
+            vec![],
+            0,
+            Phase::CkksEval,
+        );
+        let td = s.push(
+            Kernel::Ewma,
+            PolyShape::new(n, limbs),
+            CKKS_WORD_BITS,
+            vec![tc],
+            0,
+            Phase::CkksEval,
+        );
         // Relinearize d2.
-        let ks_exits = self.key_switch_block(&mut s, level, vec![t2], Phase::CkksKeySwitch);
+        let ks_exits = self.key_switch_block(&mut s, level, vec![t2], Phase::CkksKeySwitch)?;
         // Final adds into (c0, c1).
         let mut deps = ks_exits;
         deps.push(t0);
         deps.push(td);
-        s.push(Kernel::Ewma, PolyShape::new(n, 2 * limbs), CKKS_WORD_BITS, deps, 0, Phase::CkksEval);
-        s
+        s.push(
+            Kernel::Ewma,
+            PolyShape::new(n, 2 * limbs),
+            CKKS_WORD_BITS,
+            deps,
+            0,
+            Phase::CkksEval,
+        );
+        Ok(s)
     }
 
     /// Hybrid key switching (Fig. 3): iNTT, per-digit ModUp BConv,
@@ -151,8 +235,8 @@ impl Compiler {
         level: u32,
         input_deps: Vec<usize>,
         phase: Phase,
-    ) -> Vec<usize> {
-        let p = self.ckks();
+    ) -> Result<Vec<usize>, CompileError> {
+        let p = self.ckks()?;
         let n = p.log_n;
         let limbs = level + 1;
         let k = p.special_limbs();
@@ -160,7 +244,14 @@ impl Compiler {
         let digits = limbs.div_ceil(digit_size);
         let w = CKKS_WORD_BITS;
 
-        let intt = s.push(Kernel::Intt, PolyShape::new(n, limbs), w, input_deps, 0, phase);
+        let intt = s.push(
+            Kernel::Intt,
+            PolyShape::new(n, limbs),
+            w,
+            input_deps,
+            0,
+            phase,
+        );
         let mut digit_exits = Vec::new();
         for d in 0..digits {
             let lj = digit_size.min(limbs - d * digit_size);
@@ -177,7 +268,14 @@ impl Compiler {
                 phase,
             );
             // Back to evaluation form on the extended basis.
-            let ntt = s.push(Kernel::Ntt, PolyShape::new(n, target), w, vec![bconv], 0, phase);
+            let ntt = s.push(
+                Kernel::Ntt,
+                PolyShape::new(n, target),
+                w,
+                vec![bconv],
+                0,
+                phase,
+            );
             // MAC against the digit key (2 output polys over Q+P).
             // The on-the-fly key generation unit (§IV-B5, reused from
             // ARK/SHARP/CraterLake) expands keys from seeds on die;
@@ -218,26 +316,68 @@ impl Compiler {
             0,
             phase,
         );
-        let fix = s.push(Kernel::Ewma, PolyShape::new(n, 2 * limbs), w, vec![bconv2], 0, phase);
-        let ntt2 = s.push(Kernel::Ntt, PolyShape::new(n, 2 * limbs), w, vec![fix], 0, phase);
-        vec![ntt2]
+        let fix = s.push(
+            Kernel::Ewma,
+            PolyShape::new(n, 2 * limbs),
+            w,
+            vec![bconv2],
+            0,
+            phase,
+        );
+        let ntt2 = s.push(
+            Kernel::Ntt,
+            PolyShape::new(n, 2 * limbs),
+            w,
+            vec![fix],
+            0,
+            phase,
+        );
+        Ok(vec![ntt2])
     }
 
-    fn ckks_rescale(&self, level: u32) -> InstrStream {
-        let p = self.ckks();
+    fn ckks_rescale(&self, level: u32) -> Result<InstrStream, CompileError> {
+        let p = self.ckks()?;
         let n = p.log_n;
         let limbs = level + 1;
         let w = CKKS_WORD_BITS;
         let mut s = InstrStream::new();
-        let intt = s.push(Kernel::Intt, PolyShape::new(n, 2 * limbs), w, vec![], 0, Phase::CkksEval);
-        let sub = s.push(Kernel::Ewma, PolyShape::new(n, 2 * (limbs - 1)), w, vec![intt], 0, Phase::CkksEval);
-        let mul = s.push(Kernel::Ewmm, PolyShape::new(n, 2 * (limbs - 1)), w, vec![sub], 0, Phase::CkksEval);
-        s.push(Kernel::Ntt, PolyShape::new(n, 2 * (limbs - 1)), w, vec![mul], 0, Phase::CkksEval);
-        s
+        let intt = s.push(
+            Kernel::Intt,
+            PolyShape::new(n, 2 * limbs),
+            w,
+            vec![],
+            0,
+            Phase::CkksEval,
+        );
+        let sub = s.push(
+            Kernel::Ewma,
+            PolyShape::new(n, 2 * (limbs - 1)),
+            w,
+            vec![intt],
+            0,
+            Phase::CkksEval,
+        );
+        let mul = s.push(
+            Kernel::Ewmm,
+            PolyShape::new(n, 2 * (limbs - 1)),
+            w,
+            vec![sub],
+            0,
+            Phase::CkksEval,
+        );
+        s.push(
+            Kernel::Ntt,
+            PolyShape::new(n, 2 * (limbs - 1)),
+            w,
+            vec![mul],
+            0,
+            Phase::CkksEval,
+        );
+        Ok(s)
     }
 
-    fn ckks_rotate(&self, level: u32) -> InstrStream {
-        let p = self.ckks();
+    fn ckks_rotate(&self, level: u32) -> Result<InstrStream, CompileError> {
+        let p = self.ckks()?;
         let limbs = level + 1;
         let mut s = InstrStream::new();
         // Automorphism on both polys (UFC folds this onto the NTT
@@ -251,18 +391,25 @@ impl Compiler {
             0,
             Phase::CkksKeySwitch,
         );
-        self.key_switch_block(&mut s, level, vec![auto], Phase::CkksKeySwitch);
-        s
+        self.key_switch_block(&mut s, level, vec![auto], Phase::CkksKeySwitch)?;
+        Ok(s)
     }
 
-    fn ckks_mod_raise(&self, from_level: u32) -> InstrStream {
-        let p = self.ckks();
+    fn ckks_mod_raise(&self, from_level: u32) -> Result<InstrStream, CompileError> {
+        let p = self.ckks()?;
         let n = p.log_n;
         let full = p.q_limbs();
         let src = from_level + 1;
         let w = CKKS_WORD_BITS;
         let mut s = InstrStream::new();
-        let intt = s.push(Kernel::Intt, PolyShape::new(n, 2 * src), w, vec![], 0, Phase::CkksBootstrap);
+        let intt = s.push(
+            Kernel::Intt,
+            PolyShape::new(n, 2 * src),
+            w,
+            vec![],
+            0,
+            Phase::CkksBootstrap,
+        );
         let bconv = s.push(
             Kernel::BconvMac,
             PolyShape::new(n, 2 * src * full),
@@ -271,41 +418,61 @@ impl Compiler {
             0,
             Phase::CkksBootstrap,
         );
-        s.push(Kernel::Ntt, PolyShape::new(n, 2 * full), w, vec![bconv], 0, Phase::CkksBootstrap);
-        s
+        s.push(
+            Kernel::Ntt,
+            PolyShape::new(n, 2 * full),
+            w,
+            vec![bconv],
+            0,
+            Phase::CkksBootstrap,
+        );
+        Ok(s)
     }
 
     // ------------------------------------------------------------ TFHE
 
-    fn tfhe(&self) -> &TfheParams {
-        self.tfhe.as_ref().expect("trace contains TFHE ops but no TFHE params")
+    fn tfhe(&self) -> Result<&TfheParams, CompileError> {
+        self.tfhe.as_ref().ok_or(CompileError::MissingParams {
+            scheme: "TFHE",
+            op: String::new(),
+        })
     }
 
     /// Effective packed width (how many small polynomials ride one
     /// instruction) for the active packing strategy (§V-A/B).
-    pub fn tfhe_pack_width(&self, batch: u32) -> u32 {
-        let p = self.tfhe();
+    pub fn try_tfhe_pack_width(&self, batch: u32) -> Result<u32, CompileError> {
+        let p = self.tfhe()?;
         let lanes_per_poly = p.n() as u32;
         let max_pack = (self.opts.total_lanes / lanes_per_poly).max(1);
-        match self.opts.packing {
+        Ok(match self.opts.packing {
             Packing::None => 1,
             Packing::Plp => 2.min(max_pack),
             // CoLP: the 2·g_k decomposed polynomials (+PLP).
             Packing::ColpPlp => (2 * p.glwe_levels).min(max_pack),
             // TvLP: batch test vectors (+PLP pairs).
             Packing::TvlpPlp => (2 * batch.min(self.opts.max_batch)).min(max_pack),
-        }
+        })
     }
 
-    fn tfhe_pbs(&self, batch: u32) -> InstrStream {
-        let p = self.tfhe();
+    /// Like [`Compiler::try_tfhe_pack_width`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no TFHE parameter set was declared.
+    pub fn tfhe_pack_width(&self, batch: u32) -> u32 {
+        self.try_tfhe_pack_width(batch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn tfhe_pbs(&self, batch: u32) -> Result<InstrStream, CompileError> {
+        let p = self.tfhe()?;
         let n = p.log_n;
         let w = TFHE_WORD_BITS;
         let mut s = InstrStream::new();
         // The packing width caps how many of the batch's polynomials
         // occupy the lanes at once; the machine model serializes the
         // rest (§V-A).
-        let pack = self.tfhe_pack_width(batch);
+        let pack = self.try_tfhe_pack_width(batch)?;
         // Key reuse: TvLP streams the bootstrapping key once per
         // batch; CoLP/PLP re-stream per ciphertext (§V-B).
         let reuse = key_reuse_factor(self.opts.packing, batch);
@@ -314,15 +481,39 @@ impl Compiler {
         let ph = Phase::TfheBlindRotate;
 
         // Test-vector preparation (LWEU dispatches X^{a_i} factors).
-        let prep = s.push_packed(Kernel::Rotate, PolyShape::new(n, batch * 2), w, vec![], 0, ph, pack);
+        let prep = s.push_packed(
+            Kernel::Rotate,
+            PolyShape::new(n, batch * 2),
+            w,
+            vec![],
+            0,
+            ph,
+            pack,
+        );
         let mut last = prep;
         // n blind-rotation iterations; each is Decomp → NTT → MAC →
         // accumulate → iNTT (+ the monomial multiply, folded into the
         // evaluation-form EWMM per §IV-C3).
         let g2 = 2 * p.glwe_levels;
         for _ in 0..p.blind_rotations() {
-            let dec = s.push_packed(Kernel::Decomp, PolyShape::new(n, batch * g2), w, vec![last], 0, ph, pack);
-            let ntt = s.push_packed(Kernel::Ntt, PolyShape::new(n, batch * g2), w, vec![dec], 0, ph, pack);
+            let dec = s.push_packed(
+                Kernel::Decomp,
+                PolyShape::new(n, batch * g2),
+                w,
+                vec![last],
+                0,
+                ph,
+                pack,
+            );
+            let ntt = s.push_packed(
+                Kernel::Ntt,
+                PolyShape::new(n, batch * g2),
+                w,
+                vec![dec],
+                0,
+                ph,
+                pack,
+            );
             let mac = s.push_packed(
                 Kernel::Ewmm,
                 PolyShape::new(n, batch * g2 * 2),
@@ -332,23 +523,54 @@ impl Compiler {
                 ph,
                 pack,
             );
-            let acc = s.push_packed(Kernel::Ewma, PolyShape::new(n, batch * 2), w, vec![mac], 0, ph, pack);
-            let intt = s.push_packed(Kernel::Intt, PolyShape::new(n, batch * 2), w, vec![acc], 0, ph, pack);
+            let acc = s.push_packed(
+                Kernel::Ewma,
+                PolyShape::new(n, batch * 2),
+                w,
+                vec![mac],
+                0,
+                ph,
+                pack,
+            );
+            let intt = s.push_packed(
+                Kernel::Intt,
+                PolyShape::new(n, batch * 2),
+                w,
+                vec![acc],
+                0,
+                ph,
+                pack,
+            );
             // CoLP pays a shuffle pass to restore the continuous
             // layout before the next decomposition (§V-B).
             last = if self.opts.packing == Packing::ColpPlp {
-                s.push_packed(Kernel::Rotate, PolyShape::new(n, batch * 2), w, vec![intt], 0, ph, pack)
+                s.push_packed(
+                    Kernel::Rotate,
+                    PolyShape::new(n, batch * 2),
+                    w,
+                    vec![intt],
+                    0,
+                    ph,
+                    pack,
+                )
             } else {
                 intt
             };
         }
         // Sample extraction on the LWEU.
-        s.push(Kernel::Extract, PolyShape::new(n, batch), w, vec![last], 0, ph);
-        s
+        s.push(
+            Kernel::Extract,
+            PolyShape::new(n, batch),
+            w,
+            vec![last],
+            0,
+            ph,
+        );
+        Ok(s)
     }
 
-    fn tfhe_key_switch(&self, batch: u32) -> InstrStream {
-        let p = self.tfhe();
+    fn tfhe_key_switch(&self, batch: u32) -> Result<InstrStream, CompileError> {
+        let p = self.tfhe()?;
         let n = p.log_n;
         let w = TFHE_WORD_BITS;
         let mut s = InstrStream::new();
@@ -378,11 +600,11 @@ impl Compiler {
             0,
             Phase::TfheKeySwitch,
         );
-        s
+        Ok(s)
     }
 
-    fn tfhe_linear(&self, count: u32) -> InstrStream {
-        let p = self.tfhe();
+    fn tfhe_linear(&self, count: u32) -> Result<InstrStream, CompileError> {
+        let p = self.tfhe()?;
         let mut s = InstrStream::new();
         // LWE adds: n+1 words each; batch them as one wide EWMA.
         let log_n = 64 - (p.lwe_dim as u64 + 1).leading_zeros() - 1;
@@ -394,13 +616,13 @@ impl Compiler {
             0,
             Phase::TfheKeySwitch,
         );
-        s
+        Ok(s)
     }
 
     // ------------------------------------------------- scheme switching
 
-    fn extract(&self, level: u32, count: u32) -> InstrStream {
-        let c = self.ckks();
+    fn extract(&self, level: u32, count: u32) -> Result<InstrStream, CompileError> {
+        let c = self.ckks()?;
         let mut s = InstrStream::new();
         // LWEU reorders coefficients from the PE scratchpads.
         let ex = s.push(
@@ -413,13 +635,13 @@ impl Compiler {
         );
         let _ = level;
         // TFHE key switch back to standard parameters (§II-D).
-        let ks = self.tfhe_key_switch(count);
+        let ks = self.tfhe_key_switch(count)?;
         s.append(ks, &[ex]);
-        s
+        Ok(s)
     }
 
-    fn repack(&self, count: u32, level: u32) -> InstrStream {
-        let t = self.tfhe();
+    fn repack(&self, count: u32, level: u32) -> Result<InstrStream, CompileError> {
+        let t = self.tfhe()?;
         // One rotation + plaintext MAC per LWE dimension step
         // (diagonal method), then the EvalMod bootstrap. Modeled as
         // `lwe_dim` rotation blocks at the CKKS level plus one
@@ -427,15 +649,15 @@ impl Compiler {
         let mut s = InstrStream::new();
         let steps = t.lwe_dim.min(count.max(1) * 64);
         for _ in 0..steps.min(64) {
-            let r = self.ckks_rotate(level);
+            let r = self.ckks_rotate(level)?;
             s.append(r, &[]);
         }
         // The sine evaluation: a handful of ct-ct multiplies.
         for _ in 0..4 {
-            let m = self.ckks_mul_ct(level.saturating_sub(1).max(1));
+            let m = self.ckks_mul_ct(level.saturating_sub(1).max(1))?;
             s.append(m, &[]);
         }
-        s
+        Ok(s)
     }
 }
 
@@ -520,8 +742,12 @@ mod tests {
     fn colp_adds_shuffle_passes() {
         let tv = compiler(Packing::TvlpPlp);
         let co = compiler(Packing::ColpPlp);
-        let tv_rot = tv.lower_op(&TraceOp::TfhePbs { batch: 4 }).kernel_histogram()[&Kernel::Rotate];
-        let co_rot = co.lower_op(&TraceOp::TfhePbs { batch: 4 }).kernel_histogram()[&Kernel::Rotate];
+        let tv_rot = tv
+            .lower_op(&TraceOp::TfhePbs { batch: 4 })
+            .kernel_histogram()[&Kernel::Rotate];
+        let co_rot = co
+            .lower_op(&TraceOp::TfhePbs { batch: 4 })
+            .kernel_histogram()[&Kernel::Rotate];
         assert!(co_rot > tv_rot);
     }
 
@@ -543,7 +769,10 @@ mod tests {
         let mut tr = Trace::new("mix").with_ckks("C1").with_tfhe("T2");
         tr.push(TraceOp::CkksMulCt { level: 10 });
         tr.push(TraceOp::CkksRescale { level: 10 });
-        tr.push(TraceOp::Extract { level: 0, count: 16 });
+        tr.push(TraceOp::Extract {
+            level: 0,
+            count: 16,
+        });
         tr.push(TraceOp::TfhePbs { batch: 16 });
         tr.push(TraceOp::SchemeTransfer { bytes: 1 << 20 });
         let c = Compiler::for_trace(&tr, CompileOptions::default());
@@ -561,5 +790,45 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.total_hbm_bytes(), 4096);
         assert_eq!(s.total_modmul_ops(), 0);
+    }
+
+    #[test]
+    fn unknown_params_are_typed_errors() {
+        let tr = Trace::new("bad").with_ckks("C9");
+        let err = Compiler::try_for_trace(&tr, CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Params(_)));
+        assert!(err.to_string().contains("C9"));
+    }
+
+    #[test]
+    fn missing_params_are_typed_errors() {
+        let c = Compiler::new(None, None, CompileOptions::default());
+        let err = c.try_lower_op(&TraceOp::CkksAdd { level: 3 }).unwrap_err();
+        match err {
+            CompileError::MissingParams { scheme, op } => {
+                assert_eq!(scheme, "CKKS");
+                assert!(op.contains("CkksAdd"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let err = c.try_lower_op(&TraceOp::TfhePbs { batch: 1 }).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::MissingParams { scheme: "TFHE", .. }
+        ));
+    }
+
+    #[test]
+    fn compiled_streams_pass_static_verification() {
+        let mut tr = Trace::new("verified").with_ckks("C3").with_tfhe("T3");
+        tr.push(TraceOp::CkksMulCt { level: 15 });
+        tr.push(TraceOp::Extract { level: 2, count: 8 });
+        tr.push(TraceOp::TfhePbs { batch: 8 });
+        tr.push(TraceOp::Repack { count: 8, level: 2 });
+        let c = Compiler::for_trace(&tr, CompileOptions::default());
+        // try_compile runs the verifier post-condition internally; it
+        // returning Ok *is* the assertion.
+        let s = c.try_compile(&tr).expect("post-conditions hold");
+        assert!(!s.is_empty());
     }
 }

@@ -1,10 +1,8 @@
 //! Compilation options: packing strategy and machine-width hints.
 
-use serde::{Deserialize, Serialize};
-
 /// Parallelism source used to pack small (logic-scheme) polynomials
 /// across the machine's lanes (§V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Packing {
     /// No packing: each polynomial occupies only its own lanes
     /// (baseline; the rest of the hardware idles).
@@ -36,7 +34,7 @@ impl Packing {
 }
 
 /// Options controlling lowering.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompileOptions {
     /// Packing strategy for logic-scheme ops.
     pub packing: Packing,

@@ -61,7 +61,10 @@ pub fn compare_batch<M: Machine + Sync>(
             .iter()
             .map(|t| s.spawn(move |_| compare(ufc, baseline, t)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sim thread"))
+            .collect()
     })
     .expect("thread scope")
 }

@@ -22,6 +22,6 @@ pub mod runner;
 
 pub use compare::{compare, ComparisonRow};
 pub use dse::{sweep_cg_networks, sweep_lanes, DsePoint};
-pub use runner::{compile_with_barriers, Ufc};
+pub use runner::{compile_with_barriers, try_compile_with_barriers, RunError, Ufc};
 
 pub use ufc_sim::machines::{UfcConfig, UfcMachine};

@@ -1,20 +1,51 @@
 //! The `Ufc` façade and the barrier-aware trace compiler shared by
 //! every machine (fair-comparison methodology, §VI-C).
 
-use ufc_compiler::{CompileOptions, Compiler};
+use ufc_compiler::memory::SpillModel;
+use ufc_compiler::{CompileError, CompileOptions, Compiler};
 use ufc_isa::instr::InstrStream;
 use ufc_isa::params::ckks_params;
 use ufc_isa::trace::{Trace, TraceOp};
-use ufc_compiler::memory::SpillModel;
 use ufc_sim::machines::{Machine, UfcConfig, UfcMachine};
 use ufc_sim::{simulate, SimReport};
+use ufc_verify::{verify_stream, verify_trace, Report, VerifyOptions};
+
+/// Why a verified run was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The trace could not be lowered.
+    Compile(CompileError),
+    /// The static verifier found error-severity problems in the input
+    /// trace or the compiled stream.
+    Verify(Report),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "{e}"),
+            RunError::Verify(r) => write!(f, "verification failed:\n{r}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
 
 /// Compiles a trace, inserting a dependency barrier whenever the
 /// program switches schemes (or crosses a chip-to-chip transfer):
 /// hybrid phases are data-dependent, so neither UFC nor the composed
 /// baseline may overlap them.
-pub fn compile_with_barriers(trace: &Trace, opts: CompileOptions) -> InstrStream {
-    let compiler = Compiler::for_trace(trace, opts);
+pub fn try_compile_with_barriers(
+    trace: &Trace,
+    opts: CompileOptions,
+) -> Result<InstrStream, CompileError> {
+    let compiler = Compiler::try_for_trace(trace, opts)?;
     let mut out = InstrStream::new();
     let mut prev_exits: Vec<usize> = Vec::new();
     let mut prev_scheme: Option<bool> = None; // Some(is_ckks)
@@ -28,7 +59,7 @@ pub fn compile_with_barriers(trace: &Trace, opts: CompileOptions) -> InstrStream
             (Some(a), Some(b)) => a != b,
             (_, None) | (None, _) => true,
         };
-        let block = compiler.lower_op(op);
+        let block = compiler.try_lower_op(op)?;
         let deps: &[usize] = if crosses { &prev_exits } else { &[] };
         let exits = out.append(block, deps);
         if crosses {
@@ -38,7 +69,16 @@ pub fn compile_with_barriers(trace: &Trace, opts: CompileOptions) -> InstrStream
         }
         prev_scheme = scheme;
     }
-    out
+    Ok(out)
+}
+
+/// Like [`try_compile_with_barriers`].
+///
+/// # Panics
+///
+/// Panics on any [`CompileError`].
+pub fn compile_with_barriers(trace: &Trace, opts: CompileOptions) -> InstrStream {
+    try_compile_with_barriers(trace, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A configured UFC accelerator instance.
@@ -110,6 +150,37 @@ impl Ufc {
         simulate(&machine, &stream)
     }
 
+    /// Like [`Ufc::run`], but with the static verifier as a pre-pass
+    /// on both IR levels: the input trace is checked before lowering
+    /// and the barrier-compiled stream before simulation.
+    /// Error-severity findings abort the run.
+    ///
+    /// The trace is checked against `Target::Any`, not `Target::Ufc`:
+    /// paper traces deliberately carry `SchemeTransfer` ops so the
+    /// same trace drives the composed baseline, and the UFC machine
+    /// model costs them as on-chip no-ops.
+    ///
+    /// The scratchpad liveness sweep uses *this instance's* capacity,
+    /// so a stream that cannot be scheduled spill-free is refused;
+    /// use [`Ufc::run`] for the spill-modelled estimate instead.
+    pub fn run_verified(&self, trace: &Trace) -> Result<SimReport, RunError> {
+        let vopts = VerifyOptions {
+            scratchpad_bytes: Some(self.config.scratchpad_mib as u64 * 1024 * 1024),
+            ..VerifyOptions::default()
+        };
+        let trace_report = verify_trace(trace, &vopts);
+        if trace_report.has_errors() {
+            return Err(RunError::Verify(trace_report));
+        }
+        let stream = try_compile_with_barriers(trace, self.opts)?;
+        let stream_report = verify_stream(&stream, &vopts);
+        if stream_report.has_errors() {
+            return Err(RunError::Verify(stream_report));
+        }
+        let machine = self.machine_for(trace);
+        Ok(simulate(&machine, &stream))
+    }
+
     /// Simulates the same workload on an arbitrary baseline machine,
     /// using the identical instruction stream (§VI-C).
     pub fn run_on(&self, machine: &dyn Machine, trace: &Trace) -> SimReport {
@@ -165,6 +236,42 @@ mod tests {
         ] {
             let r = ufc.run_on(m, &tr);
             assert!(r.cycles > 0, "{}", r.machine);
+        }
+    }
+
+    #[test]
+    fn verified_run_matches_unverified_on_clean_traces() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_workloads::tfhe_apps::pbs_throughput("T2", 16);
+        let verified = ufc.run_verified(&tr).expect("clean trace runs");
+        let plain = ufc.run(&tr);
+        assert_eq!(verified.cycles, plain.cycles);
+    }
+
+    #[test]
+    fn verified_run_rejects_bad_params() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_isa::trace::Trace::new("bad").with_ckks("C9");
+        match ufc.run_verified(&tr) {
+            Err(RunError::Verify(report)) => {
+                assert!(report.has_code("trace/params-unknown"));
+            }
+            other => panic!("expected verify failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verified_run_rejects_broken_sequencing() {
+        let ufc = Ufc::paper_default();
+        let mut tr = ufc_isa::trace::Trace::new("rp")
+            .with_ckks("C1")
+            .with_tfhe("T1");
+        tr.push(TraceOp::Repack { count: 8, level: 3 });
+        match ufc.run_verified(&tr) {
+            Err(RunError::Verify(report)) => {
+                assert!(report.has_code("trace/repack-without-extract"));
+            }
+            other => panic!("expected verify failure, got {other:?}"),
         }
     }
 

@@ -7,10 +7,8 @@
 //! fed to UFC and to the baseline models so comparisons are fair
 //! ("the unified simulation framework makes a fair comparison", §VI-C).
 
-use serde::{Deserialize, Serialize};
-
 /// The primitive kernels of Table I plus memory movement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Forward NTT (butterflies + all-to-all shuffle).
     Ntt,
@@ -43,9 +41,52 @@ pub enum Kernel {
     Transfer,
 }
 
+impl Kernel {
+    /// Every kernel, for exhaustive iteration.
+    pub const ALL: [Kernel; 13] = [
+        Kernel::Ntt,
+        Kernel::Intt,
+        Kernel::Ewmm,
+        Kernel::Ewma,
+        Kernel::Auto,
+        Kernel::Rotate,
+        Kernel::Extract,
+        Kernel::Decomp,
+        Kernel::Redc,
+        Kernel::BconvMac,
+        Kernel::Load,
+        Kernel::Store,
+        Kernel::Transfer,
+    ];
+
+    /// Stable display/serialization name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Ntt => "Ntt",
+            Kernel::Intt => "Intt",
+            Kernel::Ewmm => "Ewmm",
+            Kernel::Ewma => "Ewma",
+            Kernel::Auto => "Auto",
+            Kernel::Rotate => "Rotate",
+            Kernel::Extract => "Extract",
+            Kernel::Decomp => "Decomp",
+            Kernel::Redc => "Redc",
+            Kernel::BconvMac => "BconvMac",
+            Kernel::Load => "Load",
+            Kernel::Store => "Store",
+            Kernel::Transfer => "Transfer",
+        }
+    }
+
+    /// Inverse of [`Kernel::name`].
+    pub fn parse(s: &str) -> Option<Kernel> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
 /// Which program phase an instruction belongs to, for utilization and
 /// breakdown reporting (Fig. 12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// CKKS element-wise evaluation (add/mul/rescale).
     CkksEval,
@@ -63,9 +104,40 @@ pub enum Phase {
     Other,
 }
 
+impl Phase {
+    /// Every phase, for exhaustive iteration.
+    pub const ALL: [Phase; 7] = [
+        Phase::CkksEval,
+        Phase::CkksKeySwitch,
+        Phase::CkksBootstrap,
+        Phase::TfheBlindRotate,
+        Phase::TfheKeySwitch,
+        Phase::SchemeSwitch,
+        Phase::Other,
+    ];
+
+    /// Stable display/serialization name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::CkksEval => "CkksEval",
+            Phase::CkksKeySwitch => "CkksKeySwitch",
+            Phase::CkksBootstrap => "CkksBootstrap",
+            Phase::TfheBlindRotate => "TfheBlindRotate",
+            Phase::TfheKeySwitch => "TfheKeySwitch",
+            Phase::SchemeSwitch => "SchemeSwitch",
+            Phase::Other => "Other",
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn parse(s: &str) -> Option<Phase> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
 /// Shape of the data an instruction processes: `count` polynomials of
 /// degree `2^log_n` each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PolyShape {
     /// log2 of the polynomial degree.
     pub log_n: u32,
@@ -91,7 +163,7 @@ impl PolyShape {
 }
 
 /// One hardware macro-instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MacroInstr {
     /// Position in the stream (also the dependency handle).
     pub id: usize,
@@ -140,7 +212,7 @@ impl MacroInstr {
 }
 
 /// An ordered instruction stream forming a DAG via `deps`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InstrStream {
     instrs: Vec<MacroInstr>,
 }
@@ -201,6 +273,16 @@ impl InstrStream {
         id
     }
 
+    /// Builds a stream directly from raw instructions **without**
+    /// validating ids or dependency order. Exists for
+    /// deserialization ([`crate::serial`]): on-disk streams may be
+    /// malformed on purpose (verifier fixtures), and diagnosing them
+    /// is `ufc-verify`'s job. Everything else should use
+    /// [`InstrStream::push`].
+    pub fn from_raw(instrs: Vec<MacroInstr>) -> Self {
+        Self { instrs }
+    }
+
     /// The instructions, in issue order.
     pub fn instrs(&self) -> &[MacroInstr] {
         &self.instrs
@@ -252,7 +334,7 @@ impl InstrStream {
 
     /// Total modular-multiply work.
     pub fn total_modmul_ops(&self) -> u64 {
-        self.instrs.iter().map(|i| i.modmul_ops()).sum()
+        self.instrs.iter().map(MacroInstr::modmul_ops).sum()
     }
 
     /// Counts instructions per kernel.

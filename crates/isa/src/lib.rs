@@ -18,6 +18,7 @@
 
 pub mod instr;
 pub mod params;
+pub mod serial;
 pub mod trace;
 
 pub use instr::{InstrStream, Kernel, MacroInstr};

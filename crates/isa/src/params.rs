@@ -6,8 +6,6 @@
 //! models need (RNS limb counts, hybrid key-switching digits,
 //! ciphertext byte sizes) live here so every crate agrees on them.
 
-use serde::{Deserialize, Serialize};
-
 /// Word size of an RNS limb as scheduled on the hardware.
 ///
 /// SHARP uses 36-bit limbs; UFC uses 32-bit functional units with
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 pub const LIMB_BITS: u32 = 36;
 
 /// An RNS-CKKS parameter set (paper Table III, C1–C3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CkksParams {
     /// Human-readable identifier ("C1".."C3").
     pub id: &'static str,
@@ -113,7 +111,7 @@ pub const CKKS_SETS: [CkksParams; 3] = [
 ];
 
 /// A TFHE parameter set (paper Table III, T1–T4 — Strix's sets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TfheParams {
     /// Human-readable identifier ("T1".."T4").
     pub id: &'static str,
@@ -202,6 +200,49 @@ pub const TFHE_SETS: [TfheParams; 4] = [
     },
 ];
 
+/// A parameter-registry lookup failure, carrying the unknown id and
+/// the set of valid ids. Surfaced to users through compiler errors
+/// ([`ufc-compiler`]'s `CompileError`) and verifier diagnostics
+/// (`ufc-verify`'s `params-unknown` check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamsError {
+    /// No CKKS set with this id exists in Table III.
+    UnknownCkks {
+        /// The id that failed to resolve.
+        id: String,
+    },
+    /// No TFHE set with this id exists in Table III.
+    UnknownTfhe {
+        /// The id that failed to resolve.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::UnknownCkks { id } => {
+                let known: Vec<&str> = CKKS_SETS.iter().map(|p| p.id).collect();
+                write!(
+                    f,
+                    "unknown CKKS parameter set `{id}` (known: {})",
+                    known.join(", ")
+                )
+            }
+            ParamsError::UnknownTfhe { id } => {
+                let known: Vec<&str> = TFHE_SETS.iter().map(|p| p.id).collect();
+                write!(
+                    f,
+                    "unknown TFHE parameter set `{id}` (known: {})",
+                    known.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// Looks up a CKKS set by id ("C1".."C3").
 pub fn ckks_params(id: &str) -> Option<CkksParams> {
     CKKS_SETS.iter().copied().find(|p| p.id == id)
@@ -210,6 +251,16 @@ pub fn ckks_params(id: &str) -> Option<CkksParams> {
 /// Looks up a TFHE set by id ("T1".."T4").
 pub fn tfhe_params(id: &str) -> Option<TfheParams> {
     TFHE_SETS.iter().copied().find(|p| p.id == id)
+}
+
+/// Like [`ckks_params`] but with a typed error for library paths.
+pub fn try_ckks_params(id: &str) -> Result<CkksParams, ParamsError> {
+    ckks_params(id).ok_or_else(|| ParamsError::UnknownCkks { id: id.to_owned() })
+}
+
+/// Like [`tfhe_params`] but with a typed error for library paths.
+pub fn try_tfhe_params(id: &str) -> Result<TfheParams, ParamsError> {
+    tfhe_params(id).ok_or_else(|| ParamsError::UnknownTfhe { id: id.to_owned() })
 }
 
 #[cfg(test)]

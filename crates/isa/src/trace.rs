@@ -6,47 +6,90 @@
 //! batch size) for the compiler to lower it into hardware
 //! macro-instructions without re-executing the cryptography.
 
-use serde::{Deserialize, Serialize};
-
 /// One ciphertext-level homomorphic operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceOp {
     // ---- CKKS (SIMD scheme) ----
     /// Homomorphic addition of two ciphertexts at the given level.
-    CkksAdd { level: u32 },
+    CkksAdd {
+        /// Multiplicative level both operands sit at.
+        level: u32,
+    },
     /// Ciphertext × plaintext multiplication (no key switch).
-    CkksMulPlain { level: u32 },
+    CkksMulPlain {
+        /// Multiplicative level of the ciphertext operand.
+        level: u32,
+    },
     /// Ciphertext × ciphertext multiplication, including
     /// relinearization key switch.
-    CkksMulCt { level: u32 },
+    CkksMulCt {
+        /// Multiplicative level both operands sit at.
+        level: u32,
+    },
     /// Rescale: divide by one RNS limb, dropping a level.
-    CkksRescale { level: u32 },
+    CkksRescale {
+        /// Level *before* the rescale (the result is `level - 1`).
+        level: u32,
+    },
     /// Homomorphic rotation by `step` slots (automorphism + key
     /// switch).
-    CkksRotate { level: u32, step: i32 },
+    CkksRotate {
+        /// Multiplicative level of the rotated ciphertext.
+        level: u32,
+        /// Slot rotation amount (negative = rotate right).
+        step: i32,
+    },
     /// Complex conjugation (automorphism + key switch).
-    CkksConjugate { level: u32 },
+    CkksConjugate {
+        /// Multiplicative level of the conjugated ciphertext.
+        level: u32,
+    },
     /// Raise the ciphertext modulus back to full (bootstrapping step).
-    CkksModRaise { from_level: u32 },
+    CkksModRaise {
+        /// Level the exhausted ciphertext starts from.
+        from_level: u32,
+    },
     // ---- TFHE (logic scheme) ----
     /// One programmable (functional) bootstrap: packing + blind
     /// rotation + extraction, `batch` independent ciphertexts.
-    TfhePbs { batch: u32 },
+    TfhePbs {
+        /// Number of independent LWE ciphertexts bootstrapped.
+        batch: u32,
+    },
     /// TFHE LWE key switch for `batch` ciphertexts.
-    TfheKeySwitch { batch: u32 },
+    TfheKeySwitch {
+        /// Number of LWE ciphertexts switched together.
+        batch: u32,
+    },
     /// Trivial LWE linear ops (adds / scalar muls), `count` of them.
-    TfheLinear { count: u32 },
+    TfheLinear {
+        /// Number of linear operations.
+        count: u32,
+    },
     // ---- Scheme switching (hybrid programs) ----
     /// Extract `count` LWE ciphertexts from one CKKS RLWE ciphertext
     /// (§II-D); includes the TFHE key switch to standard parameters.
-    Extract { level: u32, count: u32 },
+    Extract {
+        /// CKKS level of the source RLWE ciphertext.
+        level: u32,
+        /// Number of LWE ciphertexts extracted.
+        count: u32,
+    },
     /// Repack `count` LWE ciphertexts into one RLWE ciphertext:
     /// homomorphic linear transform + key switch (§II-D).
-    Repack { count: u32, level: u32 },
+    Repack {
+        /// Number of LWE ciphertexts repacked.
+        count: u32,
+        /// CKKS level of the resulting RLWE ciphertext.
+        level: u32,
+    },
     /// Chip-to-chip transfer on the composed SHARP+Strix baseline
     /// (PCIe 5.0 ×16). UFC executes this as a no-op: data stays
     /// on-chip.
-    SchemeTransfer { bytes: u64 },
+    SchemeTransfer {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
 }
 
 impl TraceOp {
@@ -78,7 +121,7 @@ impl TraceOp {
 }
 
 /// A complete program trace plus the parameter environment it ran in.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Workload name (e.g. "HELR", "ResNet-20", "kNN/T4").
     pub name: String,
@@ -196,7 +239,10 @@ mod tests {
         let mut tr = Trace::new("demo").with_ckks("C1").with_tfhe("T2");
         tr.push(TraceOp::CkksMulCt { level: 20 });
         tr.push(TraceOp::CkksRescale { level: 20 });
-        tr.push(TraceOp::Extract { level: 5, count: 64 });
+        tr.push(TraceOp::Extract {
+            level: 5,
+            count: 64,
+        });
         tr.push(TraceOp::TfhePbs { batch: 64 });
         tr.push(TraceOp::SchemeTransfer { bytes: 4096 });
         assert_eq!(tr.len(), 5);
@@ -212,7 +258,10 @@ mod tests {
             TraceOp::CkksModRaise { from_level: 0 },
             TraceOp::TfheLinear { count: 10 },
             TraceOp::TfheKeySwitch { batch: 4 },
-            TraceOp::Repack { count: 32, level: 3 },
+            TraceOp::Repack {
+                count: 32,
+                level: 3,
+            },
         ];
         for op in ops {
             assert!(

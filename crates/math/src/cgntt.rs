@@ -221,7 +221,10 @@ impl ShuffleDecomposition {
             rows.is_power_of_two() && cols.is_power_of_two() && lanes.is_power_of_two(),
             "all dimensions must be powers of two"
         );
-        assert!(rows >= 2 && cols >= 2 && lanes >= 2, "dimensions must be >= 2");
+        assert!(
+            rows >= 2 && cols >= 2 && lanes >= 2,
+            "dimensions must be >= 2"
+        );
         Self { rows, cols, lanes }
     }
 
@@ -313,7 +316,9 @@ mod tests {
     fn cg_roundtrip_cyclic() {
         let n = 64;
         let e = engine(n);
-        let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37) % e.context().modulus()).collect();
+        let input: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37) % e.context().modulus())
+            .collect();
         assert_eq!(e.inverse_cyclic(&e.forward_cyclic(&input)), input);
     }
 
@@ -384,7 +389,11 @@ mod tests {
             let row = |x: usize| x / (lanes * cols);
             let col = |x: usize| (x / lanes) % cols;
             assert_eq!(row(p), row(d.xshuffle_dest(p)), "xshuffle crossed rows");
-            assert_eq!(col(d.xshuffle_dest(p)), col(d.yshuffle_dest(d.xshuffle_dest(p))), "yshuffle crossed columns");
+            assert_eq!(
+                col(d.xshuffle_dest(p)),
+                col(d.yshuffle_dest(d.xshuffle_dest(p))),
+                "yshuffle crossed columns"
+            );
         }
     }
 }

@@ -176,10 +176,7 @@ mod tests {
         let n = 256;
         let q = generate_ntt_prime(n, 31).unwrap();
         let ctx = NttContext::new(n, q);
-        let a = Poly::from_signed(
-            &(0..n as i64).map(|i| i % 128 - 64).collect::<Vec<_>>(),
-            q,
-        );
+        let a = Poly::from_signed(&(0..n as i64).map(|i| i % 128 - 64).collect::<Vec<_>>(), q);
         let b = Poly::from_signed(
             &(0..n as i64).map(|i| (i * 7) % 64 - 32).collect::<Vec<_>>(),
             q,
@@ -220,9 +217,14 @@ mod tests {
         // Torus operand kept within the product budget:
         // N · B/2 · |m| < 2^52  →  |m| < 2^52 / (2^10 · 2^6) = 2^36.
         let m = Poly::from_signed(
-            &(0..n as i64).map(|i| (i * 31415) % (1 << 24)).collect::<Vec<_>>(),
+            &(0..n as i64)
+                .map(|i| (i * 31415) % (1 << 24))
+                .collect::<Vec<_>>(),
             q,
         );
-        assert_eq!(negacyclic_mul_fft(&digits, &m), ctx.negacyclic_mul(&digits, &m));
+        assert_eq!(
+            negacyclic_mul_fft(&digits, &m),
+            ctx.negacyclic_mul(&digits, &m)
+        );
     }
 }

@@ -36,7 +36,11 @@ impl Gadget {
             log_base as usize * levels <= 64,
             "gadget precision exceeds 64 bits"
         );
-        Self { q, log_base, levels }
+        Self {
+            q,
+            log_base,
+            levels,
+        }
     }
 
     /// Modulus.
@@ -64,7 +68,11 @@ impl Gadget {
         let shift = self.log_base as u64 * (j as u64 + 1);
         if shift >= 64 {
             // q < 2^64 always, so the weight rounds to 0 or 1.
-            return if shift > 64 { 0 } else { u64::from(self.q >> 63 != 0) };
+            return if shift > 64 {
+                0
+            } else {
+                u64::from(self.q >> 63 != 0)
+            };
         }
         let div = 1u128 << shift;
         ((self.q as u128 + div / 2) / div) as u64
@@ -126,7 +134,9 @@ impl Gadget {
                 out[j][i] = from_signed(d, self.q);
             }
         }
-        out.into_iter().map(|v| Poly::from_coeffs(v, self.q)).collect()
+        out.into_iter()
+            .map(|v| Poly::from_coeffs(v, self.q))
+            .collect()
     }
 
     /// Worst-case recomposition error bound (per coefficient, absolute
@@ -188,11 +198,11 @@ mod tests {
         let bound = g.error_bound() as i64;
         for v in (0..q).step_by((q / 509) as usize) {
             let rec = g.recompose_scalar(&g.decompose_scalar(v));
-            let err = to_signed(
-                if rec >= v { rec - v } else { q - (v - rec) },
-                q,
+            let err = to_signed(if rec >= v { rec - v } else { q - (v - rec) }, q);
+            assert!(
+                err.abs() <= bound,
+                "v={v} rec={rec} err={err} bound={bound}"
             );
-            assert!(err.abs() <= bound, "v={v} rec={rec} err={err} bound={bound}");
         }
     }
 
@@ -212,7 +222,11 @@ mod tests {
         let bound = g.error_bound() as i64;
         for (got, want) in acc.coeffs().iter().zip(p.coeffs()) {
             let err = to_signed(
-                if got >= want { got - want } else { q - (want - got) },
+                if got >= want {
+                    got - want
+                } else {
+                    q - (want - got)
+                },
                 q,
             );
             assert!(err.abs() <= bound, "err={err} bound={bound}");

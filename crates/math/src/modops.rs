@@ -142,8 +142,8 @@ impl Barrett {
         let lh = x_lo * mu_hi;
         let hl = x_hi * mu_lo;
         let hh = x_hi * mu_hi;
-        let carry = ((ll >> 64) + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF))
-            >> 64;
+        let carry =
+            ((ll >> 64) + (lh & 0xFFFF_FFFF_FFFF_FFFF) + (hl & 0xFFFF_FFFF_FFFF_FFFF)) >> 64;
         let qhat = hh + (lh >> 64) + (hl >> 64) + carry;
         let mut r = x.wrapping_sub(qhat.wrapping_mul(self.q as u128)) as u64;
         while r >= self.q {

@@ -59,7 +59,10 @@ pub fn generate_ntt_prime(n: usize, bits: u32) -> Option<u64> {
 /// largest first.
 pub fn generate_ntt_primes(n: usize, bits: u32, count: usize) -> Vec<u64> {
     assert!(n.is_power_of_two(), "ring degree must be a power of two");
-    assert!((4..=62).contains(&bits), "prime size must be in [4, 62] bits");
+    assert!(
+        (4..=62).contains(&bits),
+        "prime size must be in [4, 62] bits"
+    );
     let step = 2 * n as u64;
     let hi = 1u64 << bits;
     let lo = 1u64 << (bits - 1);

@@ -78,7 +78,10 @@ impl RnsBasis {
 
     /// Decomposes an integer (given as `u128`) into RNS residues.
     pub fn decompose_u128(&self, x: u128) -> Vec<u64> {
-        self.moduli.iter().map(|&q| (x % q as u128) as u64).collect()
+        self.moduli
+            .iter()
+            .map(|&q| (x % q as u128) as u64)
+            .collect()
     }
 
     /// Garner (mixed-radix) reconstruction evaluated modulo `m`.
@@ -122,10 +125,9 @@ impl RnsBasis {
     /// Centered reconstruction into `i128` (value in `(-Q/2, Q/2]`).
     pub fn reconstruct_i128(&self, residues: &[u64]) -> i128 {
         let x = self.reconstruct_u128(residues);
-        let q: u128 = self
-            .moduli
-            .iter()
-            .fold(1u128, |acc, &m| acc.checked_mul(m as u128).expect("Q exceeds u128"));
+        let q: u128 = self.moduli.iter().fold(1u128, |acc, &m| {
+            acc.checked_mul(m as u128).expect("Q exceeds u128")
+        });
         if x > q / 2 {
             x as i128 - q as i128
         } else {

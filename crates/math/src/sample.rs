@@ -53,10 +53,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let q = 1_000_003;
         let p = ternary_poly(&mut rng, 512, q);
-        assert!(p
-            .coeffs()
-            .iter()
-            .all(|&c| c == 0 || c == 1 || c == q - 1));
+        assert!(p.coeffs().iter().all(|&c| c == 0 || c == 1 || c == q - 1));
     }
 
     #[test]
@@ -71,7 +68,11 @@ mod tests {
             .sum::<f64>()
             / samples.len() as f64;
         assert!(mean.abs() < 0.15, "mean drifted: {mean}");
-        assert!((var.sqrt() - sigma).abs() < 0.3, "sigma off: {}", var.sqrt());
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.3,
+            "sigma off: {}",
+            var.sqrt()
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use proptest::prelude::*;
 use ufc_math::cgntt::{perfect_shuffle_dest, CgNtt, ShuffleDecomposition};
 use ufc_math::fft::negacyclic_mul_fft;
+use ufc_math::modops::{add_mod, inv_mod, mul_mod, neg_mod, pow_mod, sub_mod, Barrett, ShoupMul};
+use ufc_math::mont::Montgomery;
 use ufc_math::ntt::NttContext;
 use ufc_math::poly::Poly;
 use ufc_math::prime::generate_ntt_prime;
@@ -10,7 +12,9 @@ use ufc_math::prime::generate_ntt_prime;
 fn random_poly(seed: u64, n: usize, q: u64) -> Poly {
     let mut x = seed | 1;
     let mut next = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x
     };
     Poly::from_coeffs((0..n).map(|_| next() % q).collect(), q)
@@ -65,5 +69,108 @@ proptest! {
         let a = random_poly(seed, n, q);
         let m = Poly::monomial(1, k % (2 * n), n, q);
         prop_assert_eq!(ctx.negacyclic_mul(&a, &m), a.rotate_monomial(k % (2 * n)));
+    }
+}
+
+// --------------------------------------------------- modular arithmetic
+
+/// Arbitrary modulus in Barrett's domain (`2 <= q < 2^62`).
+fn any_modulus(raw: u64) -> u64 {
+    2 + raw % ((1u64 << 62) - 2)
+}
+
+/// Arbitrary *odd* modulus shared by every reducer under test
+/// (Montgomery needs odd, Barrett needs `< 2^62`).
+fn odd_modulus(raw: u64) -> u64 {
+    (3 + raw % ((1u64 << 62) - 3)) | 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_mul_mod_matches_u128_reference(
+        a in any::<u64>(), b in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        let q = any_modulus(q_raw);
+        let (a, b) = (a % q, b % q);
+        let expect = ((a as u128 * b as u128) % q as u128) as u64;
+        prop_assert_eq!(mul_mod(a, b, q), expect);
+    }
+
+    #[test]
+    fn prop_add_sub_neg_mod_match_i128_reference(
+        a in any::<u64>(), b in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        let q = any_modulus(q_raw);
+        let (a, b) = (a % q, b % q);
+        prop_assert_eq!(add_mod(a, b, q), ((a as u128 + b as u128) % q as u128) as u64);
+        let diff = (a as i128 - b as i128).rem_euclid(q as i128) as u64;
+        prop_assert_eq!(sub_mod(a, b, q), diff);
+        prop_assert_eq!(add_mod(a, neg_mod(a, q), q), 0);
+    }
+
+    #[test]
+    fn prop_barrett_agrees_with_mul_mod(
+        a in any::<u64>(), b in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        let q = any_modulus(q_raw);
+        let (a, b) = (a % q, b % q);
+        let br = Barrett::new(q);
+        prop_assert_eq!(br.mul(a, b), mul_mod(a, b, q));
+    }
+
+    #[test]
+    fn prop_barrett_reduce_u128_matches_reference(
+        hi in any::<u64>(), lo in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        let q = any_modulus(q_raw);
+        // Barrett reduction is defined for x < q^2.
+        let x = ((hi as u128) << 64 | lo as u128) % (q as u128 * q as u128);
+        prop_assert_eq!(Barrett::new(q).reduce_u128(x), (x % q as u128) as u64);
+    }
+
+    #[test]
+    fn prop_montgomery_and_barrett_agree(
+        a in any::<u64>(), b in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        let q = odd_modulus(q_raw);
+        let (a, b) = (a % q, b % q);
+        let mont = Montgomery::new(q);
+        let br = Barrett::new(q);
+        prop_assert_eq!(mont.mul_plain(a, b), br.mul(a, b));
+    }
+
+    #[test]
+    fn prop_montgomery_roundtrip(a in any::<u64>(), q_raw in any::<u64>()) {
+        let q = odd_modulus(q_raw);
+        let mont = Montgomery::new(q);
+        let a = a % q;
+        prop_assert_eq!(mont.from_mont(mont.to_mont(a)), a);
+    }
+
+    #[test]
+    fn prop_shoup_agrees_with_mul_mod(
+        w in any::<u64>(), a in any::<u64>(), q_raw in any::<u64>()
+    ) {
+        // Shoup multiplication needs q < 2^63 headroom; stay in the
+        // shared 62-bit domain.
+        let q = any_modulus(q_raw);
+        let (w, a) = (w % q, a % q);
+        let sm = ShoupMul::new(w, q);
+        prop_assert_eq!(sm.mul(a), mul_mod(a, w, q));
+    }
+
+    #[test]
+    fn prop_inv_mod_is_inverse_over_prime(a in any::<u64>(), bits in 20u32..60) {
+        let q = generate_ntt_prime(64, bits).unwrap();
+        let a = a % q;
+        match inv_mod(a, q) {
+            Some(inv) => {
+                prop_assert_eq!(mul_mod(a, inv, q), 1);
+                prop_assert_eq!(inv, pow_mod(a, q - 2, q));
+            }
+            None => prop_assert_eq!(a, 0),
+        }
     }
 }

@@ -41,6 +41,6 @@ pub mod engine;
 pub mod machines;
 pub mod report;
 
-pub use engine::{simulate, InstrCost, ResKind};
+pub use engine::{simulate, simulate_verified, InstrCost, ResKind};
 pub use machines::{ComposedMachine, Machine, SharpMachine, StrixMachine, UfcConfig, UfcMachine};
 pub use report::SimReport;

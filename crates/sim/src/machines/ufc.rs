@@ -65,9 +65,9 @@ impl UfcConfig {
         let lane_scale = (self.pes as f64 * self.butterfly_per_pe as f64) / (64.0 * 128.0);
         let alu_scale = (self.pes as f64 * self.alu_per_pe as f64) / (64.0 * 256.0);
         let pe_array = 52.0 * lane_scale + 28.0 * alu_scale + 10.0; // ALUs + RFs
-        // One global network is the most wiring; splitting into G
-        // networks shrinks the long wires but adds the inter-network
-        // crossbar.
+                                                                    // One global network is the most wiring; splitting into G
+                                                                    // networks shrinks the long wires but adds the inter-network
+                                                                    // crossbar.
         let g = self.cg_networks as f64;
         let interconnect = 58.0 * lane_scale / g.powf(0.25) + 2.0 * (g - 1.0);
         let scratchpad = 0.137 * self.scratchpad_mib as f64;
@@ -165,8 +165,7 @@ impl UfcMachine {
         let tput = usable.max(1);
         let base = cdiv(words * log_n, tput);
         if self.cfg.cg_networks > 1 {
-            let per_network_words =
-                self.cfg.ntt_words_per_cycle() / self.cfg.cg_networks as u64;
+            let per_network_words = self.cfg.ntt_words_per_cycle() / self.cfg.cg_networks as u64;
             if instr.shape.n() > per_network_words {
                 // log2(G) of the stages cross the slower inter-network
                 // crossbar (≈4× cost each).
@@ -209,8 +208,7 @@ impl Machine for UfcMachine {
     }
 
     fn static_power_w(&self) -> f64 {
-        STATIC_W_PER_MM2 * self.area_mm2()
-            + STATIC_W_PER_SP_MIB * self.cfg.scratchpad_mib as f64
+        STATIC_W_PER_MM2 * self.area_mm2() + STATIC_W_PER_SP_MIB * self.cfg.scratchpad_mib as f64
     }
 
     fn cost(&self, i: &MacroInstr) -> InstrCost {
@@ -286,7 +284,7 @@ impl Machine for UfcMachine {
             // makes the transfer free.
             Kernel::Transfer => InstrCost::free(),
         };
-        
+
         if hbm > 0 {
             cost.with(ResKind::Hbm, hbm).with_energy(e_hbm)
         } else {

@@ -1,9 +1,7 @@
 //! Simulation results: delay, energy, EDP/EDAP and utilization.
 
-use serde::{Deserialize, Serialize};
-
 /// The outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Machine name.
     pub machine: String,

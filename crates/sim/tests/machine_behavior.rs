@@ -20,7 +20,11 @@ fn phase_cycles_sum_close_to_makespan() {
     let total: u64 = r.phase_cycles.iter().map(|(_, c)| c).sum();
     // The stream is a single dependent chain, so attributed cycles
     // must cover most of the makespan.
-    assert!(total >= r.cycles / 2, "phase sum {total} vs makespan {}", r.cycles);
+    assert!(
+        total >= r.cycles / 2,
+        "phase sum {total} vs makespan {}",
+        r.cycles
+    );
     assert_eq!(r.phase_cycles[0].0, "TfheBlindRotate");
 }
 
@@ -28,7 +32,10 @@ fn phase_cycles_sum_close_to_makespan() {
 fn t4_is_costlier_than_t1_on_both_machines() {
     let t1 = pbs_stream("T1", 32);
     let t4 = pbs_stream("T4", 32);
-    for m in [&UfcMachine::paper_default() as &dyn Machine, &StrixMachine::new()] {
+    for m in [
+        &UfcMachine::paper_default() as &dyn Machine,
+        &StrixMachine::new(),
+    ] {
         let r1 = simulate(m, &t1);
         let r4 = simulate(m, &t4);
         // T4: N is 16x larger, n is 2x larger.

@@ -144,10 +144,9 @@ fn encrypt_lwe_at<R: Rng + ?Sized>(
 ) -> LweCiphertext {
     use ufc_math::modops::add_mod;
     let a: Vec<u64> = (0..s.len()).map(|_| rng.gen_range(0..q)).collect();
-    let dot = a
-        .iter()
-        .zip(s)
-        .fold(0u64, |acc, (&ai, &si)| add_mod(acc, mul_mod(ai, si % q, q), q));
+    let dot = a.iter().zip(s).fold(0u64, |acc, (&ai, &si)| {
+        add_mod(acc, mul_mod(ai, si % q, q), q)
+    });
     let e = from_signed(ufc_math::sample::gaussian(rng, sigma), q);
     LweCiphertext {
         b: add_mod(add_mod(dot, m % q, q), e, q),
@@ -159,11 +158,7 @@ fn encrypt_lwe_at<R: Rng + ?Sized>(
 /// Encodes integer messages into CKKS *coefficients* at scale
 /// `q_0/space` — the payload layout extraction expects (what
 /// SlotToCoeff produces in a full pipeline).
-pub fn encode_coefficients(
-    ctx: &CkksContext,
-    messages: &[u64],
-    space: u64,
-) -> ufc_ckks::RnsPoly {
+pub fn encode_coefficients(ctx: &CkksContext, messages: &[u64], space: u64) -> ufc_ckks::RnsPoly {
     let q0 = ctx.q_moduli()[0];
     let delta = q0 / space;
     let signed: Vec<i64> = (0..ctx.n())

@@ -64,9 +64,9 @@ impl HybridEnv {
         // k-NN would compute distances homomorphically first; the
         // workload generator models that part at paper scale.
         let pt = encode_coefficients(self.ckks.context(), values, space);
-        let ct = self
-            .ckks
-            .encrypt_plaintext(&pt, &self.ckks_keys, self.ckks.context().max_level(), rng);
+        let ct =
+            self.ckks
+                .encrypt_plaintext(&pt, &self.ckks_keys, self.ckks.context().max_level(), rng);
         // Scheme switch: extract one LWE per value.
         let indices: Vec<usize> = (0..values.len()).collect();
         let lwes = self.bridge.extract(&self.ckks, &ct, &indices, &self.tfhe);

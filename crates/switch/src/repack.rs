@@ -47,9 +47,7 @@ impl LweToCkks {
             slots.is_multiple_of(n),
             "slot count must be a multiple of the LWE dimension"
         );
-        let key_vals: Vec<f64> = (0..slots)
-            .map(|j| tfhe_keys.lwe_sk[j % n] as f64)
-            .collect();
+        let key_vals: Vec<f64> = (0..slots).map(|j| tfhe_keys.lwe_sk[j % n] as f64).collect();
         let key_ct = ev.encrypt_real(&key_vals, ckks_keys, rng);
         // Rotation keys for steps 1..n (diagonal method).
         let ctx = ev.context().clone();
@@ -143,9 +141,9 @@ impl LweToCkks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ufc_ckks::CkksContext;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use ufc_ckks::CkksContext;
 
     /// Builds LWEs whose phases are exactly representable and whose
     /// wrap counts stay small (masks drawn from a reduced range so the
@@ -160,7 +158,9 @@ mod tests {
     ) -> LweCiphertext {
         let q = ctx.q();
         let range = q / 64; // small masks => |wrap| stays tiny
-        let a: Vec<u64> = (0..ctx.lwe_dim()).map(|_| rng.gen_range(0..range)).collect();
+        let a: Vec<u64> = (0..ctx.lwe_dim())
+            .map(|_| rng.gen_range(0..range))
+            .collect();
         let dot = a.iter().zip(&keys.lwe_sk).fold(0u64, |acc, (&ai, &si)| {
             ufc_math::modops::add_mod(acc, ufc_math::modops::mul_mod(ai, si, q), q)
         });
@@ -201,7 +201,11 @@ mod tests {
         for (j, &m) in messages.iter().enumerate() {
             // With reduced-range masks the wrap count is zero, so the
             // packed slot is the signed phase directly.
-            let expect = if m > 8 { m as f64 / 16.0 - 1.0 } else { m as f64 / 16.0 };
+            let expect = if m > 8 {
+                m as f64 / 16.0 - 1.0
+            } else {
+                m as f64 / 16.0
+            };
             assert!(
                 (dec[j] - expect).abs() < 0.02,
                 "slot {j}: got {} want {expect}",
@@ -224,7 +228,11 @@ mod tests {
         let dec = ev.decrypt_real(&reduced, &sk);
         for (j, &m) in messages.iter().enumerate() {
             // signed phase: 15/16 == -1/16.
-            let expect = if m > 8 { m as f64 / 16.0 - 1.0 } else { m as f64 / 16.0 };
+            let expect = if m > 8 {
+                m as f64 / 16.0 - 1.0
+            } else {
+                m as f64 / 16.0
+            };
             assert!(
                 (dec[j] - expect).abs() < 0.02,
                 "slot {j}: got {} want {expect}",
@@ -236,8 +244,7 @@ mod tests {
     #[test]
     fn repack_records_trace() {
         let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
-        let lwes =
-            vec![small_mask_lwe(&tfhe_ctx, &tfhe_keys, 1, 16, &mut rng)];
+        let lwes = vec![small_mask_lwe(&tfhe_ctx, &tfhe_keys, 1, 16, &mut rng)];
         let _ = ev.take_trace();
         let _ = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
         let tr = ev.take_trace();

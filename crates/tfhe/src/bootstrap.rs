@@ -138,11 +138,7 @@ mod tests {
         for m in 0..4u64 {
             let ct = LweCiphertext::encrypt(&ctx, &keys.lwe_sk, ctx.encode(m, 8), &mut rng);
             let out = programmable_bootstrap(&ctx, &keys, &ct, &tv);
-            assert_eq!(
-                out.decrypt(&ctx, &keys.lwe_sk, 8),
-                (2 * m + 1) % 8,
-                "m={m}"
-            );
+            assert_eq!(out.decrypt(&ctx, &keys.lwe_sk, 8), (2 * m + 1) % 8, "m={m}");
         }
     }
 

@@ -2,10 +2,10 @@
 
 use parking_lot::Mutex;
 use std::sync::Arc;
-use ufc_math::poly::Poly;
 use ufc_isa::trace::{Trace, TraceOp};
 use ufc_math::gadget::Gadget;
 use ufc_math::ntt::NttContext;
+use ufc_math::poly::Poly;
 use ufc_math::prime::generate_ntt_prime;
 
 /// Which polynomial-multiplication datapath to use (§VII-D): UFC
@@ -149,8 +149,8 @@ impl TfheContext {
 
     /// Decodes a phase back to the nearest message in `space`.
     pub fn decode(&self, phase: u64, space: u64) -> u64 {
-        (((phase as u128 * space as u128 + self.q as u128 / 2) / self.q as u128)
-            % space as u128) as u64
+        (((phase as u128 * space as u128 + self.q as u128 / 2) / self.q as u128) % space as u128)
+            as u64
     }
 }
 
@@ -204,7 +204,11 @@ mod tests {
         let ctx = TfheContext::new(16, 64, 7, 3, 4, 3);
         for space in [2u64, 4, 8, 16] {
             for m in 0..space {
-                assert_eq!(ctx.decode(ctx.encode(m, space), space), m, "m={m} space={space}");
+                assert_eq!(
+                    ctx.decode(ctx.encode(m, space), space),
+                    m,
+                    "m={m} space={space}"
+                );
             }
         }
     }

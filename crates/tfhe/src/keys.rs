@@ -24,8 +24,12 @@ pub struct TfheKeys {
 impl TfheKeys {
     /// Generates all keys.
     pub fn generate<R: Rng + ?Sized>(ctx: &TfheContext, rng: &mut R) -> Self {
-        let lwe_sk: Vec<u64> = (0..ctx.lwe_dim()).map(|_| rng.gen_range(0..=1u64)).collect();
-        let ring_sk: Vec<i64> = (0..ctx.ring_dim()).map(|_| rng.gen_range(0..=1i64)).collect();
+        let lwe_sk: Vec<u64> = (0..ctx.lwe_dim())
+            .map(|_| rng.gen_range(0..=1u64))
+            .collect();
+        let ring_sk: Vec<i64> = (0..ctx.ring_dim())
+            .map(|_| rng.gen_range(0..=1i64))
+            .collect();
 
         let bsk = lwe_sk
             .iter()
@@ -89,11 +93,7 @@ mod tests {
         for i in [0usize, 5, 63] {
             for j in 0..g.levels() {
                 let phase = keys.ksk[i][j].phase(&keys.lwe_sk);
-                let expect = mul_mod(
-                    from_signed(keys.ring_sk[i], ctx.q()),
-                    g.weight(j),
-                    ctx.q(),
-                );
+                let expect = mul_mod(from_signed(keys.ring_sk[i], ctx.q()), g.weight(j), ctx.q());
                 let diff = ufc_math::modops::to_signed(
                     ufc_math::modops::sub_mod(phase, expect, ctx.q()),
                     ctx.q(),

@@ -27,12 +27,7 @@ impl LweCiphertext {
     }
 
     /// Encrypts `m` (already torus-encoded) under binary key `s`.
-    pub fn encrypt<R: Rng + ?Sized>(
-        ctx: &TfheContext,
-        s: &[u64],
-        m: u64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn encrypt<R: Rng + ?Sized>(ctx: &TfheContext, s: &[u64], m: u64, rng: &mut R) -> Self {
         let q = ctx.q();
         let a: Vec<u64> = (0..s.len()).map(|_| rng.gen_range(0..q)).collect();
         let dot = a
@@ -47,11 +42,9 @@ impl LweCiphertext {
     /// Computes the phase `b - <a, s>` (message + noise).
     pub fn phase(&self, s: &[u64]) -> u64 {
         assert_eq!(s.len(), self.a.len(), "key dimension mismatch");
-        let dot = self
-            .a
-            .iter()
-            .zip(s)
-            .fold(0u64, |acc, (&ai, &si)| add_mod(acc, mul_mod(ai, si, self.q), self.q));
+        let dot = self.a.iter().zip(s).fold(0u64, |acc, (&ai, &si)| {
+            add_mod(acc, mul_mod(ai, si, self.q), self.q)
+        });
         sub_mod(self.b, dot, self.q)
     }
 
@@ -125,8 +118,7 @@ impl LweCiphertext {
     pub fn mod_switch(&self, new_q: u64) -> Self {
         let sw = |v: u64| -> u64 {
             let centered = to_signed(v, self.q);
-            let scaled = ((centered as i128 * new_q as i128) as f64 / self.q as f64).round()
-                as i64;
+            let scaled = ((centered as i128 * new_q as i128) as f64 / self.q as f64).round() as i64;
             from_signed(scaled, new_q)
         };
         Self {
@@ -193,11 +185,10 @@ mod tests {
             let ct = LweCiphertext::encrypt(&ctx, &s, ctx.encode(m, 4), &mut rng);
             let sw = ct.mod_switch(2 * big_n);
             // Phase in the 2N domain should decode to the same message.
-            let dot = sw
-                .a
-                .iter()
-                .zip(&s)
-                .fold(0u64, |acc, (&ai, &si)| (acc + ai * si) % (2 * big_n));
+            let dot =
+                sw.a.iter()
+                    .zip(&s)
+                    .fold(0u64, |acc, (&ai, &si)| (acc + ai * si) % (2 * big_n));
             let phase = (sw.b + 2 * big_n - dot) % (2 * big_n);
             let dec = ((phase as f64 * 4.0 / (2.0 * big_n as f64)).round() as u64) % 4;
             assert_eq!(dec, m, "m={m}");

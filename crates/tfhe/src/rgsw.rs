@@ -114,11 +114,7 @@ mod tests {
             .iter()
             .zip(want.coeffs())
             .map(|(&g, &w)| {
-                to_signed(
-                    if g >= w { g - w } else { ctx.q() - (w - g) },
-                    ctx.q(),
-                )
-                .abs()
+                to_signed(if g >= w { g - w } else { ctx.q() - (w - g) }, ctx.q()).abs()
             })
             .max()
             .unwrap()
@@ -127,10 +123,7 @@ mod tests {
     #[test]
     fn external_product_by_one_is_identity() {
         let (ctx, s, mut rng) = setup();
-        let m = Poly::from_coeffs(
-            (0..128u64).map(|i| ctx.encode(i % 4, 4)).collect(),
-            ctx.q(),
-        );
+        let m = Poly::from_coeffs((0..128u64).map(|i| ctx.encode(i % 4, 4)).collect(), ctx.q());
         let ct = RlweCiphertext::encrypt(&ctx, &s, &m, &mut rng);
         let one = RgswCiphertext::encrypt_bit(&ctx, &s, 1, &mut rng);
         let out = one.external_product(&ctx, &ct);

@@ -116,22 +116,25 @@ mod tests {
     fn setup() -> (TfheContext, Vec<i64>, StdRng) {
         let ctx = TfheContext::new(16, 64, 7, 3, 4, 3);
         let mut rng = StdRng::seed_from_u64(5);
-        let s: Vec<i64> = (0..64).map(|_| rand::Rng::gen_range(&mut rng, 0..=1i64)).collect();
+        let s: Vec<i64> = (0..64)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..=1i64))
+            .collect();
         (ctx, s, rng)
     }
 
     #[test]
     fn encrypt_phase_is_message_plus_noise() {
         let (ctx, s, mut rng) = setup();
-        let m = Poly::from_coeffs(
-            (0..64u64).map(|i| ctx.encode(i % 4, 4)).collect(),
-            ctx.q(),
-        );
+        let m = Poly::from_coeffs((0..64u64).map(|i| ctx.encode(i % 4, 4)).collect(), ctx.q());
         let ct = RlweCiphertext::encrypt(&ctx, &s, &m, &mut rng);
         let phase = ct.phase(&ctx, &s);
         for (got, want) in phase.coeffs().iter().zip(m.coeffs()) {
             let diff = to_signed(
-                if got >= want { got - want } else { ctx.q() - (want - got) },
+                if got >= want {
+                    got - want
+                } else {
+                    ctx.q() - (want - got)
+                },
                 ctx.q(),
             );
             assert!(diff.abs() < 64, "noise too large: {diff}");

@@ -1,6 +1,8 @@
 //! C-SEND-SYNC for the TFHE types.
 
-use ufc_tfhe::{LweCiphertext, RgswCiphertext, RlweCiphertext, TfheContext, TfheEvaluator, TfheKeys};
+use ufc_tfhe::{
+    LweCiphertext, RgswCiphertext, RlweCiphertext, TfheContext, TfheEvaluator, TfheKeys,
+};
 
 fn assert_send_sync<T: Send + Sync>() {}
 

@@ -1,0 +1,210 @@
+//! `ufc-lint` — static checker for serialized UFC traces and
+//! instruction streams.
+//!
+//! ```text
+//! ufc-lint [OPTIONS] FILE...
+//!
+//!   --json                 emit diagnostics as a JSON object per file
+//!   --target any|ufc|composed
+//!                          enable target-specific checks (default: any)
+//!   --scratchpad-mib N     scratchpad capacity for the liveness sweep
+//!                          (default: 256, the UfcConfig default)
+//!   --deny-warnings        treat warnings as fatal
+//!   -h, --help             this text
+//! ```
+//!
+//! Exit codes: 0 = clean (or info only), 1 = findings at the fatal
+//! threshold, 2 = usage or I/O or parse failure.
+
+use std::process::ExitCode;
+
+use ufc_verify::{verify_text, Target, VerifyOptions};
+
+const USAGE: &str = "\
+usage: ufc-lint [OPTIONS] FILE...
+
+Statically checks serialized UFC traces (*.trace) and instruction
+streams (*.stream) without executing them.
+
+options:
+  --json                emit diagnostics as JSON (one object per file)
+  --target TARGET       any | ufc | composed   (default: any)
+  --scratchpad-mib N    scratchpad capacity in MiB (default: 256)
+  --deny-warnings       non-zero exit on warnings, not just errors
+  -h, --help            show this help
+";
+
+struct Args {
+    files: Vec<String>,
+    json: bool,
+    target: Target,
+    scratchpad_mib: Option<u64>,
+    deny_warnings: bool,
+}
+
+enum ArgError {
+    Help,
+    Bad(String),
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, ArgError> {
+    let mut args = Args {
+        files: Vec::new(),
+        json: false,
+        target: Target::Any,
+        scratchpad_mib: None,
+        deny_warnings: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(ArgError::Help),
+            "--json" => args.json = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--target" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError::Bad("--target needs a value".into()))?;
+                args.target = Target::parse(v).ok_or_else(|| {
+                    ArgError::Bad(format!("unknown target `{v}` (any|ufc|composed)"))
+                })?;
+            }
+            "--scratchpad-mib" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError::Bad("--scratchpad-mib needs a value".into()))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| ArgError::Bad(format!("invalid MiB count `{v}`")))?;
+                args.scratchpad_mib = Some(n);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(ArgError::Bad(format!("unknown option `{flag}`")));
+            }
+            file => args.files.push(file.to_string()),
+        }
+    }
+    if args.files.is_empty() {
+        return Err(ArgError::Bad("no input files".into()));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(ArgError::Help) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(ArgError::Bad(msg)) => {
+            eprintln!("ufc-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let opts = VerifyOptions {
+        target: args.target,
+        scratchpad_bytes: args.scratchpad_mib.map(|m| m << 20),
+    };
+
+    let mut fatal = false;
+    let mut broken = false;
+    let mut json_files = Vec::new();
+    for file in &args.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ufc-lint: {file}: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        match verify_text(&text, &opts) {
+            Ok((_, report)) => {
+                if report.has_errors() || (args.deny_warnings && report.warning_count() > 0) {
+                    fatal = true;
+                }
+                if args.json {
+                    json_files.push(format!(
+                        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                        ufc_verify::diag::json_escape(file),
+                        report.error_count(),
+                        report.warning_count(),
+                        report.to_json()
+                    ));
+                } else if report.is_clean() {
+                    println!("{file}: clean");
+                } else {
+                    for d in report.diagnostics() {
+                        println!("{file}: {d}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("ufc-lint: {file}: {e}");
+                broken = true;
+            }
+        }
+    }
+
+    if args.json {
+        println!("[{}]", json_files.join(","));
+    }
+
+    if broken {
+        ExitCode::from(2)
+    } else if fatal {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(std::string::ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_files() {
+        let a = parse_args(&argv(&[
+            "--json",
+            "--target",
+            "ufc",
+            "--scratchpad-mib",
+            "64",
+            "--deny-warnings",
+            "x.trace",
+            "y.stream",
+        ]))
+        .unwrap_or_else(|_| panic!("should parse"));
+        assert!(a.json);
+        assert!(a.deny_warnings);
+        assert_eq!(a.target, Target::Ufc);
+        assert_eq!(a.scratchpad_mib, Some(64));
+        assert_eq!(a.files, vec!["x.trace", "y.stream"]);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(matches!(parse_args(&argv(&[])), Err(ArgError::Bad(_))));
+        assert!(matches!(
+            parse_args(&argv(&["--target", "weird", "f"])),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["--frobnicate", "f"])),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["--help"])),
+            Err(ArgError::Help)
+        ));
+    }
+}

@@ -1,0 +1,266 @@
+//! Diagnostics: severity-ranked findings with stable codes, a
+//! sortable report, and JSON emission for tooling.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never blocks.
+    Info,
+    /// Suspicious: very likely a mistake, does not invalidate results.
+    Warning,
+    /// Invalid: the stream/trace violates a hard invariant; any
+    /// simulation result derived from it is untrustworthy.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name (`error`, `warning`, `info`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where in the input a finding points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// The whole trace/stream.
+    Global,
+    /// Trace operation at this index.
+    Op(usize),
+    /// Macro-instruction at this stream position.
+    Instr(usize),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Global => write!(f, "global"),
+            Location::Op(i) => write!(f, "op {i}"),
+            Location::Instr(i) => write!(f, "instr {i}"),
+        }
+    }
+}
+
+/// One finding of one check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity rank.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `trace/level-exceeds-max`.
+    pub code: &'static str,
+    /// What the finding points at.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity.name(),
+            self.code,
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// The outcome of running a set of checks: diagnostics ranked
+/// most-severe first (stable within a severity by input order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        code: &'static str,
+        location: Location,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity,
+            code,
+            location,
+            message: message.into(),
+        });
+    }
+
+    /// Absorbs all findings of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// The findings, most severe first.
+    pub fn diagnostics(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        v.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        v
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is completely clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding carries this code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Serializes the ranked findings as a JSON array (objects with
+    /// `severity`, `code`, `location`, `index`, `message`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (loc_kind, loc_index) = match d.location {
+                Location::Global => ("global", None),
+                Location::Op(i) => ("op", Some(i)),
+                Location::Instr(i) => ("instr", Some(i)),
+            };
+            out.push_str("{\"severity\":\"");
+            out.push_str(d.severity.name());
+            out.push_str("\",\"code\":\"");
+            out.push_str(d.code);
+            out.push_str("\",\"location\":\"");
+            out.push_str(loc_kind);
+            out.push('"');
+            if let Some(idx) = loc_index {
+                out.push_str(&format!(",\"index\":{idx}"));
+            }
+            out.push_str(",\"message\":\"");
+            out.push_str(&json_escape(&d.message));
+            out.push_str("\"}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in self.diagnostics() {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} info",
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_errors_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_ranks_most_severe_first() {
+        let mut r = Report::new();
+        r.push(Severity::Info, "a/i", Location::Global, "i");
+        r.push(Severity::Error, "a/e", Location::Op(3), "e");
+        r.push(Severity::Warning, "a/w", Location::Instr(1), "w");
+        let d = r.diagnostics();
+        assert_eq!(d[0].code, "a/e");
+        assert_eq!(d[1].code, "a/w");
+        assert_eq!(d[2].code, "a/i");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_code("a/w"));
+        assert!(!r.has_code("a/x"));
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_ranked() {
+        let mut r = Report::new();
+        r.push(
+            Severity::Info,
+            "x/i",
+            Location::Global,
+            "quote \" and \\ backslash",
+        );
+        r.push(Severity::Error, "x/e", Location::Instr(7), "bad");
+        let j = r.to_json();
+        assert!(j.starts_with("[{\"severity\":\"error\""));
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\"index\":7"));
+    }
+
+    #[test]
+    fn display_formats_counts() {
+        let mut r = Report::new();
+        r.push(Severity::Error, "x/e", Location::Op(0), "bad");
+        let s = r.to_string();
+        assert!(s.contains("error[x/e] op 0: bad"));
+        assert!(s.contains("1 error(s)"));
+        assert!(Report::new().to_string().contains("clean"));
+    }
+}

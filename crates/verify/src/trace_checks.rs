@@ -1,0 +1,347 @@
+//! Static checks over ciphertext-granularity [`Trace`]s.
+//!
+//! Everything here runs without executing the trace: parameter
+//! resolution, per-op level/shape sanity against the modulus chain,
+//! and scheme-switching sequencing (`Extract` before TFHE work,
+//! `Repack` only consuming previously extracted LWEs,
+//! `SchemeTransfer` only on the composed baseline).
+
+use crate::diag::{Location, Report, Severity};
+use crate::{Target, VerifyOptions};
+use ufc_isa::params::{ckks_params, tfhe_params};
+use ufc_isa::trace::{Trace, TraceOp};
+
+/// Runs every trace check, returning the merged report.
+pub fn check_trace(trace: &Trace, opts: &VerifyOptions) -> Report {
+    let mut report = Report::new();
+    check_params(trace, &mut report);
+    check_levels(trace, &mut report);
+    check_shapes(trace, &mut report);
+    check_scheme_switching(trace, opts, &mut report);
+    report
+}
+
+/// `trace/params-unknown`, `trace/params-missing`: the parameter
+/// environment must resolve in the Table III registry and cover every
+/// scheme the trace uses.
+fn check_params(trace: &Trace, report: &mut Report) {
+    let (ckks_ops, tfhe_ops, _) = trace.scheme_mix();
+    match trace.ckks_params {
+        Some(id) if ckks_params(id).is_none() => report.push(
+            Severity::Error,
+            "trace/params-unknown",
+            Location::Global,
+            format!("CKKS parameter set `{id}` is not in the registry"),
+        ),
+        None if ckks_ops > 0 => report.push(
+            Severity::Error,
+            "trace/params-missing",
+            Location::Global,
+            format!("{ckks_ops} CKKS op(s) but no CKKS parameter set declared"),
+        ),
+        _ => {}
+    }
+    match trace.tfhe_params {
+        Some(id) if tfhe_params(id).is_none() => report.push(
+            Severity::Error,
+            "trace/params-unknown",
+            Location::Global,
+            format!("TFHE parameter set `{id}` is not in the registry"),
+        ),
+        None if tfhe_ops > 0 => report.push(
+            Severity::Error,
+            "trace/params-missing",
+            Location::Global,
+            format!("{tfhe_ops} TFHE op(s) but no TFHE parameter set declared"),
+        ),
+        _ => {}
+    }
+}
+
+/// The CKKS level an op claims to run at, if any.
+fn op_level(op: &TraceOp) -> Option<u32> {
+    match *op {
+        TraceOp::CkksAdd { level }
+        | TraceOp::CkksMulPlain { level }
+        | TraceOp::CkksMulCt { level }
+        | TraceOp::CkksRescale { level }
+        | TraceOp::CkksRotate { level, .. }
+        | TraceOp::CkksConjugate { level }
+        | TraceOp::Extract { level, .. }
+        | TraceOp::Repack { level, .. } => Some(level),
+        TraceOp::CkksModRaise { from_level } => Some(from_level),
+        _ => None,
+    }
+}
+
+/// `trace/level-exceeds-max`, `trace/rescale-at-zero`: every claimed
+/// level must fit the declared modulus chain, and a rescale must have
+/// a limb to drop.
+fn check_levels(trace: &Trace, report: &mut Report) {
+    let max_level = trace
+        .ckks_params
+        .and_then(ckks_params)
+        .map(|p| p.max_level());
+    for (i, op) in trace.ops.iter().enumerate() {
+        if let (Some(level), Some(max)) = (op_level(op), max_level) {
+            if level > max {
+                report.push(
+                    Severity::Error,
+                    "trace/level-exceeds-max",
+                    Location::Op(i),
+                    format!(
+                        "{op:?} claims level {level} but `{}` tops out at {max}",
+                        trace.ckks_params.unwrap_or("?")
+                    ),
+                );
+            }
+        }
+        if matches!(op, TraceOp::CkksRescale { level: 0 }) {
+            report.push(
+                Severity::Error,
+                "trace/rescale-at-zero",
+                Location::Op(i),
+                "rescale at level 0 has no limb to drop",
+            );
+        }
+    }
+}
+
+/// `trace/batch-zero`, `trace/transfer-zero-bytes`: degenerate op
+/// shapes that lower to nothing and usually indicate a broken tracer.
+fn check_shapes(trace: &Trace, report: &mut Report) {
+    for (i, op) in trace.ops.iter().enumerate() {
+        let zero = match *op {
+            TraceOp::TfhePbs { batch } | TraceOp::TfheKeySwitch { batch } => batch == 0,
+            TraceOp::TfheLinear { count }
+            | TraceOp::Extract { count, .. }
+            | TraceOp::Repack { count, .. } => count == 0,
+            _ => false,
+        };
+        if zero {
+            report.push(
+                Severity::Warning,
+                "trace/batch-zero",
+                Location::Op(i),
+                format!("{op:?} has a zero batch/count and lowers to nothing"),
+            );
+        }
+        if matches!(op, TraceOp::SchemeTransfer { bytes: 0 }) {
+            report.push(
+                Severity::Warning,
+                "trace/transfer-zero-bytes",
+                Location::Op(i),
+                "scheme transfer of 0 bytes",
+            );
+        }
+    }
+}
+
+/// Scheme-switching sequencing (§II-D):
+///
+/// * `trace/tfhe-before-extract` — in a hybrid trace, TFHE work before
+///   any LWEs have been extracted operates on nothing;
+/// * `trace/repack-without-extract` — a repack needs extracted LWEs;
+/// * `trace/repack-count-exceeds-extracted` — cannot repack more LWEs
+///   than were extracted so far;
+/// * `trace/extract-never-repacked` — extracted LWEs left unconsumed
+///   (fine if the program ends on the TFHE side, hence Info);
+/// * `trace/transfer-on-unified` — `SchemeTransfer` models the PCIe
+///   hop of the composed SHARP+Strix baseline and must not appear in a
+///   trace targeting the unified accelerator.
+fn check_scheme_switching(trace: &Trace, opts: &VerifyOptions, report: &mut Report) {
+    let hybrid = trace.is_hybrid();
+    let mut extracted: u64 = 0;
+    let mut repacked: u64 = 0;
+    let mut warned_tfhe_before_extract = false;
+    for (i, op) in trace.ops.iter().enumerate() {
+        match *op {
+            TraceOp::Extract { count, .. } => extracted += count as u64,
+            TraceOp::Repack { count, .. } => {
+                if extracted == 0 {
+                    report.push(
+                        Severity::Error,
+                        "trace/repack-without-extract",
+                        Location::Op(i),
+                        "repack with no preceding extract: no LWE ciphertexts exist",
+                    );
+                } else if repacked + count as u64 > extracted {
+                    report.push(
+                        Severity::Error,
+                        "trace/repack-count-exceeds-extracted",
+                        Location::Op(i),
+                        format!(
+                            "repacking {count} LWEs but only {} of {extracted} \
+                             extracted remain",
+                            extracted - repacked
+                        ),
+                    );
+                }
+                repacked += count as u64;
+            }
+            TraceOp::TfhePbs { .. }
+            | TraceOp::TfheKeySwitch { .. }
+            | TraceOp::TfheLinear { .. }
+                if hybrid && extracted == 0 && !warned_tfhe_before_extract =>
+            {
+                warned_tfhe_before_extract = true;
+                report.push(
+                    Severity::Warning,
+                    "trace/tfhe-before-extract",
+                    Location::Op(i),
+                    "hybrid trace runs TFHE ops before any Extract; the logic \
+                         side has no data derived from the SIMD side",
+                );
+            }
+            TraceOp::SchemeTransfer { .. } if opts.target == Target::Ufc => {
+                report.push(
+                    Severity::Error,
+                    "trace/transfer-on-unified",
+                    Location::Op(i),
+                    "SchemeTransfer belongs to the composed baseline; UFC keeps \
+                         data on-chip across scheme switches",
+                );
+            }
+            _ => {}
+        }
+    }
+    if extracted > repacked && repacked > 0 {
+        report.push(
+            Severity::Info,
+            "trace/extract-never-repacked",
+            Location::Global,
+            format!("{} extracted LWE(s) never repacked", extracted - repacked),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> VerifyOptions {
+        VerifyOptions::default()
+    }
+
+    #[test]
+    fn clean_ckks_trace_passes() {
+        let mut tr = Trace::new("ok").with_ckks("C1");
+        tr.push(TraceOp::CkksMulCt { level: 10 });
+        tr.push(TraceOp::CkksRescale { level: 10 });
+        assert!(check_trace(&tr, &opts()).is_clean());
+    }
+
+    #[test]
+    fn unknown_params_flagged() {
+        let mut tr = Trace::new("bad").with_ckks("C9");
+        tr.push(TraceOp::CkksAdd { level: 1 });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/params-unknown"));
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn missing_params_flagged() {
+        let mut tr = Trace::new("bad");
+        tr.push(TraceOp::TfhePbs { batch: 8 });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/params-missing"));
+    }
+
+    #[test]
+    fn level_exceeding_chain_flagged() {
+        let max = ckks_params("C1").unwrap().max_level();
+        let mut tr = Trace::new("deep").with_ckks("C1");
+        tr.push(TraceOp::CkksRotate {
+            level: max + 1,
+            step: 1,
+        });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/level-exceeds-max"));
+    }
+
+    #[test]
+    fn rescale_at_zero_flagged() {
+        let mut tr = Trace::new("z").with_ckks("C1");
+        tr.push(TraceOp::CkksRescale { level: 0 });
+        assert!(check_trace(&tr, &opts()).has_code("trace/rescale-at-zero"));
+    }
+
+    #[test]
+    fn zero_batch_warned() {
+        let mut tr = Trace::new("zb").with_tfhe("T1");
+        tr.push(TraceOp::TfhePbs { batch: 0 });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/batch-zero"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn repack_without_extract_is_error() {
+        let mut tr = Trace::new("rp").with_ckks("C1").with_tfhe("T1");
+        tr.push(TraceOp::Repack {
+            count: 16,
+            level: 4,
+        });
+        assert!(check_trace(&tr, &opts()).has_code("trace/repack-without-extract"));
+    }
+
+    #[test]
+    fn repack_budget_enforced() {
+        let mut tr = Trace::new("rb").with_ckks("C1").with_tfhe("T1");
+        tr.push(TraceOp::Extract { level: 5, count: 8 });
+        tr.push(TraceOp::TfhePbs { batch: 8 });
+        tr.push(TraceOp::Repack {
+            count: 16,
+            level: 4,
+        });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/repack-count-exceeds-extracted"));
+    }
+
+    #[test]
+    fn tfhe_before_extract_warned_only_for_hybrid() {
+        let mut hybrid = Trace::new("h").with_ckks("C1").with_tfhe("T1");
+        hybrid.push(TraceOp::TfhePbs { batch: 4 });
+        hybrid.push(TraceOp::CkksAdd { level: 1 });
+        assert!(check_trace(&hybrid, &opts()).has_code("trace/tfhe-before-extract"));
+
+        let mut pure = Trace::new("p").with_tfhe("T1");
+        pure.push(TraceOp::TfhePbs { batch: 4 });
+        assert!(check_trace(&pure, &opts()).is_clean());
+    }
+
+    #[test]
+    fn transfer_rejected_on_unified_target() {
+        let mut tr = Trace::new("t").with_ckks("C1");
+        tr.push(TraceOp::SchemeTransfer { bytes: 4096 });
+        let ufc = VerifyOptions {
+            target: Target::Ufc,
+            ..VerifyOptions::default()
+        };
+        assert!(check_trace(&tr, &ufc).has_code("trace/transfer-on-unified"));
+        assert!(check_trace(&tr, &opts()).is_clean());
+        let composed = VerifyOptions {
+            target: Target::Composed,
+            ..VerifyOptions::default()
+        };
+        assert!(check_trace(&tr, &composed).is_clean());
+    }
+
+    #[test]
+    fn leftover_extracts_are_info() {
+        let mut tr = Trace::new("i").with_ckks("C1").with_tfhe("T1");
+        tr.push(TraceOp::Extract {
+            level: 5,
+            count: 64,
+        });
+        tr.push(TraceOp::TfhePbs { batch: 64 });
+        tr.push(TraceOp::Repack {
+            count: 32,
+            level: 4,
+        });
+        let r = check_trace(&tr, &opts());
+        assert!(r.has_code("trace/extract-never-repacked"));
+        assert!(!r.has_errors());
+    }
+}

@@ -1,0 +1,309 @@
+//! Fixture-driven acceptance tests for the verifier.
+//!
+//! Every check ships with a seeded-violation fixture under
+//! `tests/fixtures/` plus a clean counterpart; this test proves each
+//! fixture triggers exactly its intended code at the intended
+//! severity, that the clean fixtures stay clean, and that the
+//! `ufc-lint` binary agrees end-to-end.
+
+use std::path::PathBuf;
+use ufc_verify::{verify_text, Severity, Target, VerifyOptions};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(fixture file, expected code, expected top severity, target)`.
+const SEEDED: &[(&str, &str, Severity, Target)] = &[
+    // ------------------------------------------------------- traces
+    (
+        "params_unknown.trace",
+        "trace/params-unknown",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "params_missing.trace",
+        "trace/params-missing",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "level_exceeds_max.trace",
+        "trace/level-exceeds-max",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "rescale_at_zero.trace",
+        "trace/rescale-at-zero",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "batch_zero.trace",
+        "trace/batch-zero",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "transfer_zero_bytes.trace",
+        "trace/transfer-zero-bytes",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "repack_without_extract.trace",
+        "trace/repack-without-extract",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "repack_exceeds_extracted.trace",
+        "trace/repack-count-exceeds-extracted",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "tfhe_before_extract.trace",
+        "trace/tfhe-before-extract",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "extract_never_repacked.trace",
+        "trace/extract-never-repacked",
+        Severity::Info,
+        Target::Any,
+    ),
+    (
+        "clean_composed.trace",
+        "trace/transfer-on-unified",
+        Severity::Error,
+        Target::Ufc,
+    ),
+    // ------------------------------------------------------ streams
+    (
+        "id_mismatch.stream",
+        "stream/id-mismatch",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "dep_out_of_range.stream",
+        "stream/dep-out-of-range",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "dep_forward.stream",
+        "stream/dep-forward",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "dep_duplicate.stream",
+        "stream/dep-duplicate",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "shape_empty.stream",
+        "stream/shape-empty",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "word_bits_invalid.stream",
+        "stream/word-bits-invalid",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "phase_word_mismatch.stream",
+        "stream/phase-word-mismatch",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "pack_zero.stream",
+        "stream/pack-zero",
+        Severity::Error,
+        Target::Any,
+    ),
+    (
+        "pack_exceeds_count.stream",
+        "stream/pack-exceeds-count",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "transfer_on_unified.stream",
+        "stream/transfer-on-unified",
+        Severity::Error,
+        Target::Ufc,
+    ),
+    (
+        "transfer_no_bytes.stream",
+        "stream/transfer-no-bytes",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "load_store_no_bytes.stream",
+        "stream/load-store-no-bytes",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "unsynchronized_crossing.stream",
+        "stream/unsynchronized-scheme-crossing",
+        Severity::Warning,
+        Target::Any,
+    ),
+    (
+        "scratchpad_overflow.stream",
+        "stream/scratchpad-overflow",
+        Severity::Error,
+        Target::Any,
+    ),
+];
+
+#[test]
+fn every_seeded_fixture_triggers_its_code() {
+    for &(file, code, severity, target) in SEEDED {
+        let (_, report) = verify_text(&fixture(file), &VerifyOptions::for_target(target))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(
+            report.has_code(code),
+            "{file}: expected {code}, got:\n{report}"
+        );
+        let top = report
+            .diagnostics()
+            .first()
+            .unwrap_or_else(|| panic!("{file}: empty report"))
+            .severity;
+        assert_eq!(top, severity, "{file}: top severity mismatch:\n{report}");
+    }
+}
+
+#[test]
+fn seeded_fixture_codes_are_exhaustive_and_unique() {
+    // One fixture per check code: a new check without a fixture (or a
+    // renamed code) must show up here.
+    let mut codes: Vec<&str> = SEEDED.iter().map(|&(_, c, _, _)| c).collect();
+    codes.sort_unstable();
+    let n = codes.len();
+    codes.dedup();
+    assert_eq!(n, codes.len(), "duplicate code in the fixture table");
+    assert_eq!(n, 25, "fixture table out of sync with the check inventory");
+}
+
+#[test]
+fn clean_fixtures_are_clean_under_their_targets() {
+    for (file, targets) in [
+        (
+            "clean.trace",
+            &[Target::Any, Target::Ufc, Target::Composed][..],
+        ),
+        (
+            "clean.stream",
+            &[Target::Any, Target::Ufc, Target::Composed][..],
+        ),
+        ("clean_composed.trace", &[Target::Any, Target::Composed][..]),
+        (
+            "transfer_on_unified.stream",
+            &[Target::Any, Target::Composed][..],
+        ),
+    ] {
+        let text = fixture(file);
+        for &target in targets {
+            let (_, report) = verify_text(&text, &VerifyOptions::for_target(target)).unwrap();
+            assert!(
+                report.is_clean(),
+                "{file} under {target:?} should be clean:\n{report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_violations_stay_localized() {
+    // A seeded fixture must not drown its signal: no *error* other
+    // than the intended code (extra warnings/infos are tolerated, an
+    // unrelated error means the fixture tests two things at once).
+    for &(file, code, severity, target) in SEEDED {
+        if severity != Severity::Error {
+            continue;
+        }
+        let (_, report) = verify_text(&fixture(file), &VerifyOptions::for_target(target)).unwrap();
+        for d in report.diagnostics() {
+            if d.severity == Severity::Error {
+                assert_eq!(
+                    d.code, code,
+                    "{file}: unintended error {} alongside {code}",
+                    d.code
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- ufc-lint end-to-end
+
+fn lint(args: &[&str]) -> (i32, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ufc-lint"))
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+        .args(args)
+        .output()
+        .expect("spawn ufc-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn lint_cli_passes_clean_fixtures() {
+    let (code, out) = lint(&["clean.trace", "clean.stream"]);
+    assert_eq!(code, 0, "stdout:\n{out}");
+    assert!(out.contains("clean"), "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_fails_on_seeded_errors() {
+    let (code, out) = lint(&["rescale_at_zero.trace"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("trace/rescale-at-zero"), "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_deny_warnings_promotes_fixtures() {
+    let (code, _) = lint(&["dep_duplicate.stream"]);
+    assert_eq!(code, 0, "warnings alone exit 0");
+    let (code, out) = lint(&["--deny-warnings", "dep_duplicate.stream"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_target_gates_transfer_fixtures() {
+    let (code, _) = lint(&["transfer_on_unified.stream"]);
+    assert_eq!(code, 0);
+    let (code, out) = lint(&["--target", "ufc", "transfer_on_unified.stream"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("stream/transfer-on-unified"), "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_json_is_machine_readable() {
+    let (code, out) = lint(&["--json", "params_unknown.trace"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.trim_start().starts_with('['), "stdout:\n{out}");
+    assert!(
+        out.contains("\"code\":\"trace/params-unknown\""),
+        "stdout:\n{out}"
+    );
+}

@@ -135,7 +135,8 @@ impl CkksProgramBuilder {
             self.trace.push(TraceOp::CkksRescale { level: self.level });
             self.level -= 1;
         }
-        self.trace.push(TraceOp::CkksConjugate { level: self.level });
+        self.trace
+            .push(TraceOp::CkksConjugate { level: self.level });
         // EvalMod: degree-31 sine ladder — 8 ct-ct multiplies over 5
         // levels.
         for _ in 0..5 {

@@ -42,7 +42,9 @@ pub fn generate(ckks: &'static str, tfhe: &'static str, cfg: KnnConfig) -> Trace
     // ---- CKKS phase 1: squared distances ‖x − c_i‖² for all
     // candidates (packed 32768 values per ciphertext).
     let mut b = CkksProgramBuilder::new(format!("kNN/{tfhe}"), ckks);
-    let packed = (cfg.candidates * cfg.dim).div_ceil(cp.slots() as u32).max(1);
+    let packed = (cfg.candidates * cfg.dim)
+        .div_ceil(cp.slots() as u32)
+        .max(1);
     for _ in 0..packed {
         b.add(); // x − c (broadcast subtract)
         b.mul_ct(); // squaring

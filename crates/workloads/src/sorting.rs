@@ -11,7 +11,7 @@ pub const ELEMENTS: u32 = 16_384;
 pub fn generate(params: &'static str) -> Trace {
     let mut b = CkksProgramBuilder::new("Sorting", params);
     let k = ELEMENTS.ilog2(); // 14
-    // Bitonic network: k(k+1)/2 = 105 compare-exchange stages.
+                              // Bitonic network: k(k+1)/2 = 105 compare-exchange stages.
     for stage in 1..=k {
         for substage in (1..=stage).rev() {
             let step = 1i32 << (substage - 1);

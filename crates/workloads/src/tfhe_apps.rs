@@ -108,6 +108,9 @@ mod gate_tests {
             .sum();
         assert_eq!(total, 200);
         // Each batch carries its linear part.
-        assert!(tr.ops.iter().any(|o| matches!(o, TraceOp::TfheLinear { .. })));
+        assert!(tr
+            .ops
+            .iter()
+            .any(|o| matches!(o, TraceOp::TfheLinear { .. })));
     }
 }

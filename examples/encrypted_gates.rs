@@ -17,8 +17,14 @@ fn main() {
     // Add two 2-bit numbers a=0b11 (3) and b=0b01 (1) homomorphically.
     let a = [true, true]; // LSB first
     let b = [true, false];
-    let ea: Vec<_> = a.iter().map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng)).collect();
-    let eb: Vec<_> = b.iter().map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng)).collect();
+    let ea: Vec<_> = a
+        .iter()
+        .map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng))
+        .collect();
+    let eb: Vec<_> = b
+        .iter()
+        .map(|&v| encrypt_bool(&ctx, &keys, v, &mut rng))
+        .collect();
 
     // Full adder per bit: s = a^b^c, c' = (a&b) | (c&(a^b)).
     let mut carry = encrypt_bool(&ctx, &keys, false, &mut rng);

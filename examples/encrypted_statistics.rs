@@ -42,7 +42,9 @@ fn main() {
     // mean = sum / slots (plaintext multiply by 1/slots).
     let inv = ev.encode_real(&vec![1.0 / slots as f64; slots], sum.level);
     let mean_ct = ev.rescale(&ev.mul_plain(&sum, &inv));
-    budget = budget.mul_plain(1.0 / slots as f64, n, delta).rescale(n, mean_ct.scale);
+    budget = budget
+        .mul_plain(1.0 / slots as f64, n, delta)
+        .rescale(n, mean_ct.scale);
 
     // variance = mean((x - mean)^2).
     let centered = ev.sub(&ev.drop_to_level(&ct, mean_ct.level), &mean_ct);

@@ -19,7 +19,11 @@ fn main() {
     let distances = [0u64, 3, 1, 2, 3, 0];
     let (bits, trace) = env.threshold_compare(&distances, 2, 8, &mut rng);
     println!("distances {distances:?} >= 2 ? -> {bits:?}");
-    println!("(hybrid trace: {} ops, scheme mix {:?})\n", trace.len(), trace.scheme_mix());
+    println!(
+        "(hybrid trace: {} ops, scheme mix {:?})\n",
+        trace.len(),
+        trace.scheme_mix()
+    );
 
     // ---- Simulated at paper scale: Fig. 11.
     let ufc = Ufc::paper_default();

@@ -31,7 +31,11 @@ fn main() {
 
     // ---- 2. The trace recorded while computing.
     let trace = ev.take_trace();
-    println!("recorded {} ciphertext-level ops: {:?} ...", trace.len(), &trace.ops[..3.min(trace.len())]);
+    println!(
+        "recorded {} ciphertext-level ops: {:?} ...",
+        trace.len(),
+        &trace.ops[..3.min(trace.len())]
+    );
 
     // ---- 3. Simulate a paper-scale workload on the UFC model.
     let ufc = Ufc::paper_default();

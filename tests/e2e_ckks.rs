@@ -10,7 +10,10 @@ use ufc_sim::machines::SharpMachine;
 use ufc_sim::simulate;
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -34,7 +37,11 @@ fn functional_trace_compiles_and_simulates() {
     let expect: Vec<f64> = (0..32)
         .map(|i| xs[(i + 1) % 32].powi(2) + xs[i].powi(2))
         .collect();
-    assert!(max_err(&dec, &expect) < 0.05, "err {}", max_err(&dec, &expect));
+    assert!(
+        max_err(&dec, &expect) < 0.05,
+        "err {}",
+        max_err(&dec, &expect)
+    );
 
     // The recorded trace must lower and simulate on UFC and SHARP.
     // (The trace carries test-scale levels; attach a paper parameter
@@ -66,7 +73,11 @@ fn bootstrap_refreshes_and_allows_more_multiplications() {
     let sq = ev.rescale(&ev.mul(&refreshed, &refreshed, &keys));
     let dec = ev.decrypt_real(&sq, &sk);
     let expect: Vec<f64> = vals.iter().map(|v| v * v).collect();
-    assert!(max_err(&dec, &expect) < 0.03, "err {}", max_err(&dec, &expect));
+    assert!(
+        max_err(&dec, &expect) < 0.03,
+        "err {}",
+        max_err(&dec, &expect)
+    );
 }
 
 #[test]

@@ -13,7 +13,11 @@ fn encrypted_mux_through_gates() {
     let ctx = TfheContext::new(64, 256, 7, 3, 6, 4);
     let mut rng = StdRng::seed_from_u64(11);
     let keys = TfheKeys::generate(&ctx, &mut rng);
-    for (s, a, b) in [(true, true, false), (false, true, false), (true, false, true)] {
+    for (s, a, b) in [
+        (true, true, false),
+        (false, true, false),
+        (true, false, true),
+    ] {
         let es = encrypt_bool(&ctx, &keys, s, &mut rng);
         let ea = encrypt_bool(&ctx, &keys, a, &mut rng);
         let eb = encrypt_bool(&ctx, &keys, b, &mut rng);
@@ -46,5 +50,8 @@ fn zama_nn_scales_linearly_with_depth() {
     let t20 = ufc.run(&ufc_workloads::tfhe_apps::zama_nn("T2", 20));
     let t50 = ufc.run(&ufc_workloads::tfhe_apps::zama_nn("T2", 50));
     let ratio = t50.seconds / t20.seconds;
-    assert!((2.0..3.0).contains(&ratio), "depth scaling ratio {ratio:.2}");
+    assert!(
+        (2.0..3.0).contains(&ratio),
+        "depth scaling ratio {ratio:.2}"
+    );
 }

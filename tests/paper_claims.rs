@@ -17,10 +17,10 @@ fn ckks_workloads_favor_ufc_modestly() {
         .iter()
         .map(|tr| compare(&ufc, &sharp, tr))
         .collect();
-    let speedup = geomean(rows.iter().map(|r| r.speedup()));
-    let energy = geomean(rows.iter().map(|r| r.energy_gain()));
-    let edp = geomean(rows.iter().map(|r| r.edp_gain()));
-    let edap = geomean(rows.iter().map(|r| r.edap_gain()));
+    let speedup = geomean(rows.iter().map(ufc_core::ComparisonRow::speedup));
+    let energy = geomean(rows.iter().map(ufc_core::ComparisonRow::energy_gain));
+    let edp = geomean(rows.iter().map(ufc_core::ComparisonRow::edp_gain));
+    let edap = geomean(rows.iter().map(ufc_core::ComparisonRow::edap_gain));
     assert!((1.0..1.3).contains(&speedup), "speedup {speedup:.2}");
     assert!((1.2..1.7).contains(&energy), "energy {energy:.2}");
     assert!((1.3..1.9).contains(&edp), "edp {edp:.2}");
@@ -37,11 +37,18 @@ fn tfhe_workloads_favor_ufc_strongly() {
         let tr = ufc_workloads::tfhe_apps::pbs_throughput(set, 256);
         let r = compare(&ufc, &strix, &tr);
         speedups.push(r.speedup());
-        assert!((1.0..1.6).contains(&r.energy_gain()), "{set} energy {:.2}", r.energy_gain());
+        assert!(
+            (1.0..1.6).contains(&r.energy_gain()),
+            "{set} energy {:.2}",
+            r.energy_gain()
+        );
         assert!(r.edap_gain() > 1.1, "{set} edap {:.2}", r.edap_gain());
     }
     let avg = geomean(speedups.iter().copied());
-    assert!((4.5..8.0).contains(&avg), "TFHE speedup {avg:.2} (paper: 6.0)");
+    assert!(
+        (4.5..8.0).contains(&avg),
+        "TFHE speedup {avg:.2} (paper: 6.0)"
+    );
 }
 
 #[test]
@@ -52,18 +59,34 @@ fn hybrid_gap_widens_with_tfhe_parameter_size() {
     let composed = ComposedMachine::new();
     let rows: Vec<_> = ["T1", "T2", "T3", "T4"]
         .iter()
-        .map(|set| compare(&ufc, &composed, &ufc_workloads::knn::generate("C2", set, Default::default())))
+        .map(|set| {
+            compare(
+                &ufc,
+                &composed,
+                &ufc_workloads::knn::generate("C2", set, Default::default()),
+            )
+        })
         .collect();
-    assert!(rows[3].speedup() > 1.5 * rows[0].speedup() / 1.05, "T4 must stand out");
-    let edap = geomean(rows.iter().map(|r| r.edap_gain()));
-    assert!((2.5..5.0).contains(&edap), "hybrid EDAP {edap:.2} (paper: 3.7)");
+    assert!(
+        rows[3].speedup() > 1.5 * rows[0].speedup() / 1.05,
+        "T4 must stand out"
+    );
+    let edap = geomean(rows.iter().map(ufc_core::ComparisonRow::edap_gain));
+    assert!(
+        (2.5..5.0).contains(&edap),
+        "hybrid EDAP {edap:.2} (paper: 3.7)"
+    );
 }
 
 #[test]
 fn area_matches_published_chip() {
     // Table II: 197.7 mm^2 at 7 nm.
     let ufc = Ufc::paper_default();
-    let area = ufc.machine_for(&ufc_workloads::helr::generate("C1")).config().area_breakdown().total();
+    let area = ufc
+        .machine_for(&ufc_workloads::helr::generate("C1"))
+        .config()
+        .area_breakdown()
+        .total();
     assert!((area - 197.7).abs() < 5.0, "area {area:.1}");
 }
 
@@ -73,12 +96,18 @@ fn packing_order_matches_fig15() {
     use ufc_core::UfcConfig;
     let tr = ufc_workloads::tfhe_apps::pbs_throughput("T1", 256);
     let run = |packing| {
-        let opts = CompileOptions { packing, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            packing,
+            ..CompileOptions::default()
+        };
         Ufc::new(UfcConfig::default(), opts).run(&tr).seconds
     };
     let none = run(Packing::None);
     let plp = run(Packing::Plp);
     let colp = run(Packing::ColpPlp);
     let tvlp = run(Packing::TvlpPlp);
-    assert!(tvlp < colp && colp < plp && plp < none, "TvLP < CoLP < PLP < none");
+    assert!(
+        tvlp < colp && colp < plp && plp < none,
+        "TvLP < CoLP < PLP < none"
+    );
 }

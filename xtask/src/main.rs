@@ -1,0 +1,139 @@
+//! Workspace automation, invoked as `cargo xtask <command>`.
+//!
+//! * `lint` — the full static gate: `cargo fmt --check`,
+//!   `cargo clippy --workspace -- -D warnings`, then the fixture
+//!   corpus through `ufc-lint` (same contract as CI).
+//! * `fixtures` — just the `ufc-lint` fixture sweep: every clean
+//!   fixture must come back clean, every seeded fixture must produce
+//!   at least one diagnostic.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("fixtures") => fixtures(),
+        Some("-h") | Some("--help") | None => {
+            eprintln!("usage: cargo xtask <lint|fixtures>");
+            eprintln!("  lint      fmt --check + clippy -D warnings + fixture sweep");
+            eprintln!("  fixtures  run ufc-lint over crates/verify/tests/fixtures");
+            if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; try `cargo xtask --help`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Workspace root: xtask always runs from somewhere inside the repo.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .unwrap_or_else(|_| env!("CARGO_MANIFEST_DIR").to_string());
+    Path::new(&manifest)
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf()
+}
+
+/// Runs `cargo <args>` at the workspace root, echoing the command.
+fn cargo(args: &[&str]) -> bool {
+    println!("+ cargo {}", args.join(" "));
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .args(args)
+        .current_dir(workspace_root())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+fn lint() -> ExitCode {
+    let steps: &[&[&str]] = &[
+        &["fmt", "--all", "--check"],
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+    ];
+    for step in steps {
+        if !cargo(step) {
+            eprintln!("xtask lint: `cargo {}` failed", step.join(" "));
+            return ExitCode::FAILURE;
+        }
+    }
+    fixtures()
+}
+
+fn fixtures() -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&["build", "-q", "-p", "ufc-verify", "--bin", "ufc-lint"]) {
+        eprintln!("xtask fixtures: building ufc-lint failed");
+        return ExitCode::FAILURE;
+    }
+    let lint_bin = root.join("target/debug/ufc-lint");
+    let dir = root.join("crates/verify/tests/fixtures");
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(std::result::Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".trace") || n.ends_with(".stream"))
+            .collect(),
+        Err(e) => {
+            eprintln!("xtask fixtures: reading {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+
+    let mut failed = 0usize;
+    for name in &names {
+        // Clean fixtures must verify clean; seeded fixtures must
+        // produce at least one diagnostic. The transfer fixtures are
+        // target-gated: clean by default, flagged under `--target ufc`.
+        let target_ufc = name.contains("on_unified") || name == "clean_composed.trace";
+        let expect_clean = name.starts_with("clean") && !target_ufc;
+        let mut cmd = Command::new(&lint_bin);
+        cmd.current_dir(&dir).arg("--json");
+        if target_ufc {
+            cmd.args(["--target", "ufc"]);
+        }
+        let out = match cmd.arg(name).output() {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("xtask fixtures: running ufc-lint on {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let found = stdout.contains("\"code\":\"");
+        let ok = if expect_clean { !found } else { found };
+        println!(
+            "{} {name}{}",
+            if ok { "ok  " } else { "FAIL" },
+            if target_ufc { " (--target ufc)" } else { "" }
+        );
+        if !ok {
+            failed += 1;
+            eprintln!(
+                "  expected {}, ufc-lint said:\n{stdout}",
+                if expect_clean { "clean" } else { "diagnostics" }
+            );
+        }
+    }
+    println!("{} fixtures, {failed} failed", names.len());
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

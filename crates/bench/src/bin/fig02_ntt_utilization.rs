@@ -1,15 +1,29 @@
 //! Fig. 2 — Hardware utilization of the NTT unit on SHARP and Strix
 //! for polynomials of different degrees.
 
-use ufc_bench::{header, row};
+use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 use ufc_sim::machines::{SharpMachine, StrixMachine};
 
 fn main() {
+    let opts = OutputOpts::from_env();
+    opts.reject_perfetto("fig02 is an analytical model, not a simulation");
+    let mut json = JsonReport::new("fig02_ntt_utilization");
+    let table = json.table("ntt_utilization", &["log_n", "sharp_util", "strix_util"]);
+
     println!("# Fig. 2: NTT-unit hardware utilization vs polynomial degree\n");
     header(&["logN", "SHARP util", "Strix util"]);
     for log_n in 9..=16u32 {
         let sharp = SharpMachine::ntt_utilization(log_n);
         let strix = StrixMachine::fft_utilization(log_n);
+        table.push(vec![
+            cell(u64::from(log_n)),
+            cell(sharp),
+            if strix == 0.0 {
+                serde::Value::Null
+            } else {
+                cell(strix)
+            },
+        ]);
         row(&[
             format!("{log_n}"),
             format!("{:.0}%", sharp * 100.0),
@@ -21,4 +35,5 @@ fn main() {
         ]);
     }
     println!("\nPaper: SHARP shows 50–75% for logN 9–12; Strix only supports logN ≤ 14.");
+    json.write(&opts);
 }

@@ -2,9 +2,12 @@
 //! trace — the view the paper's tracing tool produces before
 //! compilation (§VI-B).
 
-use ufc_bench::{header, row};
+use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 
 fn main() {
+    let opts = OutputOpts::from_env();
+    opts.reject_perfetto("trace_stats inspects traces before compilation");
+    let mut json = JsonReport::new("trace_stats");
     println!("# Workload trace statistics (ciphertext-granularity ops)\n");
     header(&[
         "workload",
@@ -15,20 +18,45 @@ fn main() {
         "PBS",
         "switches",
     ]);
+    let table = json.table(
+        "trace_stats",
+        &[
+            "workload",
+            "ops",
+            "muls",
+            "rotations",
+            "bootstraps",
+            "pbs",
+            "switches",
+        ],
+    );
     let mut traces = ufc_workloads::all_ckks_workloads("C1");
     traces.extend(ufc_workloads::all_tfhe_workloads("T2"));
     traces.push(ufc_workloads::knn::generate("C2", "T2", Default::default()));
     for tr in traces {
         let h = tr.op_histogram();
         let g = |k: &str| h.get(k).copied().unwrap_or(0);
+        let muls = g("CkksMulCt") + g("CkksMulPlain");
+        let rots = g("CkksRotate") + g("CkksConjugate");
+        let switches = g("Extract") + g("Repack") + g("SchemeTransfer");
+        table.push(vec![
+            cell(tr.name.as_str()),
+            cell(tr.len() as u64),
+            cell(muls),
+            cell(rots),
+            cell(g("CkksModRaise")),
+            cell(g("TfhePbs")),
+            cell(switches),
+        ]);
         row(&[
             tr.name.clone(),
             tr.len().to_string(),
-            (g("CkksMulCt") + g("CkksMulPlain")).to_string(),
-            (g("CkksRotate") + g("CkksConjugate")).to_string(),
+            muls.to_string(),
+            rots.to_string(),
             g("CkksModRaise").to_string(),
             g("TfhePbs").to_string(),
-            (g("Extract") + g("Repack") + g("SchemeTransfer")).to_string(),
+            switches.to_string(),
         ]);
     }
+    json.write(&opts);
 }

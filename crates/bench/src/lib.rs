@@ -27,6 +27,10 @@
 //! | `gates_throughput` | bootstrapped gates/s, UFC vs Strix |
 //! | `ablation_bandwidth` | HBM bandwidth sensitivity |
 
+pub mod output;
+
+pub use output::{cell, JsonReport, JsonTable, OutputOpts};
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

@@ -1,0 +1,230 @@
+//! Shared CLI output options for the benchmark binaries.
+//!
+//! Every figure/table binary accepts the same two flags on top of its
+//! human-readable Markdown output:
+//!
+//! - `--json <path>` — write the experiment's tables as structured
+//!   JSON (`{"experiment", "tables": [{"name", "columns", "rows"}]}`),
+//!   with raw (unformatted) cell values;
+//! - `--perfetto <path>` — for binaries that simulate, write a
+//!   Chrome-trace JSON file per workload, openable in
+//!   `ui.perfetto.dev`. A `{}` in the path is replaced by the
+//!   workload name; otherwise the name is appended before the
+//!   extension when the binary profiles more than one workload.
+
+use ufc_telemetry::Timeline;
+
+/// Parsed `--json` / `--perfetto` flags.
+#[derive(Debug, Clone, Default)]
+pub struct OutputOpts {
+    /// Where to write the structured JSON report, if requested.
+    pub json: Option<String>,
+    /// Where to write Chrome-trace files, if requested.
+    pub perfetto: Option<String>,
+}
+
+impl OutputOpts {
+    /// Parses `std::env::args`, exiting with status 2 on a usage
+    /// error so binaries can call this as their first line of `main`.
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&argv) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--json <path>] [--perfetto <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list. Unknown flags and missing values are
+    /// errors; positional arguments are not accepted.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--json" => opts.json = Some(value("--json")?),
+                "--perfetto" => opts.perfetto = Some(value("--perfetto")?),
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The Perfetto output path for one profiled workload, or `None`
+    /// when `--perfetto` was not given. See the module docs for the
+    /// `{}` template rule; `multi` says whether the binary profiles
+    /// more than one workload (forcing per-workload suffixes).
+    pub fn perfetto_path(&self, label: &str, multi: bool) -> Option<String> {
+        let template = self.perfetto.as_deref()?;
+        let slug: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        Some(if template.contains("{}") {
+            template.replace("{}", &slug)
+        } else if multi {
+            match template.rsplit_once('.') {
+                Some((stem, ext)) => format!("{stem}-{slug}.{ext}"),
+                None => format!("{template}-{slug}"),
+            }
+        } else {
+            template.to_owned()
+        })
+    }
+
+    /// Writes one workload's timeline as a Chrome-trace file when
+    /// `--perfetto` was given. Exits on I/O errors — these binaries
+    /// have nothing to clean up.
+    pub fn write_perfetto(&self, label: &str, multi: bool, timeline: &Timeline) {
+        let Some(path) = self.perfetto_path(label, multi) else {
+            return;
+        };
+        let json = ufc_telemetry::perfetto::to_string(timeline);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("--perfetto {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perfetto trace for {label} written to {path}");
+    }
+
+    /// For binaries with no simulation timeline: warn (once, at
+    /// startup) that `--perfetto` does nothing here.
+    pub fn reject_perfetto(&self, why: &str) {
+        if self.perfetto.is_some() {
+            eprintln!("--perfetto ignored: {why}");
+        }
+    }
+}
+
+/// One table of an experiment's JSON report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct JsonTable {
+    /// Table name (one experiment may emit several tables).
+    pub name: String,
+    /// Column headers, aligned with each row's cells.
+    pub columns: Vec<String>,
+    /// Raw cell values — numbers stay numbers here even when the
+    /// Markdown view formats them as percentages or ratios.
+    pub rows: Vec<Vec<serde::Value>>,
+}
+
+impl JsonTable {
+    /// Appends one row of raw cell values.
+    pub fn push(&mut self, cells: Vec<serde::Value>) {
+        self.rows.push(cells);
+    }
+}
+
+/// The structured counterpart of a binary's Markdown output.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct JsonReport {
+    /// Experiment identifier, e.g. `fig02_ntt_utilization`.
+    pub experiment: String,
+    /// The experiment's tables.
+    pub tables: Vec<JsonTable>,
+}
+
+impl JsonReport {
+    /// An empty report for one experiment.
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_owned(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Starts a new table and returns it for row pushes.
+    pub fn table(&mut self, name: &str, columns: &[&str]) -> &mut JsonTable {
+        self.tables.push(JsonTable {
+            name: name.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        });
+        self.tables.last_mut().expect("just pushed")
+    }
+
+    /// Writes the report when `--json` was given; exits on I/O error.
+    pub fn write(&self, opts: &OutputOpts) {
+        let Some(path) = &opts.json else { return };
+        let value = serde::Serialize::to_value(self);
+        if let Err(e) = std::fs::write(path, value.to_json_pretty()) {
+            eprintln!("--json {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("json report written to {path}");
+    }
+}
+
+/// Converts any serializable value into a JSON cell.
+pub fn cell(v: impl serde::Serialize) -> serde::Value {
+    serde::Serialize::to_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_both_flags() {
+        let o = OutputOpts::parse(&argv(&["--json", "a.json", "--perfetto", "b.json"])).unwrap();
+        assert_eq!(o.json.as_deref(), Some("a.json"));
+        assert_eq!(o.perfetto.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(OutputOpts::parse(&argv(&["--frob"])).is_err());
+        assert!(OutputOpts::parse(&argv(&["--json"])).is_err());
+        assert!(OutputOpts::parse(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn perfetto_path_templates() {
+        let o = OutputOpts::parse(&argv(&["--perfetto", "out/{}.json"])).unwrap();
+        assert_eq!(
+            o.perfetto_path("HELR X", false).as_deref(),
+            Some("out/helr-x.json")
+        );
+        let o = OutputOpts::parse(&argv(&["--perfetto", "out/trace.json"])).unwrap();
+        assert_eq!(
+            o.perfetto_path("kNN", true).as_deref(),
+            Some("out/trace-knn.json")
+        );
+        assert_eq!(
+            o.perfetto_path("kNN", false).as_deref(),
+            Some("out/trace.json")
+        );
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut rep = JsonReport::new("demo");
+        let t = rep.table("main", &["a", "b"]);
+        t.push(vec![cell(1u64), cell(0.5f64)]);
+        let v = serde::Serialize::to_value(&rep);
+        assert_eq!(
+            v.get("experiment").and_then(serde::Value::as_str),
+            Some("demo")
+        );
+        let tables = v.get("tables").and_then(serde::Value::as_array).unwrap();
+        assert_eq!(tables.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Golden-file test for the shared `--json` bench output: the
+//! `fig02_ntt_utilization` binary's JSON report is fully
+//! deterministic (analytical model, no simulation), so it is pinned
+//! byte-for-byte. Regenerate after an intentional model change with
+//! `UFC_REGEN_FIXTURES=1 cargo test -p ufc-bench --test golden`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig02.json")
+}
+
+fn run_fig02(dir: &std::path::Path) -> String {
+    let out_path = dir.join("fig02.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig02_ntt_utilization"))
+        .args(["--json"])
+        .arg(&out_path)
+        .output()
+        .expect("run fig02_ntt_utilization");
+    assert!(
+        out.status.success(),
+        "fig02 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The human-readable table must still reach stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("| logN | SHARP util | Strix util |"),
+        "{stdout}"
+    );
+    std::fs::read_to_string(&out_path).expect("json report written")
+}
+
+#[test]
+fn fig02_json_matches_golden_file() {
+    let tmp = std::env::temp_dir().join(format!("ufc-bench-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    let actual = run_fig02(&tmp);
+    std::fs::remove_dir_all(&tmp).ok();
+
+    let path = golden_path();
+    if std::env::var_os("UFC_REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with UFC_REGEN_FIXTURES=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "fig02 JSON drifted; regenerate with UFC_REGEN_FIXTURES=1 if intended"
+    );
+
+    // And the golden file itself is valid JSON with the agreed shape.
+    let v = serde_json::from_str(&expected).expect("golden JSON parses");
+    assert_eq!(
+        v.get("experiment").and_then(serde::Value::as_str),
+        Some("fig02_ntt_utilization")
+    );
+    let tables = v.get("tables").and_then(serde::Value::as_array).unwrap();
+    let rows = tables[0]
+        .get("rows")
+        .and_then(serde::Value::as_array)
+        .unwrap();
+    assert_eq!(rows.len(), 8, "logN 9..=16");
+}
+
+#[test]
+fn bench_binaries_reject_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig02_ntt_utilization"))
+        .arg("--bogus")
+        .output()
+        .expect("run fig02_ntt_utilization");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -36,7 +36,9 @@ pub mod error;
 pub mod lower;
 pub mod memory;
 pub mod options;
+pub mod stats;
 
 pub use error::CompileError;
 pub use lower::Compiler;
 pub use options::{CompileOptions, Packing};
+pub use stats::{CompileStats, OpKindStat, OpLowering, SpillEvent};

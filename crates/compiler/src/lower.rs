@@ -13,8 +13,9 @@
 //! lowering bug surfaces here rather than as a nonsense cycle count.
 
 use crate::error::CompileError;
-use crate::memory::key_reuse_factor;
+use crate::memory::{key_reuse_factor, SpillModel};
 use crate::options::{CompileOptions, Packing};
+use crate::stats::{CompileStats, OpLowering, SpillEvent};
 use ufc_isa::instr::{InstrStream, Kernel, Phase, PolyShape};
 use ufc_isa::params::{CkksParams, TfheParams, LIMB_BITS};
 use ufc_isa::trace::{Trace, TraceOp};
@@ -78,16 +79,83 @@ impl Compiler {
     /// static verifier (`ufc-verify`); error-severity findings mean a
     /// lowering bug and come back as [`CompileError::PostCondition`].
     pub fn try_compile(&self, trace: &Trace) -> Result<InstrStream, CompileError> {
+        self.try_compile_stats(trace).map(|(stream, _)| stream)
+    }
+
+    /// Like [`Compiler::try_compile`], additionally reporting what
+    /// the lowering did: one [`OpLowering`] per trace op and one
+    /// [`SpillEvent`] per op whose modeled working set overflows the
+    /// scratchpad ([`CompileOptions::scratchpad_bytes`]).
+    pub fn try_compile_stats(
+        &self,
+        trace: &Trace,
+    ) -> Result<(InstrStream, CompileStats), CompileError> {
         let mut out = InstrStream::new();
-        for op in &trace.ops {
+        let mut ops = Vec::with_capacity(trace.len());
+        let mut spills = Vec::new();
+        for (index, op) in trace.ops.iter().enumerate() {
             let block = self.try_lower_op(op)?;
+            ops.push(OpLowering {
+                index,
+                op: op.name().to_owned(),
+                instrs: block.len(),
+                hbm_bytes: block.total_hbm_bytes(),
+            });
+            if let Some(ev) = self.spill_event(index, op) {
+                spills.push(ev);
+            }
             out.append(block, &[]);
         }
         let report = verify_stream(&out, &VerifyOptions::default());
         if report.has_errors() {
             return Err(CompileError::PostCondition(report));
         }
-        Ok(out)
+        let stats = CompileStats {
+            total_instrs: out.len(),
+            total_hbm_bytes: out.total_hbm_bytes(),
+            scratchpad_bytes: self.opts.scratchpad_bytes,
+            ops,
+            spills,
+        };
+        Ok((out, stats))
+    }
+
+    /// Checks one op's modeled working set (§V-C) against the
+    /// scratchpad, returning the overflow event if it does not fit.
+    /// Linear/transfer ops have no resident working set. Public so
+    /// alternative compilation drivers (the barrier-aware hybrid
+    /// compiler in `ufc-core`) can report the same statistics.
+    pub fn spill_event(&self, index: usize, op: &TraceOp) -> Option<SpillEvent> {
+        let working_set = match *op {
+            TraceOp::CkksAdd { level }
+            | TraceOp::CkksMulPlain { level }
+            | TraceOp::CkksMulCt { level }
+            | TraceOp::CkksRescale { level }
+            | TraceOp::CkksRotate { level, .. }
+            | TraceOp::CkksConjugate { level }
+            | TraceOp::Repack { level, .. } => {
+                SpillModel::ckks_working_set(self.ckks.as_ref()?, level, 4)
+            }
+            // Mod raise lands on the full limb budget.
+            TraceOp::CkksModRaise { .. } => {
+                let p = self.ckks.as_ref()?;
+                SpillModel::ckks_working_set(p, p.max_level(), 4)
+            }
+            TraceOp::TfhePbs { batch } | TraceOp::TfheKeySwitch { batch } => {
+                SpillModel::tfhe_working_set(self.tfhe.as_ref()?, batch)
+            }
+            TraceOp::TfheLinear { .. }
+            | TraceOp::Extract { .. }
+            | TraceOp::SchemeTransfer { .. } => return None,
+        };
+        let capacity = self.opts.scratchpad_bytes;
+        (working_set > capacity).then(|| SpillEvent {
+            index,
+            op: op.name().to_owned(),
+            working_set,
+            capacity,
+            overflow: working_set - capacity,
+        })
     }
 
     /// Like [`Compiler::try_compile`].

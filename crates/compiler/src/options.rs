@@ -43,6 +43,9 @@ pub struct CompileOptions {
     pub total_lanes: u32,
     /// TvLP batch width cap (how many test vectors are interleaved).
     pub max_batch: u32,
+    /// Scratchpad capacity the spill model checks working sets
+    /// against (Table II: 256 MB on-chip SRAM).
+    pub scratchpad_bytes: u64,
 }
 
 impl Default for CompileOptions {
@@ -51,6 +54,7 @@ impl Default for CompileOptions {
             packing: Packing::TvlpPlp,
             total_lanes: 16_384,
             max_batch: 64,
+            scratchpad_bytes: 256 << 20,
         }
     }
 }

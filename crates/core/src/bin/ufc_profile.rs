@@ -1,0 +1,244 @@
+//! `ufc-profile` — profile a serialized trace or instruction stream.
+//!
+//! ```text
+//! ufc-profile <input> [--machine ufc|sharp|strix|composed]
+//!             [--perfetto <path>] [--json <path>] [--top N]
+//! ```
+//!
+//! The input is the native text form (`ufc_isa::serial`): a `# ufc
+//! trace v1` file is compiled with the barrier-aware hybrid compiler
+//! first; a `# ufc stream v1` file is simulated as-is. The run prints
+//! a summary table, stall attribution and the critical-path report;
+//! `--perfetto` additionally writes a Chrome-trace JSON file openable
+//! in `ui.perfetto.dev`, and `--json` writes the full serializable
+//! summary.
+
+use std::process::ExitCode;
+use ufc_core::{profile_stream, ProfiledRun, Ufc};
+use ufc_isa::serial::{stream_from_text, trace_from_text};
+use ufc_sim::machines::{ComposedMachine, Machine, SharpMachine, StrixMachine, UfcMachine};
+
+fn usage() -> String {
+    "usage: ufc-profile <input> [--machine ufc|sharp|strix|composed] \
+     [--perfetto <path>] [--json <path>] [--top N]"
+        .to_owned()
+}
+
+struct Args {
+    input: String,
+    machine: String,
+    perfetto: Option<String>,
+    json: Option<String>,
+    top: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut input = None;
+    let mut machine = "ufc".to_owned();
+    let mut perfetto = None;
+    let mut json = None;
+    let mut top = 8usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--machine" => machine = flag_value("--machine")?,
+            "--perfetto" => perfetto = Some(flag_value("--perfetto")?),
+            "--json" => json = Some(flag_value("--json")?),
+            "--top" => {
+                top = flag_value("--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            other => {
+                if input.replace(other.to_owned()).is_some() {
+                    return Err(format!("more than one input file\n{}", usage()));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        input: input.ok_or_else(usage)?,
+        machine,
+        perfetto,
+        json,
+        top,
+    })
+}
+
+/// The first non-comment, non-empty line decides the input kind.
+fn sniff_kind(text: &str) -> Option<&'static str> {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "stream" || line.starts_with("instr ") {
+            return Some("stream");
+        }
+        if line.starts_with("trace") {
+            return Some("trace");
+        }
+        return None;
+    }
+    None
+}
+
+fn baseline_machine(name: &str) -> Result<Box<dyn Machine>, String> {
+    Ok(match name {
+        "ufc" => Box::new(UfcMachine::paper_default()),
+        "sharp" => Box::new(SharpMachine::new()),
+        "strix" => Box::new(StrixMachine::new()),
+        "composed" => Box::new(ComposedMachine::new()),
+        other => {
+            return Err(format!(
+                "unknown machine `{other}` (ufc|sharp|strix|composed)"
+            ))
+        }
+    })
+}
+
+fn run(args: &Args) -> Result<ProfiledRun, String> {
+    let text = std::fs::read_to_string(&args.input).map_err(|e| format!("{}: {e}", args.input))?;
+    match sniff_kind(&text) {
+        Some("trace") => {
+            let trace = trace_from_text(&text).map_err(|e| format!("{}: {e}", args.input))?;
+            let ufc = Ufc::paper_default();
+            if args.machine == "ufc" {
+                ufc.try_run_profiled(&trace).map_err(|e| e.to_string())
+            } else {
+                let machine = baseline_machine(&args.machine)?;
+                ufc.try_run_profiled_on(machine.as_ref(), &trace)
+                    .map_err(|e| e.to_string())
+            }
+        }
+        Some("stream") => {
+            let stream = stream_from_text(&text).map_err(|e| format!("{}: {e}", args.input))?;
+            let machine = baseline_machine(&args.machine)?;
+            Ok(profile_stream(machine.as_ref(), &stream, None))
+        }
+        _ => Err(format!(
+            "{}: not a ufc trace or stream (expected a `trace`/`stream` header line)",
+            args.input
+        )),
+    }
+}
+
+fn print_report(run: &ProfiledRun, top: usize) {
+    let s = run.summary();
+    let r = &run.report;
+    println!("# ufc-profile: {}", s.machine);
+    println!();
+    println!(
+        "cycles {}   time {:.3} ms   energy {:.3} J   instrs {}   hbm {} MiB",
+        s.cycles,
+        r.seconds * 1e3,
+        r.energy_j,
+        s.instrs,
+        r.hbm_bytes >> 20
+    );
+    println!();
+    println!("## kernels (by active cycles)");
+    println!("| kernel | instrs | active | dep stall | res stall | hbm bytes |");
+    println!("|---|---|---|---|---|---|");
+    for k in s.kernels.iter().take(top) {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            k.kernel, k.instrs, k.active_cycles, k.dep_stall, k.res_stall, k.hbm_bytes
+        );
+    }
+    println!();
+    println!("## stalls");
+    println!(
+        "dependency {} cycles, contention {} cycles",
+        s.stalls.dep_stall, s.stalls.res_stall_total
+    );
+    for (res, cycles) in s.stalls.res_stall.iter().take(top) {
+        println!("  blocked on {res}: {cycles}");
+    }
+    println!();
+    let cp = &s.critical_path;
+    println!(
+        "## critical path ({} cycles across {} instructions)",
+        cp.length,
+        cp.segments.len()
+    );
+    println!("by kernel:");
+    for (name, cycles) in cp.by_kernel.iter().take(top) {
+        let pct = 100.0 * *cycles as f64 / cp.length.max(1) as f64;
+        println!("  {name}: {cycles} ({pct:.1}%)");
+    }
+    println!("by phase:");
+    for (name, cycles) in cp.by_phase.iter().take(top) {
+        let pct = 100.0 * *cycles as f64 / cp.length.max(1) as f64;
+        println!("  {name}: {cycles} ({pct:.1}%)");
+    }
+    if let Some(stats) = &run.compile_stats {
+        println!();
+        println!("## lowering ({} trace ops)", stats.ops.len());
+        println!("| op | count | instrs | hbm bytes |");
+        println!("|---|---|---|---|");
+        for kind in stats.by_op_kind().iter().take(top) {
+            println!(
+                "| {} | {} | {} | {} |",
+                kind.op, kind.count, kind.instrs, kind.hbm_bytes
+            );
+        }
+        if stats.spills.is_empty() {
+            println!("no scratchpad spills");
+        } else {
+            println!(
+                "{} spill events, {} bytes overflow",
+                stats.spills.len(),
+                stats.total_spill_overflow()
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match run(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("ufc-profile: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&run, args.top);
+    if let Some(path) = &args.perfetto {
+        if let Err(e) = std::fs::write(path, run.perfetto_json()) {
+            eprintln!("ufc-profile: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!("perfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.json {
+        let mut value = serde::Serialize::to_value(&run.summary());
+        if let (serde::Value::Object(fields), Some(stats)) = (&mut value, &run.compile_stats) {
+            fields.push(("compile".into(), serde::Serialize::to_value(stats)));
+        }
+        if let Err(e) = std::fs::write(path, value.to_json_pretty()) {
+            eprintln!("ufc-profile: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("json summary written to {path}");
+    }
+    ExitCode::SUCCESS
+}

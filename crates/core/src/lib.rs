@@ -18,10 +18,15 @@
 
 pub mod compare;
 pub mod dse;
+pub mod profile;
 pub mod runner;
 
 pub use compare::{compare, ComparisonRow};
 pub use dse::{sweep_cg_networks, sweep_lanes, DsePoint};
-pub use runner::{compile_with_barriers, try_compile_with_barriers, RunError, Ufc};
+pub use profile::{profile_stream, ProfiledRun};
+pub use runner::{
+    compile_with_barriers, try_compile_with_barriers, try_compile_with_barriers_stats, RunError,
+    Ufc,
+};
 
 pub use ufc_sim::machines::{UfcConfig, UfcMachine};

@@ -2,6 +2,7 @@
 //! every machine (fair-comparison methodology, §VI-C).
 
 use ufc_compiler::memory::SpillModel;
+use ufc_compiler::stats::{CompileStats, OpLowering};
 use ufc_compiler::{CompileError, CompileOptions, Compiler};
 use ufc_isa::instr::InstrStream;
 use ufc_isa::params::ckks_params;
@@ -45,11 +46,24 @@ pub fn try_compile_with_barriers(
     trace: &Trace,
     opts: CompileOptions,
 ) -> Result<InstrStream, CompileError> {
+    try_compile_with_barriers_stats(trace, opts).map(|(stream, _)| stream)
+}
+
+/// Like [`try_compile_with_barriers`], additionally reporting the
+/// compiler's per-op lowering statistics (instruction counts, HBM
+/// bytes, scratchpad-spill events) — the same [`CompileStats`] shape
+/// as [`Compiler::try_compile_stats`], for the barrier-aware path.
+pub fn try_compile_with_barriers_stats(
+    trace: &Trace,
+    opts: CompileOptions,
+) -> Result<(InstrStream, CompileStats), CompileError> {
     let compiler = Compiler::try_for_trace(trace, opts)?;
     let mut out = InstrStream::new();
+    let mut ops = Vec::with_capacity(trace.len());
+    let mut spills = Vec::new();
     let mut prev_exits: Vec<usize> = Vec::new();
     let mut prev_scheme: Option<bool> = None; // Some(is_ckks)
-    for op in &trace.ops {
+    for (index, op) in trace.ops.iter().enumerate() {
         let scheme = if matches!(op, TraceOp::SchemeTransfer { .. }) {
             None
         } else {
@@ -60,6 +74,15 @@ pub fn try_compile_with_barriers(
             (_, None) | (None, _) => true,
         };
         let block = compiler.try_lower_op(op)?;
+        ops.push(OpLowering {
+            index,
+            op: op.name().to_owned(),
+            instrs: block.len(),
+            hbm_bytes: block.total_hbm_bytes(),
+        });
+        if let Some(ev) = compiler.spill_event(index, op) {
+            spills.push(ev);
+        }
         let deps: &[usize] = if crosses { &prev_exits } else { &[] };
         let exits = out.append(block, deps);
         if crosses {
@@ -69,7 +92,14 @@ pub fn try_compile_with_barriers(
         }
         prev_scheme = scheme;
     }
-    Ok(out)
+    let stats = CompileStats {
+        total_instrs: out.len(),
+        total_hbm_bytes: out.total_hbm_bytes(),
+        scratchpad_bytes: opts.scratchpad_bytes,
+        ops,
+        spills,
+    };
+    Ok((out, stats))
 }
 
 /// Like [`try_compile_with_barriers`].

@@ -93,6 +93,26 @@ pub enum TraceOp {
 }
 
 impl TraceOp {
+    /// The variant name, stable across releases (histogram and
+    /// metrics keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceOp::CkksAdd { .. } => "CkksAdd",
+            TraceOp::CkksMulPlain { .. } => "CkksMulPlain",
+            TraceOp::CkksMulCt { .. } => "CkksMulCt",
+            TraceOp::CkksRescale { .. } => "CkksRescale",
+            TraceOp::CkksRotate { .. } => "CkksRotate",
+            TraceOp::CkksConjugate { .. } => "CkksConjugate",
+            TraceOp::CkksModRaise { .. } => "CkksModRaise",
+            TraceOp::TfhePbs { .. } => "TfhePbs",
+            TraceOp::TfheKeySwitch { .. } => "TfheKeySwitch",
+            TraceOp::TfheLinear { .. } => "TfheLinear",
+            TraceOp::Extract { .. } => "Extract",
+            TraceOp::Repack { .. } => "Repack",
+            TraceOp::SchemeTransfer { .. } => "SchemeTransfer",
+        }
+    }
+
     /// Whether this op executes on the SIMD-scheme (CKKS) pipeline.
     pub fn is_ckks(&self) -> bool {
         matches!(
@@ -198,22 +218,7 @@ impl Trace {
     pub fn op_histogram(&self) -> std::collections::BTreeMap<&'static str, usize> {
         let mut h = std::collections::BTreeMap::new();
         for op in &self.ops {
-            let name = match op {
-                TraceOp::CkksAdd { .. } => "CkksAdd",
-                TraceOp::CkksMulPlain { .. } => "CkksMulPlain",
-                TraceOp::CkksMulCt { .. } => "CkksMulCt",
-                TraceOp::CkksRescale { .. } => "CkksRescale",
-                TraceOp::CkksRotate { .. } => "CkksRotate",
-                TraceOp::CkksConjugate { .. } => "CkksConjugate",
-                TraceOp::CkksModRaise { .. } => "CkksModRaise",
-                TraceOp::TfhePbs { .. } => "TfhePbs",
-                TraceOp::TfheKeySwitch { .. } => "TfheKeySwitch",
-                TraceOp::TfheLinear { .. } => "TfheLinear",
-                TraceOp::Extract { .. } => "Extract",
-                TraceOp::Repack { .. } => "Repack",
-                TraceOp::SchemeTransfer { .. } => "SchemeTransfer",
-            };
-            *h.entry(name).or_insert(0) += 1;
+            *h.entry(op.name()).or_insert(0) += 1;
         }
         h
     }

@@ -8,12 +8,14 @@
 //! result is the makespan plus per-resource busy totals (utilization).
 
 use crate::machines::Machine;
+use crate::observe::{Binding, InstrSchedule, NullObserver, SimObserver};
 use crate::report::SimReport;
 use std::collections::HashMap;
 use ufc_isa::instr::InstrStream;
 
 /// The shared hardware resources a machine can expose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub enum ResKind {
     /// Butterfly lanes (NTT/iNTT) — UFC's unified PE lanes or a
     /// baseline's NTT/FFT pipelines.
@@ -51,6 +53,25 @@ pub const ALL_RESOURCES: [ResKind; 10] = [
     ResKind::Mac,
     ResKind::Hbm2,
 ];
+
+impl ResKind {
+    /// Stable display/serialization name (matches the `Debug` form
+    /// used in [`SimReport::utilization`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResKind::Ntt => "Ntt",
+            ResKind::Elew => "Elew",
+            ResKind::Bconv => "Bconv",
+            ResKind::Noc => "Noc",
+            ResKind::Hbm => "Hbm",
+            ResKind::Lweu => "Lweu",
+            ResKind::Pcie => "Pcie",
+            ResKind::Fft => "Fft",
+            ResKind::Mac => "Mac",
+            ResKind::Hbm2 => "Hbm2",
+        }
+    }
+}
 
 /// Busy-cycle demands of one instruction.
 #[derive(Debug, Clone, Default)]
@@ -108,9 +129,29 @@ pub fn simulate_verified(
 }
 
 /// Runs an instruction stream on a machine, producing a report.
+///
+/// Equivalent to [`simulate_with`] over a [`NullObserver`]; the
+/// observer hook monomorphizes away, so this is the overhead-free
+/// path DSE sweeps should use.
 pub fn simulate(machine: &dyn Machine, stream: &InstrStream) -> SimReport {
+    simulate_with(machine, stream, &mut NullObserver)
+}
+
+/// Runs an instruction stream on a machine, reporting every schedule
+/// decision to `observer` (see [`crate::observe`] for the event
+/// semantics). The returned report is byte-identical to
+/// [`simulate`]'s regardless of the observer attached.
+pub fn simulate_with<O: SimObserver + ?Sized>(
+    machine: &dyn Machine,
+    stream: &InstrStream,
+    observer: &mut O,
+) -> SimReport {
+    observer.on_begin(machine, stream);
     let mut finish = vec![0u64; stream.len()];
     let mut res_free: HashMap<ResKind, u64> = HashMap::new();
+    // Last instruction to occupy each resource — the `pred` of a
+    // resource-bound schedule decision.
+    let mut res_writer: HashMap<ResKind, usize> = HashMap::new();
     let mut busy: HashMap<ResKind, u64> = HashMap::new();
     let mut phase_cycles: HashMap<String, u64> = HashMap::new();
     let mut energy_pj = 0.0f64;
@@ -118,18 +159,27 @@ pub fn simulate(machine: &dyn Machine, stream: &InstrStream) -> SimReport {
 
     for instr in stream.instrs() {
         let cost = machine.cost(instr);
-        let dep_ready = instr.deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
-        let res_ready = cost
+        let (dep_ready, dep_pred) = instr
+            .deps
+            .iter()
+            .map(|&d| (finish[d], d))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map_or((0, None), |(f, d)| (f, Some(d)));
+        let (res_ready, res_pred) = cost
             .demands
             .iter()
-            .map(|(r, _)| *res_free.get(r).unwrap_or(&0))
-            .max()
-            .unwrap_or(0);
+            .map(|(r, _)| (*res_free.get(r).unwrap_or(&0), *r))
+            .max_by(|a, b| a.0.cmp(&b.0))
+            .map_or((0, None), |(f, r)| (f, Some(r)));
+        // The binding resource's previous occupant — resolved *before*
+        // this instruction claims its resources below.
+        let res_pred_instr = res_pred.and_then(|r| res_writer.get(&r).copied());
         let start = dep_ready.max(res_ready);
         let mut end = start;
         for &(r, c) in &cost.demands {
             let r_end = start + c;
             res_free.insert(r, r_end);
+            res_writer.insert(r, instr.id);
             *busy.entry(r).or_insert(0) += c;
             end = end.max(r_end);
         }
@@ -139,12 +189,44 @@ pub fn simulate(machine: &dyn Machine, stream: &InstrStream) -> SimReport {
         *phase_cycles
             .entry(format!("{:?}", instr.phase))
             .or_insert(0) += end.saturating_sub(start);
+
+        // Stall attribution (module docs of `observe`): the start is
+        // charged to whichever constraint class was binding. A
+        // dependency wins ties — data readiness is the fundamental
+        // constraint; the resource merely happened to free up at the
+        // same cycle.
+        let issue = dep_ready.min(res_ready);
+        let sched = InstrSchedule {
+            id: instr.id,
+            issue,
+            dep_ready,
+            res_ready,
+            start,
+            end,
+            dep_stall: dep_ready - issue,
+            res_stall: res_ready - issue,
+            binding: if dep_ready >= res_ready {
+                // Even a zero-latency producer is recorded as the
+                // binding constraint — the critical-path walk must be
+                // able to traverse it (its contribution is just 0).
+                match dep_pred {
+                    Some(pred) => Binding::Dep { pred },
+                    None => Binding::Free,
+                }
+            } else {
+                Binding::Resource {
+                    res: res_pred.expect("res_ready > 0 implies a demand"),
+                    pred: res_pred_instr.expect("res_ready > 0 implies a previous occupant"),
+                }
+            },
+        };
+        observer.on_instr(&sched, instr, &cost);
     }
 
     let seconds = makespan as f64 / machine.freq_hz();
     let static_j = machine.static_power_w() * seconds;
     let dynamic_j = energy_pj * 1e-12;
-    SimReport {
+    let report = SimReport {
         machine: machine.name().to_string(),
         cycles: makespan,
         seconds,
@@ -152,28 +234,36 @@ pub fn simulate(machine: &dyn Machine, stream: &InstrStream) -> SimReport {
         dynamic_j,
         static_j,
         area_mm2: machine.area_mm2(),
-        utilization: ALL_RESOURCES
-            .iter()
-            .filter_map(|r| {
-                busy.get(r).map(|&b| {
-                    (
-                        format!("{r:?}"),
-                        if makespan == 0 {
-                            0.0
-                        } else {
-                            b as f64 / makespan as f64
-                        },
-                    )
+        utilization: {
+            let mut v: Vec<(String, f64)> = ALL_RESOURCES
+                .iter()
+                .filter_map(|r| {
+                    busy.get(r).map(|&b| {
+                        (
+                            format!("{r:?}"),
+                            if makespan == 0 {
+                                0.0
+                            } else {
+                                b as f64 / makespan as f64
+                            },
+                        )
+                    })
                 })
-            })
-            .collect(),
+                .collect();
+            // Busiest first; name breaks ties so reports and golden
+            // files are stable across runs.
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            v
+        },
         hbm_bytes: stream.total_hbm_bytes(),
         phase_cycles: {
             let mut v: Vec<(String, u64)> = phase_cycles.into_iter().collect();
-            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             v
         },
-    }
+    };
+    observer.on_end(&report);
+    report
 }
 
 #[cfg(test)]

@@ -39,8 +39,10 @@
 
 pub mod engine;
 pub mod machines;
+pub mod observe;
 pub mod report;
 
-pub use engine::{simulate, simulate_verified, InstrCost, ResKind};
+pub use engine::{simulate, simulate_verified, simulate_with, InstrCost, ResKind};
 pub use machines::{ComposedMachine, Machine, SharpMachine, StrixMachine, UfcConfig, UfcMachine};
+pub use observe::{Binding, InstrSchedule, NullObserver, ScheduleLog, SimObserver};
 pub use report::SimReport;

@@ -1,7 +1,14 @@
 //! Simulation results: delay, energy, EDP/EDAP and utilization.
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// With the `serde` feature enabled the report serializes to JSON
+/// (shim stack, see `shims/README.md`) so bench binaries can emit
+/// machine-readable results; both orderings (`utilization`,
+/// `phase_cycles`) are deterministic — sorted by descending
+/// cycles/share with the name as tie-break.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct SimReport {
     /// Machine name.
     pub machine: String,

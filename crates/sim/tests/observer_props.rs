@@ -1,0 +1,177 @@
+//! Property tests for the observer hook and stall attribution.
+//!
+//! The contract the telemetry layer builds on:
+//!
+//! * `simulate_with(&mut NullObserver)` produces **identical**
+//!   reports to `simulate` — attaching an observer never perturbs the
+//!   schedule;
+//! * for every instruction `start = issue + dep_stall + res_stall`,
+//!   with at most one stall class nonzero (marginal attribution);
+//! * the binding predecessor's completion on the binding constraint
+//!   equals the instruction's start cycle (the property the
+//!   critical-path walk relies on);
+//! * report orderings are deterministic across runs.
+
+use proptest::prelude::*;
+use ufc_isa::instr::{InstrStream, Kernel, Phase, PolyShape};
+use ufc_sim::machines::{Machine, SharpMachine, UfcMachine};
+use ufc_sim::{simulate, simulate_with, Binding, NullObserver, ScheduleLog};
+
+/// Deterministic splitmix-style generator (the proptest shim's
+/// strategies compose only shallowly; structured values are built
+/// from one drawn seed — same idiom as `ufc-isa`'s serial props).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 27)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random topologically-ordered DAG stream: mixed kernels, shapes,
+/// phases; each instruction depends on up to 3 random predecessors.
+fn random_stream(seed: u64, len: usize) -> InstrStream {
+    let mut g = Gen(seed);
+    let mut s = InstrStream::new();
+    for id in 0..len {
+        let kernel = Kernel::ALL[g.below(Kernel::ALL.len() as u64) as usize];
+        let phase = Phase::ALL[g.below(Phase::ALL.len() as u64) as usize];
+        let shape = PolyShape::new(8 + g.below(6) as u32, 1 + g.below(8) as u32);
+        let mut deps = Vec::new();
+        if id > 0 {
+            for _ in 0..g.below(4) {
+                deps.push(g.below(id as u64) as usize);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        let hbm = g.below(1 << 16);
+        let word = if g.below(2) == 0 { 36 } else { 32 };
+        s.push(kernel, shape, word, deps, hbm, phase);
+    }
+    s
+}
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    vec![
+        Box::new(UfcMachine::paper_default()),
+        Box::new(SharpMachine::new()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn null_observer_is_identity(seed in any::<u64>()) {
+        let stream = random_stream(seed, 40);
+        for machine in machines() {
+            let plain = simulate(machine.as_ref(), &stream);
+            let observed = simulate_with(machine.as_ref(), &stream, &mut NullObserver);
+            prop_assert_eq!(&plain, &observed, "machine {}", machine.name());
+        }
+    }
+
+    #[test]
+    fn stall_accounting_is_self_consistent(seed in any::<u64>()) {
+        let stream = random_stream(seed, 40);
+        for machine in machines() {
+            let mut log = ScheduleLog::default();
+            simulate_with(machine.as_ref(), &stream, &mut log);
+            prop_assert_eq!(log.events.len(), stream.len());
+            for ev in &log.events {
+                prop_assert_eq!(
+                    ev.start,
+                    ev.issue + ev.dep_stall + ev.res_stall,
+                    "instr {} on {}", ev.id, machine.name()
+                );
+                // Marginal attribution: at most one class binds.
+                prop_assert!(
+                    ev.dep_stall == 0 || ev.res_stall == 0,
+                    "instr {}: both stall classes nonzero", ev.id
+                );
+                prop_assert_eq!(ev.start, ev.dep_ready.max(ev.res_ready));
+                prop_assert_eq!(ev.issue, ev.dep_ready.min(ev.res_ready));
+                prop_assert!(ev.end >= ev.start);
+                match ev.binding {
+                    Binding::Free => prop_assert_eq!(ev.start, 0),
+                    Binding::Dep { pred } => {
+                        prop_assert!(pred < ev.id, "dep pred must precede");
+                        // The binding producer finishes exactly at start.
+                        prop_assert_eq!(log.events[pred].end, ev.start);
+                    }
+                    Binding::Resource { pred, .. } => {
+                        prop_assert!(pred < ev.id, "resource pred must precede");
+                        // The previous occupant's slice on the binding
+                        // resource ends at start; its own end may be
+                        // later (other resources), so only ordering is
+                        // asserted here — the exact-slice check lives
+                        // in ufc-telemetry's interval tests.
+                        prop_assert!(log.events[pred].start <= ev.start);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_orderings_are_deterministic(seed in any::<u64>()) {
+        let stream = random_stream(seed, 40);
+        let machine = UfcMachine::paper_default();
+        let a = simulate(&machine, &stream);
+        let b = simulate(&machine, &stream);
+        prop_assert_eq!(a.phase_cycles, b.phase_cycles);
+        prop_assert_eq!(a.utilization, b.utilization);
+    }
+}
+
+/// Equal-cycle phases must come back name-sorted (the satellite fix:
+/// `HashMap` iteration order must never leak into reports).
+#[test]
+fn tied_phase_cycles_sort_by_name() {
+    #[derive(Debug)]
+    struct Unit;
+    impl Machine for Unit {
+        fn name(&self) -> &str {
+            "unit"
+        }
+        fn freq_hz(&self) -> f64 {
+            1e9
+        }
+        fn area_mm2(&self) -> f64 {
+            1.0
+        }
+        fn static_power_w(&self) -> f64 {
+            0.0
+        }
+        fn cost(&self, _i: &ufc_isa::instr::MacroInstr) -> ufc_sim::InstrCost {
+            ufc_sim::InstrCost::free().with(ufc_sim::ResKind::Elew, 7)
+        }
+    }
+    let shape = PolyShape::new(10, 1);
+    let mut s = InstrStream::new();
+    // One instruction in each of four phases — all 7 cycles.
+    for phase in [
+        Phase::TfheKeySwitch,
+        Phase::CkksEval,
+        Phase::SchemeSwitch,
+        Phase::CkksBootstrap,
+    ] {
+        s.push(Kernel::Ewma, shape, 32, vec![], 0, phase);
+    }
+    let r = simulate(&Unit, &s);
+    let names: Vec<&str> = r.phase_cycles.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["CkksBootstrap", "CkksEval", "SchemeSwitch", "TfheKeySwitch"]
+    );
+    assert!(r.phase_cycles.iter().all(|&(_, c)| c == 7));
+}

@@ -1,0 +1,154 @@
+//! JSON-lines structured-event sink.
+//!
+//! [`JsonlSink`] is a [`SimObserver`] that appends one compact JSON
+//! object per event — a `begin` line, one `instr` line per scheduled
+//! instruction, and an `end` line carrying the final report plus a
+//! [`MetricsRegistry`] snapshot (instruction counts per kernel, HBM
+//! bytes per phase, stall totals). The line format is grep- and
+//! `jq`-friendly, and the same registry type is reused by the scheme
+//! crates for op-count instrumentation.
+
+use crate::metrics::MetricsRegistry;
+use serde::{Serialize, Value};
+use ufc_isa::instr::{InstrStream, MacroInstr};
+use ufc_sim::observe::{Binding, InstrSchedule, SimObserver};
+use ufc_sim::{InstrCost, Machine, SimReport};
+
+/// Observer that renders each schedule event as one JSON line and
+/// accumulates counters while doing so.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    lines: Vec<String>,
+    metrics: MetricsRegistry,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The emitted lines, in event order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The emitted lines, consumed.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+
+    /// All lines joined with trailing newlines (file-ready).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The counters accumulated so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn emit(&mut self, kind: &str, mut fields: Vec<(String, Value)>) {
+        let mut obj = vec![("event".to_owned(), Value::Str(kind.to_owned()))];
+        obj.append(&mut fields);
+        self.lines.push(Value::Object(obj).to_json());
+    }
+}
+
+impl SimObserver for JsonlSink {
+    fn on_begin(&mut self, machine: &dyn Machine, stream: &InstrStream) {
+        self.emit(
+            "begin",
+            vec![
+                ("machine".into(), Value::Str(machine.name().to_owned())),
+                ("instrs".into(), Value::U64(stream.len() as u64)),
+            ],
+        );
+    }
+
+    fn on_instr(&mut self, sched: &InstrSchedule, instr: &MacroInstr, cost: &InstrCost) {
+        self.metrics
+            .inc(&format!("kernel/{}/instrs", instr.kernel.name()));
+        self.metrics.add(
+            &format!("phase/{}/hbm_bytes", instr.phase.name()),
+            instr.hbm_bytes,
+        );
+        self.metrics.add("stall/dep_cycles", sched.dep_stall);
+        self.metrics.add("stall/res_cycles", sched.res_stall);
+        let binding = match sched.binding {
+            Binding::Free => Value::Str("free".into()),
+            Binding::Dep { pred } => Value::Object(vec![
+                ("kind".into(), Value::Str("dep".into())),
+                ("pred".into(), Value::U64(pred as u64)),
+            ]),
+            Binding::Resource { res, pred } => Value::Object(vec![
+                ("kind".into(), Value::Str("resource".into())),
+                ("res".into(), Value::Str(res.name().to_owned())),
+                ("pred".into(), Value::U64(pred as u64)),
+            ]),
+        };
+        self.emit(
+            "instr",
+            vec![
+                ("id".into(), Value::U64(sched.id as u64)),
+                ("kernel".into(), Value::Str(instr.kernel.name().to_owned())),
+                ("phase".into(), Value::Str(instr.phase.name().to_owned())),
+                ("issue".into(), Value::U64(sched.issue)),
+                ("start".into(), Value::U64(sched.start)),
+                ("end".into(), Value::U64(sched.end)),
+                ("dep_stall".into(), Value::U64(sched.dep_stall)),
+                ("res_stall".into(), Value::U64(sched.res_stall)),
+                ("binding".into(), binding),
+                ("energy_pj".into(), Value::F64(cost.energy_pj)),
+            ],
+        );
+    }
+
+    fn on_end(&mut self, report: &SimReport) {
+        let metrics = self.metrics.to_value();
+        self.emit(
+            "end",
+            vec![
+                ("report".into(), report.to_value()),
+                ("metrics".into(), metrics),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufc_isa::instr::{Kernel, Phase, PolyShape};
+    use ufc_sim::{simulate_with, UfcMachine};
+
+    #[test]
+    fn one_line_per_event_and_metrics_accumulate() {
+        let shape = PolyShape::new(12, 2);
+        let mut s = InstrStream::new();
+        s.push(Kernel::Ntt, shape, 36, vec![], 512, Phase::CkksEval);
+        s.push(Kernel::Intt, shape, 36, vec![0], 256, Phase::CkksEval);
+        s.push(Kernel::Ewma, shape, 36, vec![1], 0, Phase::CkksBootstrap);
+        let mut sink = JsonlSink::new();
+        simulate_with(&UfcMachine::paper_default(), &s, &mut sink);
+
+        // begin + 3 instrs + end.
+        assert_eq!(sink.lines().len(), 5);
+        assert_eq!(sink.metrics().get("kernel/Ntt/instrs"), 1);
+        assert_eq!(sink.metrics().get("phase/CkksEval/hbm_bytes"), 768);
+
+        // Every line parses as a JSON object with an "event" tag.
+        for line in sink.lines() {
+            let v = serde_json::from_str(line).unwrap();
+            assert!(v.get("event").and_then(Value::as_str).is_some(), "{line}");
+        }
+        let last = serde_json::from_str(sink.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("end"));
+        assert!(last.get("report").is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! A small named-counter registry.
+//!
+//! Shared by the JSONL sink (instruction counts per kernel, HBM bytes
+//! per phase, stall totals) and by the scheme-level crates for
+//! op-count instrumentation (`ufc-workloads` counts trace ops as its
+//! builders emit them). Counters are keyed by `namespace/name`
+//! strings and snapshot deterministically (sorted by key).
+
+use std::collections::BTreeMap;
+
+/// Monotonic named counters, deterministic on read-out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// All counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Counters under a `prefix/` namespace, prefix stripped.
+    pub fn namespace(&self, prefix: &str) -> Vec<(String, u64)> {
+        let full = format!("{prefix}/");
+        self.counters
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(&full).map(|rest| (rest.to_owned(), *v)))
+            .collect()
+    }
+
+    /// Folds another registry into this one (summing shared keys).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+impl serde::Serialize for MetricsRegistry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), serde::Value::U64(*v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.inc("kernel/Ntt");
+        m.add("kernel/Ntt", 2);
+        m.inc("kernel/Ewma");
+        assert_eq!(m.get("kernel/Ntt"), 3);
+        assert_eq!(m.get("missing"), 0);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("kernel/Ewma".to_string(), 1),
+                ("kernel/Ntt".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn namespaces_strip_prefix() {
+        let mut m = MetricsRegistry::new();
+        m.add("phase/CkksEval/hbm_bytes", 64);
+        m.inc("kernel/Ntt");
+        assert_eq!(
+            m.namespace("phase"),
+            vec![("CkksEval/hbm_bytes".to_string(), 64)]
+        );
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x");
+        let mut b = MetricsRegistry::new();
+        b.add("x", 4);
+        b.inc("y");
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn serializes_as_object() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        assert_eq!(serde_json::to_string(&m).unwrap(), r#"{"a":1}"#);
+    }
+}

@@ -1,0 +1,200 @@
+//! Invariant tests for the timeline analyses (ISSUE 2 satellites):
+//!
+//! * per-resource busy intervals never overlap;
+//! * critical-path contributions tile the makespan exactly;
+//! * on chain-only streams the path visits every instruction and its
+//!   length equals the makespan;
+//! * windowed-utilization mass equals total busy cycles.
+
+use proptest::prelude::*;
+use ufc_isa::instr::{InstrStream, Kernel, Phase, PolyShape};
+use ufc_sim::machines::{Machine, SharpMachine, UfcMachine};
+use ufc_sim::simulate_with;
+use ufc_telemetry::Timeline;
+
+/// Deterministic splitmix-style generator (same idiom as the
+/// `ufc-sim` observer props: structured values from one drawn seed).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 27)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_stream(seed: u64, len: usize) -> InstrStream {
+    let mut g = Gen(seed);
+    let mut s = InstrStream::new();
+    for id in 0..len {
+        let kernel = Kernel::ALL[g.below(Kernel::ALL.len() as u64) as usize];
+        let phase = Phase::ALL[g.below(Phase::ALL.len() as u64) as usize];
+        let shape = PolyShape::new(8 + g.below(6) as u32, 1 + g.below(8) as u32);
+        let mut deps = Vec::new();
+        if id > 0 {
+            for _ in 0..g.below(4) {
+                deps.push(g.below(id as u64) as usize);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        s.push(
+            kernel,
+            shape,
+            if g.below(2) == 0 { 36 } else { 32 },
+            deps,
+            g.below(1 << 16),
+            phase,
+        );
+    }
+    s
+}
+
+/// A pure chain: instruction `i` depends only on `i - 1`.
+fn chain_stream(seed: u64, len: usize) -> InstrStream {
+    let mut g = Gen(seed);
+    let mut s = InstrStream::new();
+    for id in 0..len {
+        let kernel = Kernel::ALL[g.below(Kernel::ALL.len() as u64) as usize];
+        let shape = PolyShape::new(9 + g.below(4) as u32, 1 + g.below(4) as u32);
+        let deps = if id == 0 { vec![] } else { vec![id - 1] };
+        s.push(kernel, shape, 36, deps, g.below(4096), Phase::CkksEval);
+    }
+    s
+}
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    vec![
+        Box::new(UfcMachine::paper_default()),
+        Box::new(SharpMachine::new()),
+    ]
+}
+
+fn record(machine: &dyn Machine, stream: &InstrStream) -> Timeline {
+    let mut tl = Timeline::new();
+    simulate_with(machine, stream, &mut tl);
+    tl
+}
+
+proptest! {
+    #[test]
+    fn busy_intervals_never_overlap(seed in any::<u64>()) {
+        let stream = random_stream(seed, 40);
+        for machine in machines() {
+            let tl = record(machine.as_ref(), &stream);
+            for res in tl.resources() {
+                let ivs = tl.occupancy(res);
+                for pair in ivs.windows(2) {
+                    prop_assert!(
+                        pair[0].end <= pair[1].start,
+                        "{:?} on {}: [{}, {}) overlaps [{}, {})",
+                        res, machine.name(),
+                        pair[0].start, pair[0].end, pair[1].start, pair[1].end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_tiles_makespan(seed in any::<u64>()) {
+        let stream = random_stream(seed, 40);
+        for machine in machines() {
+            let tl = record(machine.as_ref(), &stream);
+            let report = tl.report().expect("run completed").clone();
+            let cp = tl.critical_path();
+            prop_assert_eq!(cp.length, report.cycles);
+            let total: u64 = cp.segments.iter().map(|s| s.contribution).sum();
+            prop_assert_eq!(total, cp.length, "segments must tile the makespan");
+            let by_kernel: u64 = cp.by_kernel.iter().map(|&(_, c)| c).sum();
+            let by_phase: u64 = cp.by_phase.iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(by_kernel, cp.length);
+            prop_assert_eq!(by_phase, cp.length);
+            // Earliest-first, contiguous: each segment starts where the
+            // previous attribution window ended.
+            let mut boundary = 0u64;
+            for seg in &cp.segments {
+                prop_assert_eq!(seg.start, boundary);
+                boundary += seg.contribution;
+            }
+        }
+    }
+
+    #[test]
+    fn chain_stream_path_visits_every_instruction(seed in any::<u64>()) {
+        let stream = chain_stream(seed, 20);
+        for machine in machines() {
+            let tl = record(machine.as_ref(), &stream);
+            let cp = tl.critical_path();
+            prop_assert_eq!(cp.length, tl.makespan());
+            // A chain admits no slack: every instruction is on the path.
+            prop_assert_eq!(cp.segments.len(), stream.len());
+            for (i, seg) in cp.segments.iter().enumerate() {
+                prop_assert_eq!(seg.id, i);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_utilization_mass_matches_busy_totals(seed in any::<u64>()) {
+        let stream = random_stream(seed, 30);
+        let machine = UfcMachine::paper_default();
+        let tl = record(&machine, &stream);
+        for window in [1u64, 7, 64, 1 << 14] {
+            let wu = tl.utilization_series(window);
+            for (name, fractions) in &wu.series {
+                let res = tl
+                    .resources()
+                    .into_iter()
+                    .find(|r| r.name() == name)
+                    .expect("series only lists active resources");
+                let busy: u64 = tl.occupancy(res).iter().map(|iv| iv.end - iv.start).sum();
+                let mass: f64 = fractions.iter().sum::<f64>() * window as f64;
+                prop_assert!(
+                    (mass - busy as f64).abs() < 1e-6,
+                    "{name} window {window}: mass {mass} != busy {busy}"
+                );
+                prop_assert!(fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            }
+        }
+    }
+
+    #[test]
+    fn summary_is_self_consistent(seed in any::<u64>()) {
+        let stream = random_stream(seed, 30);
+        let machine = UfcMachine::paper_default();
+        let tl = record(&machine, &stream);
+        let summary = tl.summary();
+        prop_assert_eq!(summary.instrs, stream.len());
+        let k_instrs: u64 = summary.kernels.iter().map(|k| k.instrs).sum();
+        let p_instrs: u64 = summary.phases.iter().map(|p| p.instrs).sum();
+        prop_assert_eq!(k_instrs, stream.len() as u64);
+        prop_assert_eq!(p_instrs, stream.len() as u64);
+        let k_hbm: u64 = summary.kernels.iter().map(|k| k.hbm_bytes).sum();
+        prop_assert_eq!(k_hbm, stream.total_hbm_bytes());
+        prop_assert_eq!(
+            summary.stalls.dep_stall + summary.stalls.res_stall_total,
+            summary
+                .kernels
+                .iter()
+                .map(|k| k.dep_stall + k.res_stall)
+                .sum::<u64>()
+        );
+        // The whole summary serializes.
+        let json = serde_json::to_string(&summary).unwrap();
+        let v = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(
+            v.get("cycles").and_then(serde::Value::as_u64),
+            Some(summary.cycles)
+        );
+    }
+}

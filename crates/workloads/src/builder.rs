@@ -4,9 +4,14 @@
 
 use ufc_isa::params::{ckks_params, CkksParams};
 use ufc_isa::trace::{Trace, TraceOp};
+use ufc_telemetry::MetricsRegistry;
 
 /// Builds CKKS traces with automatic level tracking and bootstrap
 /// insertion.
+///
+/// Every emitted op is also counted in a [`MetricsRegistry`] under
+/// `op/<name>` (plus `builder/bootstraps`), so workload generators
+/// report their op mix without re-walking the trace.
 #[derive(Debug)]
 pub struct CkksProgramBuilder {
     trace: Trace,
@@ -15,6 +20,7 @@ pub struct CkksProgramBuilder {
     /// Bootstrap when the level falls to this floor.
     floor: u32,
     bootstrap_count: u32,
+    metrics: MetricsRegistry,
 }
 
 impl CkksProgramBuilder {
@@ -31,6 +37,7 @@ impl CkksProgramBuilder {
             params,
             floor: 4,
             bootstrap_count: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -44,9 +51,26 @@ impl CkksProgramBuilder {
         self.bootstrap_count
     }
 
+    /// The op counters accumulated so far (`op/<name>` plus
+    /// `builder/bootstraps`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Finishes, returning the trace.
     pub fn build(self) -> Trace {
         self.trace
+    }
+
+    /// Finishes, returning the trace together with its op counters.
+    pub fn build_with_metrics(self) -> (Trace, MetricsRegistry) {
+        (self.trace, self.metrics)
+    }
+
+    /// Records and appends one op.
+    fn emit(&mut self, op: TraceOp) {
+        self.metrics.inc(&format!("op/{}", op.name()));
+        self.trace.push(op);
     }
 
     fn ensure_depth(&mut self, needed: u32) {
@@ -57,7 +81,7 @@ impl CkksProgramBuilder {
 
     /// Emits a ciphertext addition.
     pub fn add(&mut self) -> &mut Self {
-        self.trace.push(TraceOp::CkksAdd { level: self.level });
+        self.emit(TraceOp::CkksAdd { level: self.level });
         self
     }
 
@@ -65,8 +89,8 @@ impl CkksProgramBuilder {
     /// (consumes one level).
     pub fn mul_plain(&mut self) -> &mut Self {
         self.ensure_depth(1);
-        self.trace.push(TraceOp::CkksMulPlain { level: self.level });
-        self.trace.push(TraceOp::CkksRescale { level: self.level });
+        self.emit(TraceOp::CkksMulPlain { level: self.level });
+        self.emit(TraceOp::CkksRescale { level: self.level });
         self.level -= 1;
         self
     }
@@ -75,15 +99,15 @@ impl CkksProgramBuilder {
     /// followed by a rescale.
     pub fn mul_ct(&mut self) -> &mut Self {
         self.ensure_depth(1);
-        self.trace.push(TraceOp::CkksMulCt { level: self.level });
-        self.trace.push(TraceOp::CkksRescale { level: self.level });
+        self.emit(TraceOp::CkksMulCt { level: self.level });
+        self.emit(TraceOp::CkksRescale { level: self.level });
         self.level -= 1;
         self
     }
 
     /// Emits a rotation (automorphism + key switch).
     pub fn rotate(&mut self, step: i32) -> &mut Self {
-        self.trace.push(TraceOp::CkksRotate {
+        self.emit(TraceOp::CkksRotate {
             level: self.level,
             step,
         });
@@ -103,10 +127,10 @@ impl CkksProgramBuilder {
     pub fn poly_eval(&mut self, depth: u32, muls: u32) -> &mut Self {
         self.ensure_depth(depth);
         for _ in 0..muls {
-            self.trace.push(TraceOp::CkksMulCt { level: self.level });
+            self.emit(TraceOp::CkksMulCt { level: self.level });
         }
         for _ in 0..depth {
-            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.emit(TraceOp::CkksRescale { level: self.level });
             self.level -= 1;
         }
         self
@@ -118,7 +142,8 @@ impl CkksProgramBuilder {
     /// level to `max − bootstrap_depth`.
     pub fn bootstrap(&mut self) -> &mut Self {
         self.bootstrap_count += 1;
-        self.trace.push(TraceOp::CkksModRaise {
+        self.metrics.inc("builder/bootstraps");
+        self.emit(TraceOp::CkksModRaise {
             from_level: self.level,
         });
         self.level = self.params.max_level();
@@ -126,13 +151,13 @@ impl CkksProgramBuilder {
         // each (minimum-key method of ARK, §VI-D1).
         for _ in 0..3 {
             for k in 0..18 {
-                self.trace.push(TraceOp::CkksRotate {
+                self.emit(TraceOp::CkksRotate {
                     level: self.level,
                     step: 1 << (k % 15),
                 });
-                self.trace.push(TraceOp::CkksMulPlain { level: self.level });
+                self.emit(TraceOp::CkksMulPlain { level: self.level });
             }
-            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.emit(TraceOp::CkksRescale { level: self.level });
             self.level -= 1;
         }
         self.trace
@@ -141,21 +166,21 @@ impl CkksProgramBuilder {
         // levels.
         for _ in 0..5 {
             for _ in 0..2 {
-                self.trace.push(TraceOp::CkksMulCt { level: self.level });
+                self.emit(TraceOp::CkksMulCt { level: self.level });
             }
-            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.emit(TraceOp::CkksRescale { level: self.level });
             self.level -= 1;
         }
         // SlotToCoeff: 3 more stages.
         for _ in 0..3 {
             for k in 0..18 {
-                self.trace.push(TraceOp::CkksRotate {
+                self.emit(TraceOp::CkksRotate {
                     level: self.level,
                     step: 1 << (k % 15),
                 });
-                self.trace.push(TraceOp::CkksMulPlain { level: self.level });
+                self.emit(TraceOp::CkksMulPlain { level: self.level });
             }
-            self.trace.push(TraceOp::CkksRescale { level: self.level });
+            self.emit(TraceOp::CkksRescale { level: self.level });
             self.level -= 1;
         }
         debug_assert!(self.level >= self.floor);
@@ -173,6 +198,22 @@ mod tests {
         let top = b.level();
         b.mul_ct().mul_ct().mul_plain();
         assert_eq!(b.level(), top - 3);
+    }
+
+    #[test]
+    fn metrics_count_emitted_ops() {
+        let mut b = CkksProgramBuilder::new("t", "C1");
+        b.mul_ct().mul_ct().mul_plain().add().rotate(5);
+        let (trace, metrics) = b.build_with_metrics();
+        assert_eq!(metrics.get("op/CkksMulCt"), 2);
+        assert_eq!(metrics.get("op/CkksMulPlain"), 1);
+        assert_eq!(metrics.get("op/CkksRescale"), 3);
+        assert_eq!(metrics.get("op/CkksAdd"), 1);
+        assert_eq!(metrics.get("op/CkksRotate"), 1);
+        // Counters and the trace histogram agree exactly.
+        for (name, count) in trace.op_histogram() {
+            assert_eq!(metrics.get(&format!("op/{name}")), count as u64);
+        }
     }
 
     #[test]

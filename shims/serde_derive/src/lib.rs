@@ -1,0 +1,241 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for the two shapes this workspace
+//! actually uses — structs with named fields and enums whose variants
+//! are all unit variants — without depending on `syn`/`quote` (the
+//! build environment is fully offline, see `shims/README.md`). The
+//! token stream is parsed by hand; anything fancier (tuple structs,
+//! generics, data-carrying variants) is rejected with a compile error
+//! naming this shim, so the failure mode is obvious.
+//!
+//! The generated impl targets the shim `serde`'s value-tree trait:
+//!
+//! ```ignore
+//! impl ::serde::Serialize for T {
+//!     fn to_value(&self) -> ::serde::Value { ... }
+//! }
+//! ```
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim flavor: a `to_value` tree build).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// What kind of item the derive is attached to.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let item = parse_item(input)?;
+    Ok(match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    })
+}
+
+/// Parses the derive input far enough to extract the item name plus
+/// field/variant names. Attributes and visibility are skipped; types
+/// are never inspected.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut trees = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, doc comments included) and
+    // visibility (`pub`, `pub(crate)`).
+    let mut kind: Option<String> = None;
+    for tree in trees.by_ref() {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => continue,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => continue,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => continue,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    continue;
+                }
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                return Err(format!(
+                    "serde shim: cannot derive Serialize for `{s}` items \
+                     (only structs with named fields and unit enums)"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected token `{other}` before item keyword"
+                ));
+            }
+        }
+    }
+    let kind = kind.ok_or("serde shim: no `struct` or `enum` keyword found")?;
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected item name, got {other:?}")),
+    };
+    // Find the brace-delimited body; anything before it other than the
+    // body itself means generics, which the shim does not support.
+    let mut body = None;
+    for tree in trees.by_ref() {
+        match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde shim: generic type `{name}` is unsupported by the offline derive"
+                ));
+            }
+            _ => {}
+        }
+    }
+    let body = body.ok_or_else(|| {
+        format!("serde shim: `{name}` has no braced body (tuple/unit items unsupported)")
+    })?;
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_struct_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_enum_variants(body)?,
+        })
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match trees.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {}
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {}
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim: unexpected token `{other}` in struct body"
+                    ));
+                }
+            }
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after field `{name}`, got {other:?} \
+                     (tuple structs are unsupported)"
+                ));
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in trees.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Extracts variant names from an enum body, requiring unit variants.
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match trees.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim: unexpected token `{other}` in enum body"
+                    ));
+                }
+            }
+        };
+        variants.push(name.clone());
+        // Unit variant: next is `,`, `= disc ,`, or end. Payloads are
+        // unsupported.
+        loop {
+            match trees.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                Some(TokenTree::Literal(_)) => {}
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "serde shim: enum variant `{name}` carries data; only unit \
+                         variants are supported by the offline derive"
+                    ));
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "serde shim: unexpected token `{other}` after variant"
+                    ));
+                }
+            }
+        }
+    }
+}

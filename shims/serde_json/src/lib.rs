@@ -1,0 +1,296 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the shim `serde` [`Value`] tree to JSON text and parses
+//! JSON text back into it. The parser is a straightforward recursive
+//! descent over the full JSON grammar (strings with escapes, nested
+//! containers, all number forms); it exists so that exported traces
+//! (Perfetto files, `--json` bench output) can be validated without a
+//! network-fetched JSON stack — `cargo xtask profile-smoke` and the
+//! golden-file tests both run on it.
+
+pub use serde::Value;
+
+/// A JSON parse failure with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset the parse failed at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders any [`serde::Serialize`] as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Renders any [`serde::Serialize`] as indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing data after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: impl Into<String>) -> Error {
+    Error {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{token}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(err(*pos, format!("unexpected byte `{}`", *c as char))),
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '{'
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected `:` after object key"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // consume opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not reconstructed; lone
+                        // surrogates become U+FFFD. The workspace never
+                        // emits astral-plane text.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the whole unescaped span in one step — per-char
+                // UTF-8 validation of the remaining input is quadratic.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| err(start, "invalid UTF-8"))?;
+                out.push_str(text);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if bytes.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if text.is_empty() || text == "-" {
+        return Err(err(start, "invalid number"));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| err(start, "invalid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let cases = [
+            "null",
+            "true",
+            "[1,2,3]",
+            r#"{"a":1,"b":[0.5,-2],"c":"x\ny"}"#,
+            "[]",
+            "{}",
+        ];
+        for case in cases {
+            let v = from_str(case).unwrap();
+            assert_eq!(from_str(&v.to_json()).unwrap(), v, "case {case}");
+        }
+    }
+
+    #[test]
+    fn numbers_classify() {
+        assert_eq!(from_str("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str("-42").unwrap(), Value::I64(-42));
+        assert_eq!(from_str("4.5").unwrap(), Value::F64(4.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::F64(1000.0));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        for case in ["", "nul", "[1,", "{\"a\"}", "01x", "\"abc", "[1] extra"] {
+            assert!(from_str(case).is_err(), "case {case:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let v = from_str(r#""aA\n\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\""));
+    }
+
+    #[test]
+    fn to_string_uses_serialize() {
+        let rows = vec![("ntt".to_string(), 7u64)];
+        assert_eq!(to_string(&rows).unwrap(), r#"[["ntt",7]]"#);
+    }
+}

@@ -6,6 +6,9 @@
 //! * `fixtures` — just the `ufc-lint` fixture sweep: every clean
 //!   fixture must come back clean, every seeded fixture must produce
 //!   at least one diagnostic.
+//! * `profile-smoke` — build `ufc-profile`, run it on the small
+//!   hybrid-kNN trace fixture, and validate the exported Perfetto
+//!   file parses as JSON with at least one slice.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -15,10 +18,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("fixtures") => fixtures(),
+        Some("profile-smoke") => profile_smoke(),
         Some("-h") | Some("--help") | None => {
-            eprintln!("usage: cargo xtask <lint|fixtures>");
-            eprintln!("  lint      fmt --check + clippy -D warnings + fixture sweep");
-            eprintln!("  fixtures  run ufc-lint over crates/verify/tests/fixtures");
+            eprintln!("usage: cargo xtask <lint|fixtures|profile-smoke>");
+            eprintln!("  lint           fmt --check + clippy -D warnings + fixture sweep");
+            eprintln!("  fixtures       run ufc-lint over crates/verify/tests/fixtures");
+            eprintln!("  profile-smoke  run ufc-profile on the hybrid-kNN fixture and");
+            eprintln!("                 validate its Perfetto export");
             if args.is_empty() {
                 ExitCode::from(2)
             } else {
@@ -136,4 +142,84 @@ fn fixtures() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Builds `ufc-profile` in release mode, profiles the committed
+/// hybrid-kNN trace fixture, and checks that the Perfetto export is
+/// valid JSON carrying at least one complete ("X") slice — the same
+/// contract the CI profile-smoke job enforces.
+fn profile_smoke() -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&[
+        "build",
+        "-q",
+        "--release",
+        "-p",
+        "ufc-core",
+        "--bin",
+        "ufc-profile",
+    ]) {
+        eprintln!("xtask profile-smoke: building ufc-profile failed");
+        return ExitCode::FAILURE;
+    }
+    let fixture = root.join("crates/core/tests/fixtures/hybrid_knn_small.trace");
+    let out_dir = root.join("target/profile-smoke");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask profile-smoke: {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let perfetto = out_dir.join("hybrid_knn_small.perfetto.json");
+    let summary = out_dir.join("hybrid_knn_small.summary.json");
+    let bin = root.join("target/release/ufc-profile");
+    println!(
+        "+ {} {} --perfetto {} --json {}",
+        bin.display(),
+        fixture.display(),
+        perfetto.display(),
+        summary.display()
+    );
+    let status = Command::new(&bin)
+        .arg(&fixture)
+        .arg("--perfetto")
+        .arg(&perfetto)
+        .arg("--json")
+        .arg(&summary)
+        .status();
+    if !status.map(|s| s.success()).unwrap_or(false) {
+        eprintln!("xtask profile-smoke: ufc-profile failed");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&perfetto) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask profile-smoke: {}: {e}", perfetto.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask profile-smoke: Perfetto file is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let slices = trace
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .map(|events| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(serde::Value::as_str) == Some("X"))
+                .count()
+        })
+        .unwrap_or(0);
+    if slices == 0 {
+        eprintln!("xtask profile-smoke: Perfetto file has no slices");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "profile-smoke ok: {slices} slices in {}",
+        perfetto.display()
+    );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,357 @@
+//! Micro-benchmarks for the `ufc-math` data plane: Shoup/Harvey NTT
+//! kernels vs the pre-refactor reference kernels, negacyclic
+//! multiplication, TFHE external products and limb-parallel RNS
+//! transforms.
+//!
+//! ```text
+//! bench_math [--quick] [--out <path>]
+//! ```
+//!
+//! Emits `BENCH_math.json` (or `--out`) with one table per kernel
+//! family and a `headline` object recording the single-thread
+//! negacyclic-multiply speedup at the largest ring dimension. `--quick`
+//! restricts sizes and repetitions for CI smoke runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ufc_bench::{cell, JsonReport};
+use ufc_math::ntt::NttContext;
+use ufc_math::par;
+use ufc_math::plane::RnsPlane;
+use ufc_math::poly::Poly;
+use ufc_math::prime::{generate_ntt_prime, generate_ntt_primes};
+use ufc_tfhe::context::TfheContext;
+use ufc_tfhe::rgsw::RgswCiphertext;
+use ufc_tfhe::rlwe::RlweCiphertext;
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_math.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match it.next() {
+                Some(p) => opts.out = p,
+                None => usage_error("--out needs a value"),
+            },
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    opts
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_math [--quick] [--out <path>]");
+    std::process::exit(2);
+}
+
+/// Best-of-`reps` wall time of one call, in nanoseconds.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn random_poly<R: Rng>(rng: &mut R, n: usize, q: u64) -> Poly {
+    Poly::from_coeffs((0..n).map(|_| rng.gen_range(0..q)).collect(), q)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut rng = StdRng::seed_from_u64(0x0f1e2d3c);
+    let sizes: Vec<usize> = if opts.quick {
+        vec![1 << 10, 1 << 11, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14]
+    };
+    let reps = |n: usize| -> usize {
+        let base = if opts.quick { 1 << 21 } else { 1 << 24 };
+        (base / n).clamp(3, 4096)
+    };
+
+    let mut json = JsonReport::new("bench_math");
+
+    // ------------------------------------------------ NTT fwd/inverse
+    println!("# ufc-math data-plane micro-benchmarks\n");
+    println!("## Negacyclic NTT (Harvey lazy vs seed reference)\n");
+    println!("| N | fwd lazy (µs) | fwd ref (µs) | inv lazy (µs) | inv ref (µs) |");
+    println!("|---|---|---|---|---|");
+    let ntt_table = json.table(
+        "ntt",
+        &[
+            "n",
+            "forward_lazy_ns",
+            "forward_reference_ns",
+            "inverse_lazy_ns",
+            "inverse_reference_ns",
+        ],
+    );
+    for &n in &sizes {
+        let q = generate_ntt_prime(n, 60).expect("60-bit NTT prime");
+        let ctx = NttContext::new(n, q);
+        let r = reps(n);
+        // Each rep transforms the same fresh input (copied in inside
+        // the timed region, an equal small cost for both kernels):
+        // iterating a forward transform on its own output would drift
+        // the value distribution and with it the branchy butterflies'
+        // timing.
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut buf = data.clone();
+        let fwd = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward(&mut buf);
+        });
+        let eval = buf.clone();
+        let inv = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse(&mut buf);
+        });
+        let fwd_ref = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_reference(&mut buf);
+        });
+        let inv_ref = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_reference(&mut buf);
+        });
+        ntt_table.push(vec![
+            cell(n as u64),
+            cell(fwd),
+            cell(fwd_ref),
+            cell(inv),
+            cell(inv_ref),
+        ]);
+        println!(
+            "| {n} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            fwd / 1e3,
+            fwd_ref / 1e3,
+            inv / 1e3,
+            inv_ref / 1e3
+        );
+    }
+
+    // ------------------------------------------- negacyclic multiply
+    println!("\n## Negacyclic multiply (single thread)\n");
+    println!("| N | lazy (µs) | seed (µs) | speedup |");
+    println!("|---|---|---|---|");
+    let mul_table = json.table(
+        "negacyclic_mul",
+        &["n", "lazy_ns", "reference_ns", "speedup"],
+    );
+    let mut headline_n = 0usize;
+    let mut headline_speedup = 0.0f64;
+    let mut headline_lazy = 0.0f64;
+    let mut headline_ref = 0.0f64;
+    for &n in &sizes {
+        let q = generate_ntt_prime(n, 60).expect("60-bit NTT prime");
+        let ctx = NttContext::new(n, q);
+        let r = reps(n);
+        let a = random_poly(&mut rng, n, q);
+        let b = random_poly(&mut rng, n, q);
+        let lazy = time_ns(r, || {
+            std::hint::black_box(ctx.negacyclic_mul(&a, &b));
+        });
+        let seed = time_ns(r, || {
+            std::hint::black_box(ctx.negacyclic_mul_reference(&a, &b));
+        });
+        let speedup = seed / lazy;
+        mul_table.push(vec![cell(n as u64), cell(lazy), cell(seed), cell(speedup)]);
+        println!(
+            "| {n} | {:.1} | {:.1} | {speedup:.2}x |",
+            lazy / 1e3,
+            seed / 1e3
+        );
+        if n >= headline_n {
+            headline_n = n;
+            headline_speedup = speedup;
+            headline_lazy = lazy;
+            headline_ref = seed;
+        }
+    }
+
+    // ------------------------------------------------ external product
+    println!("\n## TFHE external product (3-level gadget)\n");
+    println!("| N | cached-eval (µs) | seed (µs) | speedup |");
+    println!("|---|---|---|---|");
+    let ep_table = json.table(
+        "external_product",
+        &["n", "external_product_ns", "reference_ns", "speedup"],
+    );
+    let ep_sizes: Vec<usize> = sizes.iter().copied().filter(|&n| n <= 1 << 14).collect();
+    for &n in &ep_sizes {
+        let ctx = TfheContext::new(16, n, 7, 3, 6, 4);
+        let s: Vec<i64> = (0..n).map(|_| rng.gen_range(0..=1i64)).collect();
+        let m = Poly::monomial(1, 1, n, ctx.q());
+        let rgsw = RgswCiphertext::encrypt(&ctx, &s, &m, &mut rng);
+        let ct = RlweCiphertext::encrypt(&ctx, &s, &Poly::zero(n, ctx.q()), &mut rng);
+        let r = reps(n).min(64);
+        let ep = time_ns(r, || {
+            std::hint::black_box(rgsw.external_product(&ctx, &ct));
+        });
+        // Seed shape: one full negacyclic product per digit-row pair
+        // (4 per level) through the `%`-based kernels, instead of
+        // transforming only the digits and MAC-ing against cached
+        // evaluation-form rows.
+        let g = ctx.gadget();
+        let ntt = ctx.ntt();
+        let ep_ref = time_ns(r.min(8), || {
+            let a_digits = g.decompose_poly(&ct.a);
+            let b_digits = g.decompose_poly(&ct.b);
+            let mut acc_a = Poly::zero(n, ctx.q());
+            let mut acc_b = Poly::zero(n, ctx.q());
+            for l in 0..g.levels() {
+                acc_a.add_assign(&ntt.negacyclic_mul_reference(&a_digits[l], &rgsw.a_rows[l].a));
+                acc_a.add_assign(&ntt.negacyclic_mul_reference(&b_digits[l], &rgsw.b_rows[l].a));
+                acc_b.add_assign(&ntt.negacyclic_mul_reference(&a_digits[l], &rgsw.a_rows[l].b));
+                acc_b.add_assign(&ntt.negacyclic_mul_reference(&b_digits[l], &rgsw.b_rows[l].b));
+            }
+            std::hint::black_box((acc_a, acc_b));
+        });
+        let speedup = ep_ref / ep;
+        ep_table.push(vec![cell(n as u64), cell(ep), cell(ep_ref), cell(speedup)]);
+        println!(
+            "| {n} | {:.1} | {:.1} | {speedup:.2}x |",
+            ep / 1e3,
+            ep_ref / 1e3
+        );
+    }
+
+    // ------------------------------------------------- thread scaling
+    let limbs = 8usize;
+    let plane_n = if opts.quick { 1 << 12 } else { 1 << 13 };
+    let moduli = generate_ntt_primes(plane_n, 36, limbs);
+    assert_eq!(moduli.len(), limbs, "not enough 36-bit primes");
+    let tables: Vec<NttContext> = moduli
+        .iter()
+        .map(|&q| NttContext::new(plane_n, q))
+        .collect();
+    let table_refs: Vec<&NttContext> = tables.iter().collect();
+    let signed: Vec<i64> = (0..plane_n)
+        .map(|_| rng.gen_range(-1000..1000i64))
+        .collect();
+    let plane = RnsPlane::from_signed(&signed, &moduli);
+    let thread_counts = [1usize, par::effective_threads().max(2)];
+    println!("\n## RNS plane NTT scaling ({limbs} limbs, N = {plane_n})\n");
+    println!("| threads | fwd+inv (µs) |");
+    println!("|---|---|");
+    let scale_table = json.table("rns_thread_scaling", &["threads", "forward_inverse_ns"]);
+    let mut single_result: Option<RnsPlane> = None;
+    for &threads in &thread_counts {
+        let prev = par::set_max_threads(threads);
+        let mut buf = plane.clone();
+        let t = time_ns(if opts.quick { 3 } else { 32 }, || {
+            buf.ntt_forward(&table_refs);
+            buf.ntt_inverse(&table_refs);
+        });
+        par::set_max_threads(prev);
+        // Determinism check: the transform must be bit-identical for
+        // every thread count.
+        match &single_result {
+            None => single_result = Some(buf),
+            Some(first) => assert_eq!(first, &buf, "thread-count nondeterminism"),
+        }
+        scale_table.push(vec![cell(threads as u64), cell(t)]);
+        println!("| {threads} | {:.1} |", t / 1e3);
+    }
+
+    // ------------------------------------------------ host context
+    // The lazy/seed ratio is bounded by how fast the host retires the
+    // seed kernel's 128-by-64-bit `%` (hardware division): record both
+    // primitive costs so reports from different machines can be
+    // compared. Thread-scaling rows are likewise meaningless without
+    // the scheduler-visible core count next to them.
+    let (mul_mod_ns, mul_shoup_ns) = {
+        use ufc_math::modops::{mul_mod, mul_shoup_lazy, shoup_precompute};
+        let q = generate_ntt_prime(1 << 12, 60).expect("60-bit NTT prime");
+        let xs: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..q)).collect();
+        let ws: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..q)).collect();
+        let wss: Vec<u64> = ws.iter().map(|&w| shoup_precompute(w, q)).collect();
+        let mut acc = xs.clone();
+        let t_mod = time_ns(256, || {
+            for (x, &w) in acc.iter_mut().zip(&ws) {
+                *x = mul_mod(*x, w, q);
+            }
+        }) / 4096.0;
+        let mut acc = xs.clone();
+        let t_shoup = time_ns(256, || {
+            for ((x, &w), &wshoup) in acc.iter_mut().zip(&ws).zip(&wss) {
+                let r = mul_shoup_lazy(*x, w, wshoup, q);
+                *x = if r >= q { r - q } else { r };
+            }
+        }) / 4096.0;
+        (t_mod, t_shoup)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "\nHost: {cores} core(s) visible; mul_mod {mul_mod_ns:.2} ns vs \
+         mul_shoup_lazy {mul_shoup_ns:.2} ns per op."
+    );
+
+    // ------------------------------------------------------- headline
+    println!(
+        "\nHeadline: negacyclic mul at N = {headline_n}: {headline_speedup:.2}x \
+         over the seed kernel ({:.1} µs vs {:.1} µs).",
+        headline_lazy / 1e3,
+        headline_ref / 1e3
+    );
+
+    #[derive(serde::Serialize)]
+    struct Host {
+        available_parallelism: u64,
+        mul_mod_ns: f64,
+        mul_shoup_lazy_ns: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct Headline {
+        n: u64,
+        lazy_ns: f64,
+        reference_ns: f64,
+        speedup: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct Output {
+        experiment: String,
+        quick: bool,
+        host: Host,
+        headline: Headline,
+        tables: Vec<ufc_bench::JsonTable>,
+    }
+    let out = Output {
+        experiment: json.experiment.clone(),
+        quick: opts.quick,
+        host: Host {
+            available_parallelism: cores as u64,
+            mul_mod_ns,
+            mul_shoup_lazy_ns: mul_shoup_ns,
+        },
+        headline: Headline {
+            n: headline_n as u64,
+            lazy_ns: headline_lazy,
+            reference_ns: headline_ref,
+            speedup: headline_speedup,
+        },
+        tables: json.tables,
+    };
+    let value = serde::Serialize::to_value(&out);
+    if let Err(e) = std::fs::write(&opts.out, value.to_json_pretty()) {
+        eprintln!("--out {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("benchmark report written to {}", opts.out);
+}

@@ -237,6 +237,17 @@ impl CkksContext {
         &self.ntt[idx]
     }
 
+    /// NTT tables for an arbitrary list of chain moduli, in order —
+    /// the shape [`ufc_math::plane::RnsPlane`]'s in-place transforms
+    /// consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any modulus is neither a Q nor a P modulus.
+    pub fn ntt_tables(&self, moduli: &[u64]) -> Vec<&NttContext> {
+        moduli.iter().map(|&m| self.ntt_for_modulus(m)).collect()
+    }
+
     /// Digit tables for hybrid key-switching.
     pub fn digits(&self) -> &[DigitTables] {
         &self.digits

@@ -1,6 +1,12 @@
 //! The CKKS evaluator: encrypt/decrypt, homomorphic arithmetic, hybrid
 //! key-switching, rotations — with a built-in ciphertext-granularity
 //! tracer (the paper's tracing tool, §VI-B).
+//!
+//! The hot path (key-switching, rescale, rotation) is allocation-lean:
+//! every step works in place on the flat [`RnsPlane`] buffers, and the
+//! only copies are the explicit [`RnsPoly::prefix`] /
+//! [`RnsPoly::to_coeff_copy`] calls where a borrowed input genuinely
+//! has to be materialised.
 
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
@@ -11,6 +17,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 use ufc_isa::trace::{Trace, TraceOp};
 use ufc_math::automorph;
+use ufc_math::plane::RnsPlane;
 use ufc_math::poly::{Form, Poly};
 use ufc_math::sample::{gaussian_poly, ternary_poly};
 
@@ -101,11 +108,15 @@ impl Evaluator {
         let v = RnsPoly::from_signed(&self.ctx, &v_signed, level + 1).to_eval(&self.ctx);
         let e0 = self.noise(level, rng);
         let e1 = self.noise(level, rng);
-        // Slice the public key to the active limbs.
-        let pk_b = slice_limbs(&keys.public.b, level + 1);
-        let pk_a = slice_limbs(&keys.public.a, level + 1);
-        let c0 = pk_b.mul(&v).add(&e0).add(m);
-        let c1 = pk_a.mul(&v).add(&e1);
+        // Slice the public key to the active limbs, then build the
+        // ciphertext components in place.
+        let mut c0 = keys.public.b.prefix(level + 1);
+        c0.mul_assign(&v);
+        c0.add_assign(&e0);
+        c0.add_assign(m);
+        let mut c1 = keys.public.a.prefix(level + 1);
+        c1.mul_assign(&v);
+        c1.add_assign(&e1);
         Ciphertext::new(c0, c1, level, self.ctx.scale())
     }
 
@@ -126,15 +137,14 @@ impl Evaluator {
     /// limbs — ample for test-scale messages).
     pub fn decrypt_coeffs(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<i64> {
         let s = sk.rns_eval(&self.ctx, ct.limb_count());
-        let m = ct.c0.add(&ct.c1.mul(&s)).to_coeff(&self.ctx);
+        let mut m = ct.c1.mul(&s);
+        m.add_assign(&ct.c0);
+        let m = m.to_coeff(&self.ctx);
         let use_limbs = m.limb_count().min(3);
         let basis = ufc_math::rns::RnsBasis::new(self.ctx.q_moduli()[..use_limbs].to_vec());
         (0..self.ctx.n())
             .map(|i| {
-                let residues: Vec<u64> = m.limbs()[..use_limbs]
-                    .iter()
-                    .map(|l| l.coeffs()[i])
-                    .collect();
+                let residues: Vec<u64> = (0..use_limbs).map(|l| m.limb(l)[i]).collect();
                 basis.reconstruct_i128(&residues) as i64
             })
             .collect()
@@ -161,7 +171,7 @@ impl Evaluator {
     /// Panics if scales differ by more than 0.5 %.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         let level = a.level.min(b.level);
-        let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
+        let (mut a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
         assert!(
             (a.scale / b.scale - 1.0).abs() < 5e-3,
             "scale mismatch: {} vs {}",
@@ -171,17 +181,21 @@ impl Evaluator {
         self.record(TraceOp::CkksAdd {
             level: level as u32,
         });
-        Ciphertext::new(a.c0.add(&b.c0), a.c1.add(&b.c1), level, a.scale)
+        a.c0.add_assign(&b.c0);
+        a.c1.add_assign(&b.c1);
+        Ciphertext::new(a.c0, a.c1, level, a.scale)
     }
 
     /// Homomorphic subtraction.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         let level = a.level.min(b.level);
-        let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
+        let (mut a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
         self.record(TraceOp::CkksAdd {
             level: level as u32,
         });
-        Ciphertext::new(a.c0.sub(&b.c0), a.c1.sub(&b.c1), level, a.scale)
+        a.c0.sub_assign(&b.c0);
+        a.c1.sub_assign(&b.c1);
+        Ciphertext::new(a.c0, a.c1, level, a.scale)
     }
 
     /// Ciphertext × plaintext multiplication (plaintext in evaluation
@@ -205,7 +219,12 @@ impl Evaluator {
         self.record(TraceOp::CkksAdd {
             level: a.level as u32,
         });
-        Ciphertext::new(a.c0.add(pt), a.c1.clone(), a.level, a.scale)
+        Ciphertext::new(
+            a.c0.add(pt),
+            a.c1.prefix(a.c1.limb_count()),
+            a.level,
+            a.scale,
+        )
     }
 
     /// Homomorphic ciphertext multiplication with relinearization.
@@ -215,12 +234,15 @@ impl Evaluator {
         self.record(TraceOp::CkksMulCt {
             level: level as u32,
         });
-        let d0 = a.c0.mul(&b.c0);
-        let d1 = a.c0.mul(&b.c1).add(&a.c1.mul(&b.c0));
+        let mut d0 = a.c0.mul(&b.c0);
+        let mut d1 = a.c0.mul(&b.c1);
+        d1.mac_assign(&a.c1, &b.c0);
         let d2 = a.c1.mul(&b.c1);
         // Relinearize d2 with the s² key.
         let (k0, k1) = self.key_switch(&d2, &keys.relin, level);
-        Ciphertext::new(d0.add(&k0), d1.add(&k1), level, a.scale * b.scale)
+        d0.add_assign(&k0);
+        d1.add_assign(&k1);
+        Ciphertext::new(d0, d1, level, a.scale * b.scale)
     }
 
     /// Rescale: divide by the last limb's modulus, dropping one level.
@@ -230,8 +252,12 @@ impl Evaluator {
             level: a.level as u32,
         });
         let q_last = self.ctx.q_moduli()[a.level];
-        let c0 = a.c0.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
-        let c1 = a.c1.to_coeff(&self.ctx).rescale().to_eval(&self.ctx);
+        let mut c0 = a.c0.to_coeff_copy(&self.ctx);
+        c0.rescale_assign();
+        c0.to_eval_mut(&self.ctx);
+        let mut c1 = a.c1.to_coeff_copy(&self.ctx);
+        c1.rescale_assign();
+        c1.to_eval_mut(&self.ctx);
         Ciphertext::new(c0, c1, a.level - 1, a.scale / q_last as f64)
     }
 
@@ -243,7 +269,7 @@ impl Evaluator {
     /// Panics if the rotation key was not generated.
     pub fn rotate(&self, a: &Ciphertext, step: isize, keys: &KeySet) -> Ciphertext {
         if step == 0 {
-            return a.clone();
+            return self.drop_to_level(a, a.level);
         }
         let k = automorph::rotation_exponent(step, self.ctx.n());
         let key = keys
@@ -266,10 +292,11 @@ impl Evaluator {
     }
 
     fn apply_galois(&self, a: &Ciphertext, k: usize, key: &SwitchingKey) -> Ciphertext {
-        let c0r = a.c0.automorphism(k);
+        let mut c0r = a.c0.automorphism(k);
         let c1r = a.c1.automorphism(k);
         let (k0, k1) = self.key_switch(&c1r, key, a.level);
-        Ciphertext::new(c0r.add(&k0), k1, a.level, a.scale)
+        c0r.add_assign(&k0);
+        Ciphertext::new(c0r, k1, a.level, a.scale)
     }
 
     /// Encodes real slot values at an explicit scale (used for scale
@@ -319,16 +346,12 @@ impl Evaluator {
     /// Drops limbs to reach `level` (modulus reduction, no scaling).
     pub fn drop_to_level(&self, a: &Ciphertext, level: usize) -> Ciphertext {
         assert!(level <= a.level, "cannot raise level by dropping limbs");
-        if level == a.level {
-            return a.clone();
-        }
-        let mut c0 = a.c0.clone();
-        let mut c1 = a.c1.clone();
-        while c0.limb_count() > level + 1 {
-            c0 = c0.drop_last();
-            c1 = c1.drop_last();
-        }
-        Ciphertext::new(c0, c1, level, a.scale)
+        Ciphertext::new(
+            a.c0.prefix(level + 1),
+            a.c1.prefix(level + 1),
+            level,
+            a.scale,
+        )
     }
 
     // ----------------------------------------------------- key switching
@@ -339,15 +362,23 @@ impl Evaluator {
     ///
     /// This is the paper's dominant CKKS kernel: digit decomposition,
     /// ModUp base conversions, the big MAC accumulation against the
-    /// key, and the ModDown division by `P` (§II-B3).
+    /// key, and the ModDown division by `P` (§II-B3). Each extended
+    /// digit is assembled directly into a flat limb-major buffer and
+    /// MAC-accumulated in place — no per-digit limb vectors.
     pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey, level: usize) -> (RnsPoly, RnsPoly) {
         let ctx = &self.ctx;
         let active = level + 1;
-        let d_coeff = d.to_coeff(ctx);
+        let n = ctx.n();
+        let d_coeff = d.to_coeff_copy(ctx);
         let digit_keys = key.at_level(level);
 
-        let mut acc0: Option<RnsPoly> = None;
-        let mut acc1: Option<RnsPoly> = None;
+        // Extended basis: active Q limbs followed by all P limbs.
+        let mut ext_moduli: Vec<u64> = Vec::with_capacity(active + ctx.p_moduli().len());
+        ext_moduli.extend_from_slice(&ctx.q_moduli()[..active]);
+        ext_moduli.extend_from_slice(ctx.p_moduli());
+        let mut acc0 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
+        let mut acc1 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
+
         for (j, dt) in ctx.digits().iter().enumerate() {
             let (lo, hi) = dt.limb_range;
             if lo >= active {
@@ -355,73 +386,65 @@ impl Evaluator {
             }
             let hi_l = hi.min(active);
             // d~_j = [d * Qhat_j^{-1}]_{Q_j} on the digit limbs.
-            let digit_limbs: Vec<Poly> = (lo..hi_l)
-                .map(|i| d_coeff.limbs()[i].scale(dt.qhat_inv[level][i - lo]))
+            let digit_rows: Vec<Poly> = (lo..hi_l)
+                .map(|i| {
+                    let mut p = d_coeff.limb_poly(i);
+                    p.scale_assign(dt.qhat_inv[level][i - lo]);
+                    p
+                })
                 .collect();
-            // ModUp to the complement moduli.
+            // ModUp to the complement moduli: the converter emits a
+            // flat limb-major buffer ordered q[..lo], q[hi_l..active],
+            // p[..] — splice the digit rows back in to get the
+            // extended-basis layout directly.
             let conv = dt.mod_up[level].as_ref().expect("digit active");
-            let converted = conv.convert_poly(&digit_limbs);
-            // Assemble the full (active Q ++ P) limb list.
-            // Complement order was: q[..lo], q[hi_l..active], p[..].
-            let mut limbs: Vec<Poly> = Vec::with_capacity(active + ctx.p_moduli().len());
-            let mut conv_iter = converted.into_iter();
-            for i in 0..lo {
-                let l = conv_iter.next().expect("complement limb");
-                debug_assert_eq!(l.modulus(), ctx.q_moduli()[i]);
-                limbs.push(l);
+            let rows: Vec<&[u64]> = digit_rows.iter().map(ufc_math::Poly::coeffs).collect();
+            let converted = conv.convert_rows(&rows);
+            let mut flat = Vec::with_capacity(ext_moduli.len() * n);
+            flat.extend_from_slice(&converted[..lo * n]);
+            for row in &digit_rows {
+                flat.extend_from_slice(row.coeffs());
             }
-            limbs.extend(digit_limbs.iter().cloned());
-            for i in hi_l..active {
-                let l = conv_iter.next().expect("complement limb");
-                debug_assert_eq!(l.modulus(), ctx.q_moduli()[i]);
-                limbs.push(l);
-            }
-            for p in ctx.p_moduli() {
-                let l = conv_iter.next().expect("P limb");
-                debug_assert_eq!(l.modulus(), *p);
-                limbs.push(l);
-            }
-            let d_ext = RnsPoly::from_limbs(limbs, Form::Coeff).to_eval(ctx);
+            flat.extend_from_slice(&converted[lo * n..]);
+            let mut d_ext = RnsPoly::from_plane(RnsPlane::from_flat_unchecked(
+                flat,
+                &ext_moduli,
+                Form::Coeff,
+            ));
+            d_ext.to_eval_mut(ctx);
             let (b_j, a_j) = &digit_keys[j];
-            let t0 = d_ext.mul(b_j);
-            let t1 = d_ext.mul(a_j);
-            acc0 = Some(match acc0 {
-                Some(acc) => acc.add(&t0),
-                None => t0,
-            });
-            acc1 = Some(match acc1 {
-                Some(acc) => acc.add(&t1),
-                None => t1,
-            });
+            acc0.mac_assign(&d_ext, b_j);
+            acc1.mac_assign(&d_ext, a_j);
         }
-        let acc0 = acc0.expect("at least one digit");
-        let acc1 = acc1.expect("at least one digit");
-        (self.mod_down(&acc0, level), self.mod_down(&acc1, level))
+        (self.mod_down(acc0, level), self.mod_down(acc1, level))
     }
 
     /// ModDown: divides an (active Q ++ P)-limb polynomial by `P` with
-    /// rounding, returning active-Q limbs (evaluation form).
-    fn mod_down(&self, x: &RnsPoly, level: usize) -> RnsPoly {
+    /// rounding, consuming the input and returning active-Q limbs
+    /// (evaluation form).
+    fn mod_down(&self, mut x: RnsPoly, level: usize) -> RnsPoly {
         let ctx = &self.ctx;
         let active = level + 1;
-        let x_coeff = x.to_coeff(ctx);
+        x.to_coeff_mut(ctx);
         let p_count = ctx.p_moduli().len();
-        assert_eq!(x_coeff.limb_count(), active + p_count, "limb layout");
-        let p_part: Vec<Poly> = x_coeff.limbs()[active..].to_vec();
+        assert_eq!(x.limb_count(), active + p_count, "limb layout");
         let conv = ctx.p_to_q_converter(level);
-        let p_on_q = conv.convert_poly(&p_part);
-        let limbs: Vec<Poly> = (0..active)
-            .map(|i| {
-                let diff = x_coeff.limbs()[i].sub(&p_on_q[i]);
-                diff.scale(ctx.p_inv_mod_q(i))
-            })
-            .collect();
-        RnsPoly::from_limbs(limbs, Form::Coeff).to_eval(ctx)
+        let p_on_q_flat = {
+            let rows: Vec<&[u64]> = (active..active + p_count).map(|i| x.limb(i)).collect();
+            conv.convert_rows(&rows)
+        };
+        let p_on_q = RnsPoly::from_plane(RnsPlane::from_flat_unchecked(
+            p_on_q_flat,
+            &ctx.q_moduli()[..active],
+            Form::Coeff,
+        ));
+        x.truncate_limbs(active);
+        x.sub_assign(&p_on_q);
+        let p_inv: Vec<u64> = (0..active).map(|i| ctx.p_inv_mod_q(i)).collect();
+        x.scale_limbs_assign(&p_inv);
+        x.to_eval_mut(ctx);
+        x
     }
-}
-
-fn slice_limbs(p: &RnsPoly, count: usize) -> RnsPoly {
-    RnsPoly::from_limbs(p.limbs()[..count].to_vec(), p.form())
 }
 
 #[cfg(test)]
@@ -526,10 +549,9 @@ mod tests {
     #[test]
     fn rotation_rotates_slots() {
         let (ev, sk, mut keys, mut rng) = setup(64, 3, 2, 2, 16);
-        let sk_clone_ctx = ev.context().clone();
         let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
-        keys.gen_rotation_key(&sk_clone_ctx, &sk, 1, &mut rng);
-        keys.gen_rotation_key(&sk_clone_ctx, &sk, 5, &mut rng);
+        keys.gen_rotation_key(ev.context(), &sk, 1, &mut rng);
+        keys.gen_rotation_key(ev.context(), &sk, 5, &mut rng);
         let ct = ev.encrypt_real(&vals, &keys, &mut rng);
         for step in [1isize, 5] {
             let rot = ev.rotate(&ct, step, &keys);

@@ -302,9 +302,9 @@ mod tests {
         let ks = KeySet::generate(&c, &sk, &mut rng);
         let s_eval = sk.rns_eval(&c, c.max_level() + 1);
         let check = ks.public.b.add(&ks.public.a.mul(&s_eval)).to_coeff(&c);
-        for limb in check.limbs() {
-            let q = limb.modulus();
-            for &v in limb.coeffs() {
+        for l in 0..check.limb_count() {
+            let q = check.limb_modulus(l);
+            for &v in check.limb(l) {
                 let centered = ufc_math::modops::to_signed(v, q);
                 assert!(centered.abs() < 64, "noise too large: {centered}");
             }

@@ -1,150 +1,224 @@
-//! RNS polynomials: one limb per active modulus, carried in either
-//! coefficient or evaluation (NTT) form.
+//! RNS polynomials: a thin CKKS-facing wrapper over the shared flat
+//! [`RnsPlane`] data plane.
+//!
+//! All arithmetic lives in `ufc_math::plane`; this type binds the
+//! plane to a [`CkksContext`] (which owns the NTT tables) and exposes
+//! in-place `to_eval` / `to_coeff` so the evaluator's hot paths never
+//! clone limb data.
 
 use crate::context::CkksContext;
-use ufc_math::automorph;
-use ufc_math::modops::{mul_mod, sub_mod};
+use ufc_math::plane::RnsPlane;
 use ufc_math::poly::{Form, Poly};
 
 /// A polynomial over `Q = q_0 … q_level` (optionally extended by `P`)
-/// in RNS representation.
+/// in RNS representation, stored limb-major in one flat buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RnsPoly {
-    /// One limb per modulus, `limbs[i]` over `moduli[i]`.
-    limbs: Vec<Poly>,
-    /// Representation of all limbs (kept uniform).
-    form: Form,
+    plane: RnsPlane,
 }
 
 impl RnsPoly {
     /// Zero polynomial over the first `count` Q limbs.
     pub fn zero(ctx: &CkksContext, count: usize, form: Form) -> Self {
-        let limbs = ctx.q_moduli()[..count]
-            .iter()
-            .map(|&q| Poly::zero(ctx.n(), q))
-            .collect();
-        Self { limbs, form }
+        Self {
+            plane: RnsPlane::zero(ctx.n(), &ctx.q_moduli()[..count], form),
+        }
     }
 
-    /// Wraps limbs that are already consistent.
+    /// Wraps an existing plane.
+    pub fn from_plane(plane: RnsPlane) -> Self {
+        Self { plane }
+    }
+
+    /// Flattens per-limb polynomials into a plane.
     ///
     /// # Panics
     ///
     /// Panics if `limbs` is empty or dimensions mismatch.
     pub fn from_limbs(limbs: Vec<Poly>, form: Form) -> Self {
-        assert!(!limbs.is_empty(), "need at least one limb");
-        let n = limbs[0].dim();
-        assert!(limbs.iter().all(|l| l.dim() == n), "limb dims must match");
-        Self { limbs, form }
+        Self {
+            plane: RnsPlane::from_polys(&limbs, form),
+        }
     }
 
     /// Builds from signed coefficients, reducing into every modulus.
     pub fn from_signed(ctx: &CkksContext, signed: &[i64], count: usize) -> Self {
-        let limbs = ctx.q_moduli()[..count]
-            .iter()
-            .map(|&q| Poly::from_signed(signed, q))
-            .collect();
         Self {
-            limbs,
-            form: Form::Coeff,
+            plane: RnsPlane::from_signed(signed, &ctx.q_moduli()[..count]),
         }
     }
 
-    /// The limbs.
-    pub fn limbs(&self) -> &[Poly] {
-        &self.limbs
+    /// The underlying flat plane.
+    #[inline]
+    pub fn plane(&self) -> &RnsPlane {
+        &self.plane
     }
 
-    /// Mutable limbs (form invariants are the caller's responsibility).
-    pub fn limbs_mut(&mut self) -> &mut [Poly] {
-        &mut self.limbs
+    /// Read-only view of limb `i`'s residues.
+    #[inline]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        self.plane.limb(i)
+    }
+
+    /// The modulus of limb `i`.
+    #[inline]
+    pub fn limb_modulus(&self, i: usize) -> u64 {
+        self.plane.modulus(i)
+    }
+
+    /// Copies limb `i` out as a standalone [`Poly`].
+    pub fn limb_poly(&self, i: usize) -> Poly {
+        self.plane.limb_poly(i)
+    }
+
+    /// The limb moduli, in order.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        self.plane.moduli()
     }
 
     /// Current representation.
+    #[inline]
     pub fn form(&self) -> Form {
-        self.form
+        self.plane.form()
     }
 
     /// Number of limbs.
+    #[inline]
     pub fn limb_count(&self) -> usize {
-        self.limbs.len()
+        self.plane.limb_count()
     }
 
     /// Ring dimension.
+    #[inline]
     pub fn dim(&self) -> usize {
-        self.limbs[0].dim()
+        self.plane.dim()
     }
 
-    /// Converts all limbs to evaluation form (no-op if already there).
-    pub fn to_eval(&self, ctx: &CkksContext) -> Self {
-        if self.form == Form::Eval {
-            return self.clone();
-        }
-        let limbs = self
-            .limbs
-            .iter()
-            .map(|l| ctx.ntt_for_modulus(l.modulus()).to_eval(l))
-            .collect();
+    /// An explicit copy of the first `count` limbs.
+    pub fn prefix(&self, count: usize) -> Self {
         Self {
-            limbs,
-            form: Form::Eval,
+            plane: self.plane.prefix(count),
         }
     }
 
-    /// Converts all limbs to coefficient form (no-op if already there).
-    pub fn to_coeff(&self, ctx: &CkksContext) -> Self {
-        if self.form == Form::Coeff {
-            return self.clone();
-        }
-        let limbs = self
-            .limbs
-            .iter()
-            .map(|l| ctx.ntt_for_modulus(l.modulus()).to_coeff(l))
-            .collect();
-        Self {
-            limbs,
-            form: Form::Coeff,
+    /// Converts to evaluation form in place (no-op if already there).
+    pub fn to_eval_mut(&mut self, ctx: &CkksContext) {
+        if self.form() == Form::Coeff {
+            let tables = ctx.ntt_tables(self.plane.moduli());
+            self.plane.ntt_forward(&tables);
         }
     }
 
-    /// Limb-wise addition.
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff_mut(&mut self, ctx: &CkksContext) {
+        if self.form() == Form::Eval {
+            let tables = ctx.ntt_tables(self.plane.moduli());
+            self.plane.ntt_inverse(&tables);
+        }
+    }
+
+    /// Converts to evaluation form, consuming self (zero-copy).
+    #[must_use]
+    pub fn to_eval(mut self, ctx: &CkksContext) -> Self {
+        self.to_eval_mut(ctx);
+        self
+    }
+
+    /// Converts to coefficient form, consuming self (zero-copy).
+    #[must_use]
+    pub fn to_coeff(mut self, ctx: &CkksContext) -> Self {
+        self.to_coeff_mut(ctx);
+        self
+    }
+
+    /// Out-of-place conversion to evaluation form: one buffer copy,
+    /// then the in-place transform.
+    pub fn to_eval_copy(&self, ctx: &CkksContext) -> Self {
+        let mut out = self.prefix(self.limb_count());
+        out.to_eval_mut(ctx);
+        out
+    }
+
+    /// Out-of-place conversion to coefficient form: one buffer copy,
+    /// then the in-place transform.
+    pub fn to_coeff_copy(&self, ctx: &CkksContext) -> Self {
+        let mut out = self.prefix(self.limb_count());
+        out.to_coeff_mut(ctx);
+        out
+    }
+
+    /// In-place limb-wise addition.
     ///
     /// # Panics
     ///
-    /// Panics on form or limb-count mismatch.
+    /// Panics on form, moduli or limb-count mismatch.
+    pub fn add_assign(&mut self, rhs: &Self) {
+        self.plane.add_assign(&rhs.plane);
+    }
+
+    /// In-place limb-wise subtraction.
+    pub fn sub_assign(&mut self, rhs: &Self) {
+        self.plane.sub_assign(&rhs.plane);
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        self.plane.neg_assign();
+    }
+
+    /// In-place Hadamard product (both sides must be in evaluation
+    /// form).
+    pub fn mul_assign(&mut self, rhs: &Self) {
+        self.plane.hadamard_assign(&rhs.plane);
+    }
+
+    /// Multiply-accumulate: `self ← self + a ∘ b` (all evaluation
+    /// form). The inner loop of key-switch digit accumulation.
+    pub fn mac_assign(&mut self, a: &Self, b: &Self) {
+        self.plane.mac_assign(&a.plane, &b.plane);
+    }
+
+    /// In-place per-limb scalar multiply.
+    pub fn scale_limbs_assign(&mut self, scalars: &[u64]) {
+        self.plane.scale_limbs_assign(scalars);
+    }
+
+    /// In-place Galois automorphism `X → X^k`, in either form.
+    pub fn automorph_assign(&mut self, k: usize) {
+        self.plane.automorph_assign(k);
+    }
+
+    /// In-place exact RNS rescale (drops the last limb). Requires
+    /// coefficient form.
+    pub fn rescale_assign(&mut self) {
+        self.plane.rescale_assign();
+    }
+
+    /// Drops all limbs past the first `count`, in place.
+    pub fn truncate_limbs(&mut self, count: usize) {
+        self.plane.truncate_limbs(count);
+    }
+
+    /// Limb-wise addition (allocating convenience wrapper).
     pub fn add(&self, rhs: &Self) -> Self {
-        self.check(rhs);
-        Self {
-            limbs: self
-                .limbs
-                .iter()
-                .zip(&rhs.limbs)
-                .map(|(a, b)| a.add(b))
-                .collect(),
-            form: self.form,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.add_assign(rhs);
+        out
     }
 
-    /// Limb-wise subtraction.
+    /// Limb-wise subtraction (allocating convenience wrapper).
     pub fn sub(&self, rhs: &Self) -> Self {
-        self.check(rhs);
-        Self {
-            limbs: self
-                .limbs
-                .iter()
-                .zip(&rhs.limbs)
-                .map(|(a, b)| a.sub(b))
-                .collect(),
-            form: self.form,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.sub_assign(rhs);
+        out
     }
 
-    /// Negation.
+    /// Negation (allocating convenience wrapper).
     pub fn neg(&self) -> Self {
-        Self {
-            limbs: self.limbs.iter().map(ufc_math::Poly::neg).collect(),
-            form: self.form,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.neg_assign();
+        out
     }
 
     /// Limb-wise Hadamard product (both sides must be in evaluation
@@ -155,31 +229,17 @@ impl RnsPoly {
     ///
     /// Panics unless both operands are in evaluation form.
     pub fn mul(&self, rhs: &Self) -> Self {
-        assert_eq!(self.form, Form::Eval, "mul requires evaluation form");
-        self.check(rhs);
-        Self {
-            limbs: self
-                .limbs
-                .iter()
-                .zip(&rhs.limbs)
-                .map(|(a, b)| a.hadamard(b))
-                .collect(),
-            form: Form::Eval,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.mul_assign(rhs);
+        out
     }
 
-    /// Multiplies limb `i` by scalar `s_i` (one scalar per limb).
+    /// Multiplies limb `i` by scalar `s_i` (one scalar per limb;
+    /// allocating convenience wrapper).
     pub fn scale_per_limb(&self, scalars: &[u64]) -> Self {
-        assert_eq!(scalars.len(), self.limbs.len(), "scalar count mismatch");
-        Self {
-            limbs: self
-                .limbs
-                .iter()
-                .zip(scalars)
-                .map(|(l, &s)| l.scale(s))
-                .collect(),
-            form: self.form,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.scale_limbs_assign(scalars);
+        out
     }
 
     /// Drops the last limb (rescale bookkeeping).
@@ -188,11 +248,8 @@ impl RnsPoly {
     ///
     /// Panics if only one limb remains.
     pub fn drop_last(&self) -> Self {
-        assert!(self.limbs.len() > 1, "cannot drop the last limb");
-        Self {
-            limbs: self.limbs[..self.limbs.len() - 1].to_vec(),
-            form: self.form,
-        }
+        assert!(self.limb_count() > 1, "cannot drop the last limb");
+        self.prefix(self.limb_count() - 1)
     }
 
     /// Exact RNS rescale: divides by the last modulus with rounding,
@@ -205,47 +262,17 @@ impl RnsPoly {
     ///
     /// Panics unless in coefficient form with at least two limbs.
     pub fn rescale(&self) -> Self {
-        assert_eq!(self.form, Form::Coeff, "rescale requires coefficient form");
-        assert!(self.limbs.len() > 1, "rescale needs two or more limbs");
-        let last = &self.limbs[self.limbs.len() - 1];
-        let q_last = last.modulus();
-        let limbs = self.limbs[..self.limbs.len() - 1]
-            .iter()
-            .map(|l| {
-                let qi = l.modulus();
-                let q_last_inv =
-                    ufc_math::modops::inv_mod(q_last % qi, qi).expect("moduli coprime");
-                let coeffs = l
-                    .coeffs()
-                    .iter()
-                    .zip(last.coeffs())
-                    .map(|(&a, &b)| mul_mod(sub_mod(a, b % qi, qi), q_last_inv, qi))
-                    .collect();
-                Poly::from_coeffs(coeffs, qi)
-            })
-            .collect();
-        Self {
-            limbs,
-            form: Form::Coeff,
-        }
+        let mut out = self.prefix(self.limb_count());
+        out.rescale_assign();
+        out
     }
 
     /// Applies the Galois automorphism `X → X^k` limb-wise, in either
-    /// form.
+    /// form (allocating convenience wrapper).
     pub fn automorphism(&self, k: usize) -> Self {
-        let apply = match self.form {
-            Form::Coeff => automorph::apply_coeff,
-            Form::Eval => automorph::apply_eval,
-        };
-        Self {
-            limbs: self.limbs.iter().map(|l| apply(l, k)).collect(),
-            form: self.form,
-        }
-    }
-
-    fn check(&self, rhs: &Self) {
-        assert_eq!(self.form, rhs.form, "representation mismatch");
-        assert_eq!(self.limbs.len(), rhs.limbs.len(), "limb count mismatch");
+        let mut out = self.prefix(self.limb_count());
+        out.automorph_assign(k);
+        out
     }
 }
 
@@ -253,6 +280,7 @@ impl RnsPoly {
 mod tests {
     use super::*;
     use crate::context::CkksContext;
+    use ufc_math::modops::mul_mod;
 
     fn ctx() -> CkksContext {
         CkksContext::new(32, 4, 2, 2, 36, 26)
@@ -264,8 +292,8 @@ mod tests {
         let z = RnsPoly::zero(&c, 3, Form::Coeff);
         assert_eq!(z.limb_count(), 3);
         let p = RnsPoly::from_signed(&c, &[1, -1, 0, 5], 2);
-        assert_eq!(p.limbs()[0].coeffs()[1], c.q_moduli()[0] - 1);
-        assert_eq!(p.limbs()[1].coeffs()[3], 5);
+        assert_eq!(p.limb(0)[1], c.q_moduli()[0] - 1);
+        assert_eq!(p.limb(1)[3], 5);
     }
 
     #[test]
@@ -273,8 +301,20 @@ mod tests {
         let c = ctx();
         let signed: Vec<i64> = (0..32).map(|i| i * 3 - 40).collect();
         let p = RnsPoly::from_signed(&c, &signed, 4);
-        let back = p.to_eval(&c).to_coeff(&c);
+        let back = p.to_eval_copy(&c).to_coeff(&c);
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn in_place_and_copy_conversions_agree() {
+        let c = ctx();
+        let signed: Vec<i64> = (0..32).map(|i| 7 - i * 2).collect();
+        let p = RnsPoly::from_signed(&c, &signed, 3);
+        let copied = p.to_eval_copy(&c);
+        let mut in_place = p.prefix(3);
+        in_place.to_eval_mut(&c);
+        assert_eq!(copied, in_place);
+        assert_eq!(p.form(), Form::Coeff, "source untouched by the copy");
     }
 
     #[test]
@@ -282,10 +322,10 @@ mod tests {
         let c = ctx();
         let a = RnsPoly::from_signed(&c, &(0..32).map(|i| i % 7).collect::<Vec<_>>(), 2);
         let b = RnsPoly::from_signed(&c, &(0..32).map(|i| (i % 5) - 2).collect::<Vec<_>>(), 2);
-        let prod = a.to_eval(&c).mul(&b.to_eval(&c)).to_coeff(&c);
-        for (i, limb) in prod.limbs().iter().enumerate() {
-            let expect = a.limbs()[i].negacyclic_mul_schoolbook(&b.limbs()[i]);
-            assert_eq!(limb, &expect, "limb {i}");
+        let prod = a.to_eval_copy(&c).mul(&b.to_eval_copy(&c)).to_coeff(&c);
+        for i in 0..prod.limb_count() {
+            let expect = a.limb_poly(i).negacyclic_mul_schoolbook(&b.limb_poly(i));
+            assert_eq!(prod.limb(i), expect.coeffs(), "limb {i}");
         }
     }
 
@@ -323,7 +363,7 @@ mod tests {
         let p = RnsPoly::from_signed(&c, &signed, 3);
         let k = 5;
         let via_coeff = p.automorphism(k).to_eval(&c);
-        let via_eval = p.to_eval(&c).automorphism(k);
+        let via_eval = p.to_eval_copy(&c).automorphism(k);
         assert_eq!(via_coeff, via_eval);
     }
 

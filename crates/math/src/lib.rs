@@ -14,6 +14,8 @@
 //!   is built around ([`ntt`], [`cgntt`]), plus the double-precision
 //!   FFT datapath of the Strix baseline ([`fft`], §VII-D),
 //! * negacyclic polynomial rings `Z_q[X]/(X^N + 1)` ([`poly`]),
+//! * the flat limb-major RNS data plane with in-place kernels
+//!   ([`plane`]) and dependency-free limb parallelism ([`par`]),
 //! * residue number systems and fast base conversion (`BConv`)
 //!   ([`rns`]),
 //! * gadget / digit decomposition used by key-switching and RGSW
@@ -45,6 +47,8 @@ pub mod gadget;
 pub mod modops;
 pub mod mont;
 pub mod ntt;
+pub mod par;
+pub mod plane;
 pub mod poly;
 pub mod prime;
 pub mod rns;
@@ -52,5 +56,6 @@ pub mod sample;
 
 pub use modops::{inv_mod, mul_mod, pow_mod};
 pub use ntt::NttContext;
+pub use plane::RnsPlane;
 pub use poly::Poly;
 pub use rns::RnsBasis;

@@ -205,6 +205,47 @@ impl ShoupMul {
     }
 }
 
+/// Precomputes the Shoup companion word `floor(w · 2^64 / q)` of a
+/// constant `w < q`, for use with [`mul_shoup`] / [`mul_shoup_lazy`].
+#[inline]
+pub fn shoup_precompute(w: u64, q: u64) -> u64 {
+    debug_assert!(w < q, "constant must be reduced");
+    (((w as u128) << 64) / q as u128) as u64
+}
+
+/// Shoup multiplication by a precomputed constant, *lazy* variant:
+/// returns `a · w mod q` as a representative in `[0, 2q)`.
+///
+/// Unlike the fully-reduced variant this accepts **any** `a < 2^64`
+/// (not just reduced residues), which is what lets the Harvey NTT
+/// butterflies defer reduction: with `q < 2^62` the stage values stay
+/// below `4q` and a single correction pass at the end suffices.
+///
+/// Proof sketch: `w_shoup = (w·2^64 − r₀)/q` with `0 ≤ r₀ < q`, so
+/// `hi = floor(a·w_shoup / 2^64)` is within 2 of `a·w/q` from below,
+/// giving `0 ≤ a·w − hi·q < 2q`. The wrapping arithmetic is exact
+/// because `2q < 2^64`.
+#[inline]
+pub fn mul_shoup_lazy(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+    a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q))
+}
+
+/// Shoup multiplication by a precomputed constant, fully reduced.
+///
+/// `w_shoup` must come from [`shoup_precompute`]`(w, q)`; `a` may be
+/// any `u64` (the result is still exact mod `q`), the return value is
+/// in `[0, q)`.
+#[inline]
+pub fn mul_shoup(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let r = mul_shoup_lazy(a, w, w_shoup, q);
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
 /// Maps a signed integer into `[0, q)`.
 #[inline]
 pub fn from_signed(v: i64, q: u64) -> u64 {
@@ -305,6 +346,18 @@ mod tests {
         let sm = ShoupMul::new(w, P);
         for a in [0u64, 1, P - 1, 42, P / 2] {
             assert_eq!(sm.mul(a), mul_mod(a, w, P));
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_is_congruent_and_bounded() {
+        let w = 0x1234_5678_9abc_def0 % P;
+        let ws = shoup_precompute(w, P);
+        for a in [0u64, 1, P - 1, 2 * P - 1, 4 * P - 1, u64::MAX] {
+            let r = mul_shoup_lazy(a, w, ws, P);
+            assert!(r < 2 * P, "lazy result must stay below 2q");
+            assert_eq!(r % P, mul_mod(a % P, w, P));
+            assert_eq!(mul_shoup(a, w, ws, P), mul_mod(a % P, w, P));
         }
     }
 

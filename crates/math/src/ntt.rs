@@ -5,8 +5,23 @@
 //! out, negacyclic via the `2N`-th root `ψ` (pre/post scaling). The
 //! constant-geometry variant UFC's interconnect is designed around
 //! lives in [`crate::cgntt`] and is validated against this one.
+//!
+//! # Kernel strategy
+//!
+//! The hot kernels use Shoup-precomputed twiddles with Harvey lazy
+//! reduction: butterfly operands are kept as representatives below
+//! `4q` (the twiddle multiply returns a value below `2q` for *any*
+//! 64-bit input, see [`crate::modops::mul_shoup_lazy`]), and a single
+//! correction pass at the end of the transform brings everything back
+//! to `[0, q)`. This removes the 128-bit `%` division the seed
+//! butterfly paid per multiply. The seed kernels are retained as
+//! `*_reference` methods so equivalence tests and the
+//! `cargo xtask bench-math` harness can measure old vs. new on the
+//! same tables.
 
-use crate::modops::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod};
+use crate::modops::{
+    add_mod, inv_mod, mul_mod, mul_shoup_lazy, pow_mod, shoup_precompute, sub_mod, Barrett,
+};
 use crate::poly::Poly;
 use crate::prime::primitive_root_of_unity;
 
@@ -19,14 +34,36 @@ pub struct NttContext {
     psi: u64,
     /// ψ^i for i in 0..N (negacyclic pre-twist).
     psi_pows: Vec<u64>,
+    /// Shoup companions of `psi_pows`.
+    psi_shoup: Vec<u64>,
     /// ψ^{-i} for i in 0..N.
     psi_inv_pows: Vec<u64>,
     /// ω = ψ² powers: ω^i for i in 0..N.
     omega_pows: Vec<u64>,
     /// ω^{-i} for i in 0..N.
     omega_inv_pows: Vec<u64>,
+    /// Stage-major twiddles for the lazy forward stages: the `half`
+    /// twiddles of the stage with block length `2·half` start at
+    /// offset `half − 1`, stored contiguously (`N − 1` entries total).
+    /// The butterfly loop then streams them sequentially instead of
+    /// striding through `omega_pows`.
+    omega_stage: Vec<u64>,
+    /// Shoup companions of `omega_stage`.
+    omega_stage_shoup: Vec<u64>,
+    /// Stage-major twiddles for the lazy inverse stages.
+    omega_inv_stage: Vec<u64>,
+    /// Shoup companions of `omega_inv_stage`.
+    omega_inv_stage_shoup: Vec<u64>,
     /// N^{-1} mod q.
     n_inv: u64,
+    /// Shoup companion of `n_inv`.
+    n_inv_shoup: u64,
+    /// Fused post-twist ψ^{-i}·N^{-1} for the negacyclic inverse.
+    psi_inv_n_pows: Vec<u64>,
+    /// Shoup companions of `psi_inv_n_pows`.
+    psi_inv_n_shoup: Vec<u64>,
+    /// Barrett reducer for the element-wise (hadamard) kernel.
+    barrett: Barrett,
 }
 
 impl NttContext {
@@ -78,15 +115,45 @@ impl NttContext {
             w = mul_mod(w, omega_inv, q);
         }
         let n_inv = inv_mod(n as u64, q).expect("N invertible");
+        let shoup_of =
+            |v: &[u64]| -> Vec<u64> { v.iter().map(|&w| shoup_precompute(w, q)).collect() };
+        let psi_shoup = shoup_of(&psi_pows);
+        let stage_major = |pows: &[u64]| -> Vec<u64> {
+            let mut t = Vec::with_capacity(n.saturating_sub(1));
+            let mut len = 2;
+            while len <= n {
+                let step = n / len;
+                for j in 0..len / 2 {
+                    t.push(pows[j * step]);
+                }
+                len <<= 1;
+            }
+            t
+        };
+        let omega_stage = stage_major(&omega_pows);
+        let omega_inv_stage = stage_major(&omega_inv_pows);
+        let omega_stage_shoup = shoup_of(&omega_stage);
+        let omega_inv_stage_shoup = shoup_of(&omega_inv_stage);
+        let psi_inv_n_pows: Vec<u64> = psi_inv_pows.iter().map(|&p| mul_mod(p, n_inv, q)).collect();
+        let psi_inv_n_shoup = shoup_of(&psi_inv_n_pows);
         Self {
             n,
             q,
             psi,
             psi_pows,
+            psi_shoup,
             psi_inv_pows,
             omega_pows,
             omega_inv_pows,
+            omega_stage,
+            omega_stage_shoup,
+            omega_inv_stage,
+            omega_inv_stage_shoup,
             n_inv,
+            n_inv_shoup: shoup_precompute(n_inv, q),
+            psi_inv_n_pows,
+            psi_inv_n_shoup,
+            barrett: Barrett::new(q),
         }
     }
 
@@ -108,48 +175,262 @@ impl NttContext {
         self.psi
     }
 
+    /// Barrett reducer for this modulus (shared by element-wise
+    /// kernels that operate alongside the transform).
+    #[inline]
+    pub fn barrett(&self) -> &Barrett {
+        &self.barrett
+    }
+
+    /// Runs the Cooley–Tukey stages with lazy (Harvey) butterflies.
+    ///
+    /// Invariant: stage inputs are `< 4q`, the `u` leg is corrected to
+    /// `< 2q` on entry, the twiddle leg comes back `< 2q` from the
+    /// lazy Shoup multiply, so both outputs stay `< 4q`.
+    ///
+    /// `twiddles`/`twiddles_shoup` are the stage-major tables: each
+    /// stage's `half` entries are contiguous, so the butterfly loop
+    /// streams them. With `reduce_output`, the last stage folds the
+    /// `[0, q)` correction into its butterflies, replacing the
+    /// separate correction pass; otherwise outputs are lazy (`< 4q`)
+    /// and the caller's own scaling pass must finish the reduction.
+    ///
+    /// Consecutive stages are *fused in pairs*: four elements are
+    /// loaded once, both stages' butterflies run in registers, and the
+    /// four results are stored once. The arithmetic is bit-identical
+    /// to running the stages back to back, but the number of full
+    /// passes over the coefficient array is halved — the difference
+    /// between compute-bound and memory-bound at large `N`.
+    fn lazy_stages(
+        &self,
+        a: &mut [u64],
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        reduce_output: bool,
+    ) {
+        bit_reverse_permute(a);
+        let mut len = 2;
+        // Fused double stages while both fit strictly inside the
+        // transform; the remainder (one single stage, one fused pair,
+        // or nothing) is handled below so output correction can be
+        // folded into whichever loop runs last.
+        while 2 * len < self.n {
+            self.fused_pair(a, len, twiddles, twiddles_shoup);
+            len <<= 2;
+        }
+        if 2 * len == self.n {
+            if reduce_output {
+                self.fused_pair_reduce(a, len, twiddles, twiddles_shoup);
+            } else {
+                self.fused_pair(a, len, twiddles, twiddles_shoup);
+            }
+        } else if len == self.n {
+            if reduce_output {
+                self.single_stage_reduce(a, len, twiddles, twiddles_shoup);
+            } else {
+                self.single_stage(a, len, twiddles, twiddles_shoup);
+            }
+        }
+    }
+
+    /// One radix-2 stage with block length `len`, lazy outputs.
+    fn single_stage(&self, a: &mut [u64], len: usize, twiddles: &[u64], twiddles_shoup: &[u64]) {
+        let q = self.q;
+        let two_q = 2 * q;
+        let half = len / 2;
+        // Stage-major layout: this stage's twiddles start at
+        // `half - 1` (sum of the earlier stages' halves).
+        let tw = &twiddles[half - 1..2 * half - 1];
+        let tws = &twiddles_shoup[half - 1..2 * half - 1];
+        // Iterator form: chunk/split/zip lets the compiler drop
+        // every bounds check from the butterfly loop.
+        for chunk in a.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (((x, y), &w), &ws) in lo.iter_mut().zip(hi.iter_mut()).zip(tw).zip(tws) {
+                let mut u = *x;
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let t = mul_shoup_lazy(*y, w, ws, q);
+                *x = u + t;
+                *y = u + two_q - t;
+            }
+        }
+    }
+
+    /// Like [`Self::single_stage`] but with the `[0, q)` correction
+    /// folded into the butterfly outputs.
+    fn single_stage_reduce(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+    ) {
+        let q = self.q;
+        let two_q = 2 * q;
+        let half = len / 2;
+        let tw = &twiddles[half - 1..2 * half - 1];
+        let tws = &twiddles_shoup[half - 1..2 * half - 1];
+        for chunk in a.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (((x, y), &w), &ws) in lo.iter_mut().zip(hi.iter_mut()).zip(tw).zip(tws) {
+                let mut u = *x;
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let t = mul_shoup_lazy(*y, w, ws, q);
+                *x = Self::reduce_4q(u + t, q);
+                *y = Self::reduce_4q(u + two_q - t, q);
+            }
+        }
+    }
+
+    /// Brings a lazy representative `v < 4q` back to `[0, q)`.
+    #[inline(always)]
+    fn reduce_4q(mut v: u64, q: u64) -> u64 {
+        if v >= 2 * q {
+            v -= 2 * q;
+        }
+        if v >= q {
+            v -= q;
+        }
+        v
+    }
+
+    /// Two consecutive radix-2 stages (block lengths `len` and
+    /// `2·len`) fused into one pass: each group of four elements is
+    /// loaded once, runs stage A then stage B in registers, and is
+    /// stored once. Bit-identical to the unfused stages.
+    fn fused_pair(&self, a: &mut [u64], len: usize, twiddles: &[u64], twiddles_shoup: &[u64]) {
+        let q = self.q;
+        let two_q = 2 * q;
+        let ha = len / 2;
+        // Stage A twiddles (block `len`), then stage B twiddles
+        // (block `2·len`, `len` entries) split into the halves used by
+        // the `(x0, x2)` and `(x1, x3)` butterflies.
+        let twa = &twiddles[ha - 1..2 * ha - 1];
+        let twas = &twiddles_shoup[ha - 1..2 * ha - 1];
+        let twb = &twiddles[len - 1..2 * len - 1];
+        let twbs = &twiddles_shoup[len - 1..2 * len - 1];
+        let (twb_lo, twb_hi) = twb.split_at(ha);
+        let (twbs_lo, twbs_hi) = twbs.split_at(ha);
+        for chunk in a.chunks_exact_mut(2 * len) {
+            let (left, right) = chunk.split_at_mut(len);
+            let (x0s, x1s) = left.split_at_mut(ha);
+            let (x2s, x3s) = right.split_at_mut(ha);
+            for j in 0..ha {
+                let (x0, x1, x2, x3) = (x0s[j], x1s[j], x2s[j], x3s[j]);
+                let (wa, was) = (twa[j], twas[j]);
+                // Stage A: (x0, x1) and (x2, x3).
+                let mut u0 = x0;
+                if u0 >= two_q {
+                    u0 -= two_q;
+                }
+                let t1 = mul_shoup_lazy(x1, wa, was, q);
+                let a0 = u0 + t1;
+                let a1 = u0 + two_q - t1;
+                let mut u2 = x2;
+                if u2 >= two_q {
+                    u2 -= two_q;
+                }
+                let t3 = mul_shoup_lazy(x3, wa, was, q);
+                let a2 = u2 + t3;
+                let a3 = u2 + two_q - t3;
+                // Stage B: (a0, a2) and (a1, a3).
+                let mut v0 = a0;
+                if v0 >= two_q {
+                    v0 -= two_q;
+                }
+                let s2 = mul_shoup_lazy(a2, twb_lo[j], twbs_lo[j], q);
+                x0s[j] = v0 + s2;
+                x2s[j] = v0 + two_q - s2;
+                let mut v1 = a1;
+                if v1 >= two_q {
+                    v1 -= two_q;
+                }
+                let s3 = mul_shoup_lazy(a3, twb_hi[j], twbs_hi[j], q);
+                x1s[j] = v1 + s3;
+                x3s[j] = v1 + two_q - s3;
+            }
+        }
+    }
+
+    /// Like [`Self::fused_pair`] but with the `[0, q)` correction
+    /// folded into the second stage's outputs.
+    fn fused_pair_reduce(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+    ) {
+        let q = self.q;
+        let two_q = 2 * q;
+        let ha = len / 2;
+        let twa = &twiddles[ha - 1..2 * ha - 1];
+        let twas = &twiddles_shoup[ha - 1..2 * ha - 1];
+        let twb = &twiddles[len - 1..2 * len - 1];
+        let twbs = &twiddles_shoup[len - 1..2 * len - 1];
+        let (twb_lo, twb_hi) = twb.split_at(ha);
+        let (twbs_lo, twbs_hi) = twbs.split_at(ha);
+        for chunk in a.chunks_exact_mut(2 * len) {
+            let (left, right) = chunk.split_at_mut(len);
+            let (x0s, x1s) = left.split_at_mut(ha);
+            let (x2s, x3s) = right.split_at_mut(ha);
+            for j in 0..ha {
+                let (x0, x1, x2, x3) = (x0s[j], x1s[j], x2s[j], x3s[j]);
+                let (wa, was) = (twa[j], twas[j]);
+                let mut u0 = x0;
+                if u0 >= two_q {
+                    u0 -= two_q;
+                }
+                let t1 = mul_shoup_lazy(x1, wa, was, q);
+                let a0 = u0 + t1;
+                let a1 = u0 + two_q - t1;
+                let mut u2 = x2;
+                if u2 >= two_q {
+                    u2 -= two_q;
+                }
+                let t3 = mul_shoup_lazy(x3, wa, was, q);
+                let a2 = u2 + t3;
+                let a3 = u2 + two_q - t3;
+                let mut v0 = a0;
+                if v0 >= two_q {
+                    v0 -= two_q;
+                }
+                let s2 = mul_shoup_lazy(a2, twb_lo[j], twbs_lo[j], q);
+                x0s[j] = Self::reduce_4q(v0 + s2, q);
+                x2s[j] = Self::reduce_4q(v0 + two_q - s2, q);
+                let mut v1 = a1;
+                if v1 >= two_q {
+                    v1 -= two_q;
+                }
+                let s3 = mul_shoup_lazy(a3, twb_hi[j], twbs_hi[j], q);
+                x1s[j] = Self::reduce_4q(v1 + s3, q);
+                x3s[j] = Self::reduce_4q(v1 + two_q - s3, q);
+            }
+        }
+    }
+
     /// In-place cyclic NTT (natural order in and out), ω = ψ².
+    ///
+    /// Input must be reduced (`< q`); output is reduced.
     pub fn forward_cyclic(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        bit_reverse_permute(a);
-        let q = self.q;
-        let mut len = 2;
-        while len <= self.n {
-            let step = self.n / len;
-            for start in (0..self.n).step_by(len) {
-                for j in 0..len / 2 {
-                    let w = self.omega_pows[j * step];
-                    let u = a[start + j];
-                    let v = mul_mod(a[start + j + len / 2], w, q);
-                    a[start + j] = add_mod(u, v, q);
-                    a[start + j + len / 2] = sub_mod(u, v, q);
-                }
-            }
-            len <<= 1;
-        }
+        self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
     }
 
     /// In-place cyclic inverse NTT (natural order in and out).
     pub fn inverse_cyclic(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        bit_reverse_permute(a);
+        self.lazy_stages(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
         let q = self.q;
-        let mut len = 2;
-        while len <= self.n {
-            let step = self.n / len;
-            for start in (0..self.n).step_by(len) {
-                for j in 0..len / 2 {
-                    let w = self.omega_inv_pows[j * step];
-                    let u = a[start + j];
-                    let v = mul_mod(a[start + j + len / 2], w, q);
-                    a[start + j] = add_mod(u, v, q);
-                    a[start + j + len / 2] = sub_mod(u, v, q);
-                }
-            }
-            len <<= 1;
-        }
         for x in a.iter_mut() {
-            *x = mul_mod(*x, self.n_inv, q);
+            // Lazy inputs < 4q are fine for the Shoup scale; one
+            // conditional subtraction fully reduces.
+            let r = mul_shoup_lazy(*x, self.n_inv, self.n_inv_shoup, q);
+            *x = if r >= q { r - q } else { r };
         }
     }
 
@@ -159,18 +440,78 @@ impl NttContext {
     /// factorization of `X^N + 1`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        for (i, x) in a.iter_mut().enumerate() {
-            *x = mul_mod(*x, self.psi_pows[i], self.q);
+        let q = self.q;
+        // Lazy pre-twist: reduced inputs come back < 2q, which the
+        // stage invariant (< 4q) absorbs.
+        for ((x, &w), &ws) in a.iter_mut().zip(&self.psi_pows).zip(&self.psi_shoup) {
+            *x = mul_shoup_lazy(*x, w, ws, q);
         }
-        self.forward_cyclic(a);
+        self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
     }
 
     /// Negacyclic inverse NTT: evaluation form → coefficient form.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        self.inverse_cyclic(a);
+        self.lazy_stages(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
+        let q = self.q;
+        // Fused ψ^{-i}·N^{-1} post-twist straight off the lazy values.
+        for ((x, &w), &ws) in a
+            .iter_mut()
+            .zip(&self.psi_inv_n_pows)
+            .zip(&self.psi_inv_n_shoup)
+        {
+            let r = mul_shoup_lazy(*x, w, ws, q);
+            *x = if r >= q { r - q } else { r };
+        }
+    }
+
+    /// Seed forward kernel (pre-Shoup): one `u128 %` per multiply.
+    ///
+    /// Kept as the measured baseline for `cargo xtask bench-math` and
+    /// as the oracle for old-vs-new equivalence tests.
+    pub fn forward_reference(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        for (i, x) in a.iter_mut().enumerate() {
+            *x = mul_mod(*x, self.psi_pows[i], self.q);
+        }
+        self.cyclic_stages_reference(a, false);
+    }
+
+    /// Seed inverse kernel (pre-Shoup). See [`Self::forward_reference`].
+    pub fn inverse_reference(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.cyclic_stages_reference(a, true);
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, self.q);
+        }
         for (i, x) in a.iter_mut().enumerate() {
             *x = mul_mod(*x, self.psi_inv_pows[i], self.q);
+        }
+    }
+
+    /// The seed Cooley–Tukey loop, verbatim: fully-reduced butterflies
+    /// whose twiddle multiply is a 128-bit `%` division.
+    fn cyclic_stages_reference(&self, a: &mut [u64], inverse: bool) {
+        bit_reverse_permute(a);
+        let q = self.q;
+        let table = if inverse {
+            &self.omega_inv_pows
+        } else {
+            &self.omega_pows
+        };
+        let mut len = 2;
+        while len <= self.n {
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for j in 0..len / 2 {
+                    let w = table[j * step];
+                    let u = a[start + j];
+                    let v = mul_mod(a[start + j + len / 2], w, q);
+                    a[start + j] = add_mod(u, v, q);
+                    a[start + j + len / 2] = sub_mod(u, v, q);
+                }
+            }
+            len <<= 1;
         }
     }
 
@@ -178,22 +519,96 @@ impl NttContext {
     pub fn to_eval(&self, p: &Poly) -> Poly {
         let mut c = p.coeffs().to_vec();
         self.forward(&mut c);
-        Poly::from_coeffs(c, self.q)
+        Poly::from_coeffs_unchecked(c, self.q)
     }
 
     /// Converts a polynomial back to coefficient form (out of place).
     pub fn to_coeff(&self, p: &Poly) -> Poly {
         let mut c = p.coeffs().to_vec();
         self.inverse(&mut c);
-        Poly::from_coeffs(c, self.q)
+        Poly::from_coeffs_unchecked(c, self.q)
+    }
+
+    /// Converts a polynomial to evaluation form in place.
+    pub fn forward_poly(&self, p: &mut Poly) {
+        assert_eq!(p.modulus(), self.q, "modulus mismatch");
+        self.forward(p.coeffs_mut());
+    }
+
+    /// Converts a polynomial to coefficient form in place.
+    pub fn inverse_poly(&self, p: &mut Poly) {
+        assert_eq!(p.modulus(), self.q, "modulus mismatch");
+        self.inverse(p.coeffs_mut());
     }
 
     /// Negacyclic polynomial product via NTT:
     /// `iNTT(NTT(a) ∘ NTT(b))`.
     pub fn negacyclic_mul(&self, a: &Poly, b: &Poly) -> Poly {
-        let ea = self.to_eval(a);
-        let eb = self.to_eval(b);
-        self.to_coeff(&ea.hadamard(&eb))
+        let mut out = a.coeffs().to_vec();
+        self.forward(&mut out);
+        let mut eb = b.coeffs().to_vec();
+        self.forward(&mut eb);
+        for (x, &y) in out.iter_mut().zip(eb.iter()) {
+            *x = self.barrett.mul(*x, y);
+        }
+        self.inverse(&mut out);
+        Poly::from_coeffs_unchecked(out, self.q)
+    }
+
+    /// In-place negacyclic product: `a ← a * b`, one scratch buffer
+    /// (the NTT image of `b`) instead of the three temporaries the
+    /// out-of-place path used to allocate.
+    pub fn negacyclic_mul_assign(&self, a: &mut Poly, b: &Poly) {
+        assert_eq!(a.modulus(), self.q, "modulus mismatch");
+        let mut eb = b.coeffs().to_vec();
+        self.forward(&mut eb);
+        let ac = a.coeffs_mut();
+        self.forward(ac);
+        for (x, &y) in ac.iter_mut().zip(eb.iter()) {
+            *x = self.barrett.mul(*x, y);
+        }
+        self.inverse(ac);
+    }
+
+    /// In-place negacyclic product against an operand that is
+    /// *already* in evaluation form: `a ← iNTT(NTT(a) ∘ b_eval)`.
+    /// Zero scratch allocations; the workhorse of cached-key external
+    /// products.
+    pub fn negacyclic_mul_assign_eval(&self, a: &mut Poly, b_eval: &Poly) {
+        assert_eq!(a.modulus(), self.q, "modulus mismatch");
+        let ac = a.coeffs_mut();
+        self.forward(ac);
+        for (x, &y) in ac.iter_mut().zip(b_eval.coeffs().iter()) {
+            *x = self.barrett.mul(*x, y);
+        }
+        self.inverse(ac);
+    }
+
+    /// Seed negacyclic product — the bench-math baseline. Replicates
+    /// the seed call chain verbatim: `to_eval(a)`, `to_eval(b)`,
+    /// `hadamard`, `to_coeff`, each step allocating a fresh `Poly` and
+    /// re-reducing its coefficients with `%`, with `%`-based
+    /// butterflies inside the transforms.
+    pub fn negacyclic_mul_reference(&self, a: &Poly, b: &Poly) -> Poly {
+        let seed_to_eval = |p: &Poly| -> Poly {
+            let mut c = p.coeffs().to_vec();
+            self.forward_reference(&mut c);
+            Poly::from_coeffs(c, self.q)
+        };
+        let ea = seed_to_eval(a);
+        let eb = seed_to_eval(b);
+        // Seed `Poly::hadamard`: one `u128 %` per coefficient into a
+        // fresh allocation.
+        let prod: Vec<u64> = ea
+            .coeffs()
+            .iter()
+            .zip(eb.coeffs())
+            .map(|(&x, &y)| mul_mod(x, y, self.q))
+            .collect();
+        let he = Poly::from_coeffs(prod, self.q);
+        let mut c = he.coeffs().to_vec();
+        self.inverse_reference(&mut c);
+        Poly::from_coeffs(c, self.q)
     }
 }
 
@@ -236,12 +651,70 @@ mod tests {
     }
 
     #[test]
+    fn lazy_kernels_match_reference() {
+        for log_n in [3usize, 5, 8] {
+            let n = 1 << log_n;
+            let c = ctx(n);
+            let mut rng = 0x9e3779b97f4a7c15u64;
+            let orig: Vec<u64> = (0..n)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng % c.modulus()
+                })
+                .collect();
+            let mut fast = orig.clone();
+            let mut slow = orig.clone();
+            c.forward(&mut fast);
+            c.forward_reference(&mut slow);
+            assert_eq!(fast, slow, "forward mismatch at n={n}");
+            c.inverse(&mut fast);
+            c.inverse_reference(&mut slow);
+            assert_eq!(fast, slow, "inverse mismatch at n={n}");
+            assert_eq!(fast, orig);
+        }
+    }
+
+    #[test]
+    fn cyclic_roundtrip_stays_reduced() {
+        let n = 64;
+        let c = ctx(n);
+        let orig: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 5) % c.modulus()).collect();
+        let mut a = orig.clone();
+        c.forward_cyclic(&mut a);
+        assert!(a.iter().all(|&v| v < c.modulus()));
+        c.inverse_cyclic(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
     fn ntt_mul_matches_schoolbook() {
         let n = 32;
         let c = ctx(n);
         let a = Poly::from_coeffs((0..n as u64).map(|i| i * i + 3).collect(), c.modulus());
         let b = Poly::from_coeffs((0..n as u64).map(|i| 5 * i + 11).collect(), c.modulus());
         assert_eq!(c.negacyclic_mul(&a, &b), a.negacyclic_mul_schoolbook(&b));
+        assert_eq!(
+            c.negacyclic_mul_reference(&a, &b),
+            a.negacyclic_mul_schoolbook(&b)
+        );
+    }
+
+    #[test]
+    fn mul_assign_variants_match_out_of_place() {
+        let n = 64;
+        let c = ctx(n);
+        let a = Poly::from_coeffs((0..n as u64).map(|i| i * 13 + 7).collect(), c.modulus());
+        let b = Poly::from_coeffs((0..n as u64).map(|i| i * 3 + 1).collect(), c.modulus());
+        let expected = c.negacyclic_mul(&a, &b);
+
+        let mut x = a.clone();
+        c.negacyclic_mul_assign(&mut x, &b);
+        assert_eq!(x, expected);
+
+        let mut y = a.clone();
+        let b_eval = c.to_eval(&b);
+        c.negacyclic_mul_assign_eval(&mut y, &b_eval);
+        assert_eq!(y, expected);
     }
 
     #[test]
@@ -284,6 +757,22 @@ mod tests {
             c.forward(&mut a);
             c.inverse(&mut a);
             prop_assert_eq!(a, orig);
+        }
+
+        #[test]
+        fn prop_lazy_forward_matches_reference(seed in any::<u64>()) {
+            let n = 64;
+            let c = ctx(n);
+            let mut rng = seed | 1;
+            let orig: Vec<u64> = (0..n).map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng % c.modulus()
+            }).collect();
+            let mut fast = orig.clone();
+            let mut slow = orig;
+            c.forward(&mut fast);
+            c.forward_reference(&mut slow);
+            prop_assert_eq!(fast, slow);
         }
 
         #[test]

@@ -1,0 +1,478 @@
+//! The flat RNS data plane: one contiguous limb-major buffer shared by
+//! every scheme.
+//!
+//! The paper's unification argument (CKKS and TFHE decompose onto the
+//! same butterfly / modular-ALU / decomposition units) applies to the
+//! software model too: instead of each crate pushing its own
+//! `Vec<Poly>`-of-`Vec<u64>`, an [`RnsPlane`] stores all residue limbs
+//! of a polynomial in a single `Vec<u64>` with stride `n` (limb `i`
+//! occupies `data[i*n .. (i+1)*n]`), plus per-limb moduli and a
+//! [`Form`] tag. All operations are in place, use Barrett/Shoup
+//! multiplies, and fan out across limbs via
+//! [`crate::par::par_limbs`].
+
+use crate::automorph::{apply_coeff_slice, apply_eval_slice};
+use crate::modops::{
+    add_mod, from_signed, inv_mod, mul_shoup, neg_mod, shoup_precompute, sub_mod, Barrett,
+};
+use crate::ntt::NttContext;
+use crate::par::par_limbs;
+use crate::poly::{Form, Poly};
+
+/// A polynomial in RNS representation, stored limb-major in one flat
+/// buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPlane {
+    /// Limb-major residues: limb `i` is `data[i*n .. (i+1)*n]`.
+    data: Vec<u64>,
+    /// The modulus of each limb, aligned with the limb order.
+    moduli: Vec<u64>,
+    /// Ring dimension (the stride between limbs).
+    n: usize,
+    /// Which basis the residues are expressed in.
+    form: Form,
+}
+
+impl RnsPlane {
+    /// The zero plane of dimension `n` over `moduli`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moduli` is empty or `n == 0`.
+    pub fn zero(n: usize, moduli: &[u64], form: Form) -> Self {
+        assert!(n > 0, "ring dimension must be positive");
+        assert!(!moduli.is_empty(), "need at least one limb");
+        Self {
+            data: vec![0; n * moduli.len()],
+            moduli: moduli.to_vec(),
+            n,
+            form,
+        }
+    }
+
+    /// Wraps a flat limb-major buffer whose residues are **already
+    /// reduced** against their limb moduli (checked in debug builds
+    /// only — the unchecked ingestion path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not `n · moduli.len()` for some
+    /// `n > 0`, and debug-panics on unreduced residues.
+    pub fn from_flat_unchecked(data: Vec<u64>, moduli: &[u64], form: Form) -> Self {
+        assert!(!moduli.is_empty(), "need at least one limb");
+        assert_eq!(data.len() % moduli.len(), 0, "buffer must be whole limbs");
+        let n = data.len() / moduli.len();
+        assert!(n > 0, "ring dimension must be positive");
+        debug_assert!(
+            data.chunks(n)
+                .zip(moduli)
+                .all(|(chunk, &q)| chunk.iter().all(|&c| c < q)),
+            "from_flat_unchecked requires reduced residues"
+        );
+        Self {
+            data,
+            moduli: moduli.to_vec(),
+            n,
+            form,
+        }
+    }
+
+    /// Wraps a flat limb-major buffer, reducing every residue against
+    /// its limb modulus.
+    pub fn from_flat(mut data: Vec<u64>, moduli: &[u64], form: Form) -> Self {
+        assert!(!moduli.is_empty(), "need at least one limb");
+        assert_eq!(data.len() % moduli.len(), 0, "buffer must be whole limbs");
+        let n = data.len() / moduli.len();
+        for (chunk, &q) in data.chunks_mut(n).zip(moduli) {
+            for c in chunk {
+                *c %= q;
+            }
+        }
+        Self::from_flat_unchecked(data, moduli, form)
+    }
+
+    /// Builds a coefficient-form plane from signed (centered)
+    /// coefficients, reduced against every limb modulus.
+    pub fn from_signed(signed: &[i64], moduli: &[u64]) -> Self {
+        assert!(!moduli.is_empty(), "need at least one limb");
+        let n = signed.len();
+        let mut data = Vec::with_capacity(n * moduli.len());
+        for &q in moduli {
+            data.extend(signed.iter().map(|&v| from_signed(v, q)));
+        }
+        Self::from_flat_unchecked(data, moduli, Form::Coeff)
+    }
+
+    /// Builds a plane by flattening per-limb polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty or dimensions mismatch.
+    pub fn from_polys(polys: &[Poly], form: Form) -> Self {
+        assert!(!polys.is_empty(), "need at least one limb");
+        let n = polys[0].dim();
+        let mut data = Vec::with_capacity(n * polys.len());
+        let mut moduli = Vec::with_capacity(polys.len());
+        for p in polys {
+            assert_eq!(p.dim(), n, "limb dimension mismatch");
+            data.extend_from_slice(p.coeffs());
+            moduli.push(p.modulus());
+        }
+        Self::from_flat_unchecked(data, &moduli, form)
+    }
+
+    /// Ring dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of RNS limbs.
+    #[inline]
+    pub fn limb_count(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// The limb moduli, in limb order.
+    #[inline]
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Modulus of limb `i`.
+    #[inline]
+    pub fn modulus(&self, i: usize) -> u64 {
+        self.moduli[i]
+    }
+
+    /// Current basis.
+    #[inline]
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// Read-only view of limb `i`.
+    #[inline]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mutable view of limb `i`.
+    #[inline]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The whole flat buffer.
+    #[inline]
+    pub fn flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Copies limb `i` out as a standalone [`Poly`].
+    pub fn limb_poly(&self, i: usize) -> Poly {
+        Poly::from_coeffs_unchecked(self.limb(i).to_vec(), self.moduli[i])
+    }
+
+    /// An explicit copy of the first `count` limbs (the zero-copy
+    /// plane has no implicit `clone()` on hot paths; prefix copies are
+    /// spelled out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the limb count.
+    pub fn prefix(&self, count: usize) -> Self {
+        assert!(count > 0 && count <= self.limb_count());
+        Self {
+            data: self.data[..count * self.n].to_vec(),
+            moduli: self.moduli[..count].to_vec(),
+            n: self.n,
+            form: self.form,
+        }
+    }
+
+    /// Drops all limbs past the first `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the limb count.
+    pub fn truncate_limbs(&mut self, count: usize) {
+        assert!(count > 0 && count <= self.limb_count());
+        self.data.truncate(count * self.n);
+        self.moduli.truncate(count);
+    }
+
+    fn check(&self, rhs: &Self) {
+        assert_eq!(self.n, rhs.n, "plane dimension mismatch");
+        assert_eq!(self.moduli, rhs.moduli, "plane moduli mismatch");
+        assert_eq!(self.form, rhs.form, "plane form mismatch");
+    }
+
+    /// In-place sum: `self ← self + rhs` (forms must match).
+    pub fn add_assign(&mut self, rhs: &Self) {
+        self.check(rhs);
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let q = moduli[i];
+            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
+                *a = add_mod(*a, b, q);
+            }
+        });
+    }
+
+    /// In-place difference: `self ← self - rhs`.
+    pub fn sub_assign(&mut self, rhs: &Self) {
+        self.check(rhs);
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let q = moduli[i];
+            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
+                *a = sub_mod(*a, b, q);
+            }
+        });
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let q = moduli[i];
+            for a in chunk.iter_mut() {
+                *a = neg_mod(*a, q);
+            }
+        });
+    }
+
+    /// In-place Hadamard product (Barrett): `self ← self ∘ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both planes are in evaluation form.
+    pub fn hadamard_assign(&mut self, rhs: &Self) {
+        self.check(rhs);
+        assert_eq!(
+            self.form,
+            Form::Eval,
+            "hadamard requires evaluation form operands"
+        );
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let br = Barrett::new(moduli[i]);
+            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
+                *a = br.mul(*a, b);
+            }
+        });
+    }
+
+    /// Multiply-accumulate (Barrett): `self ← self + a ∘ b`. All
+    /// three planes must be in evaluation form over the same moduli.
+    pub fn mac_assign(&mut self, a: &Self, b: &Self) {
+        self.check(a);
+        self.check(b);
+        assert_eq!(self.form, Form::Eval, "mac requires evaluation form");
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let q = moduli[i];
+            let br = Barrett::new(q);
+            for ((acc, &x), &y) in chunk.iter_mut().zip(a.limb(i)).zip(b.limb(i)) {
+                *acc = add_mod(*acc, br.mul(x, y), q);
+            }
+        });
+    }
+
+    /// In-place per-limb scalar multiply (Shoup): limb `i` is scaled
+    /// by `scalars[i] mod q_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len()` differs from the limb count.
+    pub fn scale_limbs_assign(&mut self, scalars: &[u64]) {
+        assert_eq!(scalars.len(), self.limb_count(), "one scalar per limb");
+        let (n, moduli) = (self.n, &self.moduli);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let q = moduli[i];
+            let s = scalars[i] % q;
+            let s_shoup = shoup_precompute(s, q);
+            for a in chunk.iter_mut() {
+                *a = mul_shoup(*a, s, s_shoup, q);
+            }
+        });
+    }
+
+    /// In-place Galois automorphism `X ↦ X^k`, dispatching on the
+    /// current form (coefficient scatter or evaluation permutation).
+    pub fn automorph_assign(&mut self, k: usize) {
+        let (n, moduli, form) = (self.n, &self.moduli, self.form);
+        par_limbs(n, &mut self.data, |i, chunk| {
+            let src = chunk.to_vec();
+            match form {
+                Form::Coeff => apply_coeff_slice(&src, chunk, k, moduli[i]),
+                Form::Eval => apply_eval_slice(&src, chunk, k),
+            }
+        });
+    }
+
+    /// In-place forward NTT of every limb: coefficient → evaluation
+    /// form. `tables[i]` must be the NTT context for limb `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is already in evaluation form or a table's
+    /// modulus/dimension disagrees with its limb.
+    pub fn ntt_forward(&mut self, tables: &[&NttContext]) {
+        assert_eq!(self.form, Form::Coeff, "plane already in evaluation form");
+        self.apply_tables(tables, false);
+        self.form = Form::Eval;
+    }
+
+    /// In-place inverse NTT of every limb: evaluation → coefficient
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is already in coefficient form.
+    pub fn ntt_inverse(&mut self, tables: &[&NttContext]) {
+        assert_eq!(self.form, Form::Eval, "plane already in coefficient form");
+        self.apply_tables(tables, true);
+        self.form = Form::Coeff;
+    }
+
+    fn apply_tables(&mut self, tables: &[&NttContext], inverse: bool) {
+        assert_eq!(tables.len(), self.limb_count(), "one NTT table per limb");
+        let (n, moduli) = (self.n, &self.moduli);
+        for (t, &q) in tables.iter().zip(moduli) {
+            assert_eq!(t.dim(), n, "NTT table dimension mismatch");
+            assert_eq!(t.modulus(), q, "NTT table modulus mismatch");
+        }
+        par_limbs(n, &mut self.data, |i, chunk| {
+            if inverse {
+                tables[i].inverse(chunk);
+            } else {
+                tables[i].forward(chunk);
+            }
+        });
+    }
+
+    /// Exact RNS rescale: drops the last limb `q_L` and replaces each
+    /// remaining limb by `(c_i - [c_L]_{q_i}) · q_L^{-1} mod q_i` —
+    /// exact division by `q_L` on centered representatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the plane is in coefficient form with at least
+    /// two limbs.
+    pub fn rescale_assign(&mut self) {
+        assert_eq!(self.form, Form::Coeff, "rescale requires coefficient form");
+        let count = self.limb_count();
+        assert!(count >= 2, "rescale needs at least two limbs");
+        let n = self.n;
+        let q_last = self.moduli[count - 1];
+        let moduli = &self.moduli;
+        let (head, tail) = self.data.split_at_mut((count - 1) * n);
+        let last: &[u64] = tail;
+        par_limbs(n, head, |i, chunk| {
+            let qi = moduli[i];
+            let br = Barrett::new(qi);
+            let inv = inv_mod(q_last % qi, qi).expect("coprime moduli");
+            let inv_shoup = shoup_precompute(inv, qi);
+            for (a, &b) in chunk.iter_mut().zip(last) {
+                let b_red = br.reduce_u128(b as u128);
+                *a = mul_shoup(sub_mod(*a, b_red, qi), inv, inv_shoup, qi);
+            }
+        });
+        self.truncate_limbs(count - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: u64 = 97;
+    const Q2: u64 = 193;
+
+    fn sample() -> RnsPlane {
+        RnsPlane::from_flat(vec![1, 2, 3, 4, 10, 20, 30, 40], &[Q1, Q2], Form::Coeff)
+    }
+
+    #[test]
+    fn layout_is_limb_major() {
+        let p = sample();
+        assert_eq!(p.dim(), 4);
+        assert_eq!(p.limb_count(), 2);
+        assert_eq!(p.limb(0), &[1, 2, 3, 4]);
+        assert_eq!(p.limb(1), &[10, 20, 30, 40]);
+        assert_eq!(p.modulus(1), Q2);
+    }
+
+    #[test]
+    fn from_signed_reduces_per_limb() {
+        let p = RnsPlane::from_signed(&[-1, 0, 5], &[Q1, Q2]);
+        assert_eq!(p.limb(0), &[Q1 - 1, 0, 5]);
+        assert_eq!(p.limb(1), &[Q2 - 1, 0, 5]);
+    }
+
+    #[test]
+    fn elementwise_ops_match_poly_kernels() {
+        let a = sample();
+        let b = RnsPlane::from_flat(vec![96, 5, 7, 11, 100, 200, 0, 1], &[Q1, Q2], Form::Coeff);
+        let mut s = a.clone();
+        s.add_assign(&b);
+        for i in 0..2 {
+            let expect = a.limb_poly(i).add(&b.limb_poly(i));
+            assert_eq!(s.limb(i), expect.coeffs(), "limb {i}");
+        }
+        let mut d = a.clone();
+        d.sub_assign(&b);
+        for i in 0..2 {
+            let expect = a.limb_poly(i).sub(&b.limb_poly(i));
+            assert_eq!(d.limb(i), expect.coeffs(), "limb {i}");
+        }
+        let mut neg = a.clone();
+        neg.neg_assign();
+        let mut back = neg;
+        back.add_assign(&a);
+        assert_eq!(back, RnsPlane::zero(4, &[Q1, Q2], Form::Coeff));
+    }
+
+    #[test]
+    fn scale_limbs_applies_per_limb_scalars() {
+        let a = sample();
+        let mut s = a.clone();
+        s.scale_limbs_assign(&[2, 3]);
+        assert_eq!(s.limb(0), a.limb_poly(0).scale(2).coeffs());
+        assert_eq!(s.limb(1), a.limb_poly(1).scale(3).coeffs());
+    }
+
+    #[test]
+    fn prefix_and_truncate() {
+        let a = sample();
+        let p = a.prefix(1);
+        assert_eq!(p.limb_count(), 1);
+        assert_eq!(p.limb(0), a.limb(0));
+        let mut t = a.clone();
+        t.truncate_limbs(1);
+        assert_eq!(t, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation form")]
+    fn hadamard_rejects_coeff_form() {
+        let a = sample();
+        let mut b = a.clone();
+        b.hadamard_assign(&a);
+    }
+
+    #[test]
+    fn mac_matches_hadamard_plus_add() {
+        let n = 4;
+        let moduli = [Q1, Q2];
+        let a = RnsPlane::from_flat(vec![3, 5, 7, 9, 11, 13, 17, 19], &moduli, Form::Eval);
+        let b = RnsPlane::from_flat(vec![2, 4, 6, 8, 10, 12, 14, 16], &moduli, Form::Eval);
+        let mut acc = RnsPlane::zero(n, &moduli, Form::Eval);
+        acc.mac_assign(&a, &b);
+        let mut expect = a.clone();
+        expect.hadamard_assign(&b);
+        assert_eq!(acc, expect);
+    }
+}

@@ -2,7 +2,7 @@
 //! UFC primitive (Table I of the paper: RLWE polynomials in coefficient
 //! or evaluation form).
 
-use crate::modops::{add_mod, from_signed, mul_mod, neg_mod, sub_mod};
+use crate::modops::{add_mod, from_signed, mul_mod, neg_mod, shoup_precompute, sub_mod, Barrett};
 
 /// Which basis a polynomial's limb data is expressed in.
 ///
@@ -41,6 +41,20 @@ impl Poly {
         for c in &mut coeffs {
             *c %= modulus;
         }
+        Self { coeffs, modulus }
+    }
+
+    /// Wraps a coefficient vector that is **already reduced** mod `q`.
+    ///
+    /// Skips the re-reduction pass of [`Self::from_coeffs`]; the
+    /// invariant is checked in debug builds only. Use this on the
+    /// output of kernels that guarantee reduced results (NTT, Barrett
+    /// hadamard, …) so hot paths stop paying a `%` per coefficient.
+    pub fn from_coeffs_unchecked(coeffs: Vec<u64>, modulus: u64) -> Self {
+        debug_assert!(
+            coeffs.iter().all(|&c| c < modulus),
+            "from_coeffs_unchecked requires reduced coefficients"
+        );
         Self { coeffs, modulus }
     }
 
@@ -148,11 +162,12 @@ impl Poly {
     /// meaningful when both polynomials are in evaluation form.
     pub fn hadamard(&self, rhs: &Self) -> Self {
         self.check_compat(rhs);
+        let br = Barrett::new(self.modulus);
         let coeffs = self
             .coeffs
             .iter()
             .zip(&rhs.coeffs)
-            .map(|(&a, &b)| mul_mod(a, b, self.modulus))
+            .map(|(&a, &b)| br.mul(a, b))
             .collect();
         Self {
             coeffs,
@@ -160,16 +175,70 @@ impl Poly {
         }
     }
 
-    /// Multiplies every coefficient by a scalar.
+    /// Multiplies every coefficient by a scalar (Shoup multiply: the
+    /// scalar is a loop constant).
     pub fn scale(&self, s: u64) -> Self {
         let s = s % self.modulus;
+        let s_shoup = shoup_precompute(s, self.modulus);
         Self {
             coeffs: self
                 .coeffs
                 .iter()
-                .map(|&a| mul_mod(a, s, self.modulus))
+                .map(|&a| crate::modops::mul_shoup(a, s, s_shoup, self.modulus))
                 .collect(),
             modulus: self.modulus,
+        }
+    }
+
+    /// In-place element-wise sum: `self ← self + rhs`.
+    pub fn add_assign(&mut self, rhs: &Self) {
+        self.check_compat(rhs);
+        for (a, &b) in self.coeffs.iter_mut().zip(&rhs.coeffs) {
+            *a = add_mod(*a, b, self.modulus);
+        }
+    }
+
+    /// In-place element-wise difference: `self ← self - rhs`.
+    pub fn sub_assign(&mut self, rhs: &Self) {
+        self.check_compat(rhs);
+        for (a, &b) in self.coeffs.iter_mut().zip(&rhs.coeffs) {
+            *a = sub_mod(*a, b, self.modulus);
+        }
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        for a in &mut self.coeffs {
+            *a = neg_mod(*a, self.modulus);
+        }
+    }
+
+    /// In-place Hadamard product: `self ← self ∘ rhs` (Barrett).
+    pub fn hadamard_assign(&mut self, rhs: &Self) {
+        self.check_compat(rhs);
+        let br = Barrett::new(self.modulus);
+        for (a, &b) in self.coeffs.iter_mut().zip(&rhs.coeffs) {
+            *a = br.mul(*a, b);
+        }
+    }
+
+    /// In-place scalar multiply (Shoup): `self ← s · self`.
+    pub fn scale_assign(&mut self, s: u64) {
+        let s = s % self.modulus;
+        let s_shoup = shoup_precompute(s, self.modulus);
+        for a in &mut self.coeffs {
+            *a = crate::modops::mul_shoup(*a, s, s_shoup, self.modulus);
+        }
+    }
+
+    /// Multiply-accumulate: `self ← self + a ∘ b` (Barrett). The MAC
+    /// kernel of key-switch inner products and external products.
+    pub fn mac_assign(&mut self, a: &Self, b: &Self) {
+        self.check_compat(a);
+        self.check_compat(b);
+        let br = Barrett::new(self.modulus);
+        for ((acc, &x), &y) in self.coeffs.iter_mut().zip(&a.coeffs).zip(&b.coeffs) {
+            *acc = add_mod(*acc, br.mul(x, y), self.modulus);
         }
     }
 
@@ -318,6 +387,46 @@ mod tests {
         assert_eq!(s.modulus(), new_q);
         assert!((s.coeffs()[0] as i64 - (new_q / 4) as i64).abs() <= 1);
         assert!((s.coeffs()[3] as i64 - (3 * (new_q / 4)) as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn in_place_ops_match_out_of_place() {
+        let q = 1_152_921_504_598_720_513u64; // 60-bit NTT prime
+        let a = Poly::from_coeffs(vec![1, q - 1, 123_456_789, q / 2], q);
+        let b = Poly::from_coeffs(vec![q - 2, 7, 42, q / 3], q);
+
+        let mut x = a.clone();
+        x.add_assign(&b);
+        assert_eq!(x, a.add(&b));
+
+        let mut x = a.clone();
+        x.sub_assign(&b);
+        assert_eq!(x, a.sub(&b));
+
+        let mut x = a.clone();
+        x.neg_assign();
+        assert_eq!(x, a.neg());
+
+        let mut x = a.clone();
+        x.hadamard_assign(&b);
+        assert_eq!(x, a.hadamard(&b));
+
+        let mut x = a.clone();
+        x.scale_assign(12345);
+        assert_eq!(x, a.scale(12345));
+
+        let mut x = a.clone();
+        x.mac_assign(&a, &b);
+        assert_eq!(x, a.add(&a.hadamard(&b)));
+    }
+
+    #[test]
+    fn unchecked_constructor_matches_checked_on_reduced_input() {
+        let coeffs = vec![0u64, 1, 95, 96];
+        assert_eq!(
+            Poly::from_coeffs_unchecked(coeffs.clone(), Q),
+            Poly::from_coeffs(coeffs, Q)
+        );
     }
 
     #[test]

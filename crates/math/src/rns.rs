@@ -6,7 +6,7 @@
 //! key-switching and the reason SHARP/CraterLake carry wide MAC
 //! pipelines; UFC runs the same MACs on its general modular lanes.
 
-use crate::modops::{inv_mod, mul_mod, sub_mod};
+use crate::modops::{add_mod, inv_mod, mul_mod, mul_shoup, shoup_precompute, sub_mod};
 use crate::poly::Poly;
 
 /// An RNS basis: a list of pairwise-coprime word-size moduli.
@@ -230,6 +230,53 @@ impl BaseConverter {
             .collect()
     }
 
+    /// Converts a polynomial given as one residue row per source
+    /// modulus (each row a length-`n` slice); returns the flat
+    /// limb-major target buffer (`to.len() · n` words), ready for
+    /// [`crate::plane::RnsPlane`] ingestion.
+    ///
+    /// This is the BConv MAC kernel restructured row-wise: the scaled
+    /// residues `y_j = [x_j · qhat_j^{-1}]_{q_j}` are computed once
+    /// per source row with a Shoup multiply, then accumulated into
+    /// each target limb with Shoup multiplies against the precomputed
+    /// `qhat_j mod p_i` — no per-coefficient allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count differs from the source basis or row
+    /// lengths differ.
+    pub fn convert_rows(&self, rows: &[&[u64]]) -> Vec<u64> {
+        assert_eq!(rows.len(), self.from.len(), "limb count mismatch");
+        let n = rows[0].len();
+        for r in rows {
+            assert_eq!(r.len(), n, "limb dimension mismatch");
+        }
+        let mut y = vec![0u64; rows.len() * n];
+        for (j, row) in rows.iter().enumerate() {
+            let qj = self.from.moduli[j];
+            let w = self.from.qhat_inv[j];
+            let ws = shoup_precompute(w, qj);
+            for (dst, &r) in y[j * n..(j + 1) * n].iter_mut().zip(row.iter()) {
+                *dst = mul_shoup(r, w, ws, qj);
+            }
+        }
+        let mut out = vec![0u64; self.to.len() * n];
+        for (i, &p) in self.to.iter().enumerate() {
+            let chunk = &mut out[i * n..(i + 1) * n];
+            for j in 0..rows.len() {
+                // y_j < q_j may exceed p; the Shoup multiply accepts
+                // any u64 operand, so no pre-reduction is needed.
+                let t = self.qhat_mod_p[i][j];
+                let ts = shoup_precompute(t, p);
+                let yrow = &y[j * n..(j + 1) * n];
+                for (acc, &yj) in chunk.iter_mut().zip(yrow) {
+                    *acc = add_mod(*acc, mul_shoup(yj, t, ts, p), p);
+                }
+            }
+        }
+        out
+    }
+
     /// Converts a polynomial given as one limb per source modulus;
     /// returns one limb per target modulus.
     ///
@@ -244,19 +291,11 @@ impl BaseConverter {
             assert_eq!(l.modulus(), self.from.moduli[j], "limb modulus mismatch");
             assert_eq!(l.dim(), n, "limb dimension mismatch");
         }
-        let mut out: Vec<Vec<u64>> = self.to.iter().map(|_| vec![0u64; n]).collect();
-        let mut residues = vec![0u64; self.from.len()];
-        for c in 0..n {
-            for (j, l) in limbs.iter().enumerate() {
-                residues[j] = l.coeffs()[c];
-            }
-            for (converted, v) in out.iter_mut().zip(self.convert_scalar(&residues)) {
-                converted[c] = v;
-            }
-        }
-        out.into_iter()
+        let rows: Vec<&[u64]> = limbs.iter().map(Poly::coeffs).collect();
+        let flat = self.convert_rows(&rows);
+        flat.chunks(n)
             .zip(&self.to)
-            .map(|(v, &p)| Poly::from_coeffs(v, p))
+            .map(|(chunk, &p)| Poly::from_coeffs_unchecked(chunk.to_vec(), p))
             .collect()
     }
 }

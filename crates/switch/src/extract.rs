@@ -84,9 +84,9 @@ impl CkksToLwe {
         let ct0 = ev.drop_to_level(ct, 0);
         let c0 = ct0.c0.to_coeff(ev.context());
         let c1 = ct0.c1.to_coeff(ev.context());
-        let c0 = &c0.limbs()[0];
-        let c1 = &c1.limbs()[0];
-        let n = c0.dim();
+        let c0 = c0.limb(0);
+        let c1 = c1.limb(0);
+        let n = c0.len();
         indices
             .iter()
             .map(|&idx| {
@@ -96,15 +96,15 @@ impl CkksToLwe {
                 let mut a = vec![0u64; n];
                 for (j, slot) in a.iter_mut().enumerate() {
                     let v = if j <= idx {
-                        c1.coeffs()[idx - j]
+                        c1[idx - j]
                     } else {
-                        neg_mod(c1.coeffs()[n + idx - j], self.q0)
+                        neg_mod(c1[n + idx - j], self.q0)
                     };
                     *slot = neg_mod(v, self.q0);
                 }
                 let big = LweCiphertext {
                     a,
-                    b: c0.coeffs()[idx],
+                    b: c0[idx],
                     q: self.q0,
                 };
                 let switched = self.key_switch(&big);

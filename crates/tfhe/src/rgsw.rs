@@ -1,7 +1,7 @@
 //! RGSW ciphertexts, external products and CMux — the engine of
 //! TFHE's blind rotation.
 
-use crate::context::TfheContext;
+use crate::context::{MulBackend, TfheContext};
 use crate::rlwe::RlweCiphertext;
 use rand::Rng;
 use ufc_math::poly::Poly;
@@ -11,12 +11,22 @@ use ufc_math::poly::Poly;
 ///
 /// Rows `0..levels` perturb the mask component (`a`-rows); rows
 /// `levels..2·levels` perturb the body (`b`-rows).
+///
+/// On the NTT datapath the four row polynomials per level are also
+/// cached in evaluation form at encryption time, so every external
+/// product only transforms the *digits* of its RLWE operand (2 forward
+/// NTTs per level plus 2 inverse NTTs total, instead of 4 full
+/// negacyclic products per level). Mutating `a_rows` / `b_rows` after
+/// encryption does not refresh this cache.
 #[derive(Debug, Clone)]
 pub struct RgswCiphertext {
     /// `a`-rows: RLWE(0) with `m·w_l` added to the mask.
     pub a_rows: Vec<RlweCiphertext>,
     /// `b`-rows: RLWE(m·w_l).
     pub b_rows: Vec<RlweCiphertext>,
+    /// Evaluation-form images `[a_row.a, a_row.b, b_row.a, b_row.b]`
+    /// per level; empty on the FFT datapath.
+    eval_rows: Vec<[Poly; 4]>,
 }
 
 impl RgswCiphertext {
@@ -42,7 +52,29 @@ impl RgswCiphertext {
             // b-row: RLWE(m·w).
             b_rows.push(RlweCiphertext::encrypt(ctx, s_signed, &mw, rng));
         }
-        Self { a_rows, b_rows }
+        let eval_rows = match ctx.backend() {
+            MulBackend::Ntt => {
+                let ntt = ctx.ntt();
+                a_rows
+                    .iter()
+                    .zip(&b_rows)
+                    .map(|(ar, br)| {
+                        [
+                            ntt.to_eval(&ar.a),
+                            ntt.to_eval(&ar.b),
+                            ntt.to_eval(&br.a),
+                            ntt.to_eval(&br.b),
+                        ]
+                    })
+                    .collect()
+            }
+            MulBackend::Fft => Vec::new(),
+        };
+        Self {
+            a_rows,
+            b_rows,
+            eval_rows,
+        }
     }
 
     /// Encrypts the scalar bit `bit ∈ {0, 1}` (used for bootstrapping
@@ -67,17 +99,33 @@ impl RgswCiphertext {
         let b_digits = g.decompose_poly(&ct.b);
         let mut acc_a = Poly::zero(ctx.ring_dim(), ctx.q());
         let mut acc_b = Poly::zero(ctx.ring_dim(), ctx.q());
-        for l in 0..g.levels() {
-            // digit(a)_l × a_row_l  +  digit(b)_l × b_row_l, through
-            // the context's datapath (NTT for UFC, FFT for Strix).
-            let da = &a_digits[l];
-            let db = &b_digits[l];
-            acc_a = acc_a
-                .add(&ctx.poly_mul(da, &self.a_rows[l].a))
-                .add(&ctx.poly_mul(db, &self.b_rows[l].a));
-            acc_b = acc_b
-                .add(&ctx.poly_mul(da, &self.a_rows[l].b))
-                .add(&ctx.poly_mul(db, &self.b_rows[l].b));
+        if ctx.backend() == MulBackend::Ntt {
+            // Digit-domain accumulation: forward-transform each digit
+            // once, MAC against the cached evaluation-form rows, and
+            // invert the two accumulators at the end.
+            let ntt = ctx.ntt();
+            for (l, (mut da, mut db)) in a_digits.into_iter().zip(b_digits).enumerate() {
+                ntt.forward_poly(&mut da);
+                ntt.forward_poly(&mut db);
+                let [ra_a, ra_b, rb_a, rb_b] = &self.eval_rows[l];
+                acc_a.mac_assign(&da, ra_a);
+                acc_b.mac_assign(&da, ra_b);
+                acc_a.mac_assign(&db, rb_a);
+                acc_b.mac_assign(&db, rb_b);
+            }
+            ntt.inverse_poly(&mut acc_a);
+            ntt.inverse_poly(&mut acc_b);
+        } else {
+            for l in 0..g.levels() {
+                // digit(a)_l × a_row_l + digit(b)_l × b_row_l through
+                // the FFT datapath (Strix).
+                let da = &a_digits[l];
+                let db = &b_digits[l];
+                acc_a.add_assign(&ctx.poly_mul(da, &self.a_rows[l].a));
+                acc_a.add_assign(&ctx.poly_mul(db, &self.b_rows[l].a));
+                acc_b.add_assign(&ctx.poly_mul(da, &self.a_rows[l].b));
+                acc_b.add_assign(&ctx.poly_mul(db, &self.b_rows[l].b));
+            }
         }
         RlweCiphertext { a: acc_a, b: acc_b }
     }

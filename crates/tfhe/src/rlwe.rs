@@ -40,14 +40,19 @@ impl RlweCiphertext {
         let a = uniform_poly(rng, n, q);
         let e = gaussian_poly(rng, n, q, ctx.sigma());
         let s = Poly::from_signed(s_signed, q);
-        let b = ctx.ntt().negacyclic_mul(&a, &s).add(&e).add(m);
+        let mut b = ctx.ntt().negacyclic_mul(&a, &s);
+        b.add_assign(&e);
+        b.add_assign(m);
         Self { a, b }
     }
 
     /// Computes the phase polynomial `b - a·s`.
     pub fn phase(&self, ctx: &TfheContext, s_signed: &[i64]) -> Poly {
         let s = Poly::from_signed(s_signed, ctx.q());
-        self.b.sub(&ctx.ntt().negacyclic_mul(&self.a, &s))
+        let mut p = ctx.ntt().negacyclic_mul(&self.a, &s);
+        p.neg_assign();
+        p.add_assign(&self.b);
+        p
     }
 
     /// Homomorphic addition.

@@ -9,6 +9,10 @@
 //! * `profile-smoke` — build `ufc-profile`, run it on the small
 //!   hybrid-kNN trace fixture, and validate the exported Perfetto
 //!   file parses as JSON with at least one slice.
+//! * `bench-math [--quick]` — build the release `bench_math` harness,
+//!   run it writing `BENCH_math.json` at the workspace root, and
+//!   validate the report shape (experiment tag, numeric headline
+//!   speedup, non-empty tables).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -19,12 +23,15 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("fixtures") => fixtures(),
         Some("profile-smoke") => profile_smoke(),
+        Some("bench-math") => bench_math(args.iter().any(|a| a == "--quick")),
         Some("-h") | Some("--help") | None => {
-            eprintln!("usage: cargo xtask <lint|fixtures|profile-smoke>");
+            eprintln!("usage: cargo xtask <lint|fixtures|profile-smoke|bench-math>");
             eprintln!("  lint           fmt --check + clippy -D warnings + fixture sweep");
             eprintln!("  fixtures       run ufc-lint over crates/verify/tests/fixtures");
             eprintln!("  profile-smoke  run ufc-profile on the hybrid-kNN fixture and");
             eprintln!("                 validate its Perfetto export");
+            eprintln!("  bench-math     run the math micro-benchmarks, write and validate");
+            eprintln!("                 BENCH_math.json (pass --quick for small sizes)");
             if args.is_empty() {
                 ExitCode::from(2)
             } else {
@@ -220,6 +227,82 @@ fn profile_smoke() -> ExitCode {
     println!(
         "profile-smoke ok: {slices} slices in {}",
         perfetto.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Builds the release `bench_math` harness, runs it writing
+/// `BENCH_math.json` at the workspace root, and validates the report
+/// shape — the same contract the CI bench-smoke job enforces.
+fn bench_math(quick: bool) -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&[
+        "build",
+        "-q",
+        "--release",
+        "-p",
+        "ufc-bench",
+        "--bin",
+        "bench_math",
+    ]) {
+        eprintln!("xtask bench-math: building bench_math failed");
+        return ExitCode::FAILURE;
+    }
+    let out = root.join("BENCH_math.json");
+    let bin = root.join("target/release/bench_math");
+    let mut cmd = Command::new(&bin);
+    cmd.arg("--out").arg(&out);
+    if quick {
+        cmd.arg("--quick");
+    }
+    println!(
+        "+ {} --out {}{}",
+        bin.display(),
+        out.display(),
+        if quick { " --quick" } else { "" }
+    );
+    if !cmd.status().map(|s| s.success()).unwrap_or(false) {
+        eprintln!("xtask bench-math: bench_math failed");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench-math: {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask bench-math: report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.get("experiment").and_then(serde::Value::as_str) != Some("bench_math") {
+        eprintln!("xtask bench-math: report is missing `experiment: \"bench_math\"`");
+        return ExitCode::FAILURE;
+    }
+    let speedup = report
+        .get("headline")
+        .and_then(|h| h.get("speedup"))
+        .and_then(serde::Value::as_f64);
+    let Some(speedup) = speedup else {
+        eprintln!("xtask bench-math: report headline has no numeric `speedup`");
+        return ExitCode::FAILURE;
+    };
+    let tables = report
+        .get("tables")
+        .and_then(serde::Value::as_array)
+        .map(<[serde::Value]>::len)
+        .unwrap_or(0);
+    if tables == 0 {
+        eprintln!("xtask bench-math: report has no tables");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-math ok: {tables} tables, headline speedup {speedup:.2}x in {}",
+        out.display()
     );
     ExitCode::SUCCESS
 }

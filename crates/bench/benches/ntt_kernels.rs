@@ -1,10 +1,11 @@
 //! Criterion benches for the NTT kernels: classical vs
-//! constant-geometry, across ring sizes — the software counterpart of
-//! the Fig. 2 discussion.
+//! constant-geometry across ring sizes (the software counterpart of
+//! the Fig. 2 discussion), plus the radix-2 vs cache-blocked radix-4
+//! generations behind the runtime kernel dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ufc_math::cgntt::CgNtt;
-use ufc_math::ntt::NttContext;
+use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::poly::Poly;
 use ufc_math::prime::generate_ntt_prime;
 
@@ -26,6 +27,32 @@ fn bench_ntts(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_radix_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_radix");
+    g.sample_size(20);
+    // 2^12 runs the radix-4 entry in its degenerate (radix-2) regime;
+    // 2^13 and 2^14 run the genuinely blocked schedule.
+    for log_n in [12u32, 13, 14] {
+        let n = 1usize << log_n;
+        let ctx = NttContext::new(n, generate_ntt_prime(n, 60).unwrap());
+        let data = Poly::pseudorandom(n, ctx.modulus(), 0x5EED).into_coeffs();
+        for kernel in [NttKernel::Radix2, NttKernel::Radix4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("forward/{kernel}"), log_n),
+                &data,
+                |b, data| {
+                    let mut buf = data.clone();
+                    b.iter(|| {
+                        buf.copy_from_slice(data);
+                        ctx.forward_with(kernel, &mut buf);
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_negacyclic_mul(c: &mut Criterion) {
     let n = 1024;
     let ctx = NttContext::new(n, generate_ntt_prime(n, 50).unwrap());
@@ -36,5 +63,10 @@ fn bench_negacyclic_mul(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ntts, bench_negacyclic_mul);
+criterion_group!(
+    benches,
+    bench_ntts,
+    bench_radix_kernels,
+    bench_negacyclic_mul
+);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Micro-benchmarks for the `ufc-math` data plane: Shoup/Harvey NTT
-//! kernels vs the pre-refactor reference kernels, negacyclic
+//! kernels vs the pre-refactor reference kernels, the radix-2 vs
+//! cache-blocked radix-4 kernel generations, negacyclic
 //! multiplication, TFHE external products and limb-parallel RNS
 //! transforms.
 //!
@@ -16,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use ufc_bench::{cell, JsonReport};
-use ufc_math::ntt::NttContext;
+use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::par;
 use ufc_math::plane::RnsPlane;
 use ufc_math::poly::Poly;
@@ -141,6 +142,70 @@ fn main() {
             fwd_ref / 1e3,
             inv / 1e3,
             inv_ref / 1e3
+        );
+    }
+
+    // --------------------------------------------- radix-2 vs radix-4
+    println!("\n## Negacyclic NTT kernel generations (radix-2 vs cache-blocked radix-4)\n");
+    println!(
+        "| N | fwd r2 (µs) | fwd r4 (µs) | fwd speedup | inv r2 (µs) | inv r4 (µs) | inv speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let radix_table = json.table(
+        "ntt_radix",
+        &[
+            "n",
+            "forward_radix2_ns",
+            "forward_radix4_ns",
+            "forward_speedup",
+            "inverse_radix2_ns",
+            "inverse_radix4_ns",
+            "inverse_speedup",
+        ],
+    );
+    for &n in &sizes {
+        let q = generate_ntt_prime(n, 60).expect("60-bit NTT prime");
+        let ctx = NttContext::new(n, q);
+        let r = reps(n);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut buf = data.clone();
+        let fwd2 = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(NttKernel::Radix2, &mut buf);
+        });
+        let eval = buf.clone();
+        let fwd4 = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(NttKernel::Radix4, &mut buf);
+        });
+        assert_eq!(buf, eval, "radix-4 forward diverged from radix-2");
+        let inv2 = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_with(NttKernel::Radix2, &mut buf);
+        });
+        assert_eq!(buf, data, "radix-2 inverse failed to round-trip");
+        let inv4 = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_with(NttKernel::Radix4, &mut buf);
+        });
+        assert_eq!(buf, data, "radix-4 inverse diverged from radix-2");
+        radix_table.push(vec![
+            cell(n as u64),
+            cell(fwd2),
+            cell(fwd4),
+            cell(fwd2 / fwd4),
+            cell(inv2),
+            cell(inv4),
+            cell(inv2 / inv4),
+        ]);
+        println!(
+            "| {n} | {:.1} | {:.1} | {:.2}x | {:.1} | {:.1} | {:.2}x |",
+            fwd2 / 1e3,
+            fwd4 / 1e3,
+            fwd2 / fwd4,
+            inv2 / 1e3,
+            inv4 / 1e3,
+            inv2 / inv4
         );
     }
 

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 use ufc_math::modops::{inv_mod, mul_mod};
-use ufc_math::ntt::NttContext;
+use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::prime::generate_ntt_primes;
 use ufc_math::rns::{BaseConverter, RnsBasis};
 
@@ -246,6 +246,23 @@ impl CkksContext {
     /// Panics if any modulus is neither a Q nor a P modulus.
     pub fn ntt_tables(&self, moduli: &[u64]) -> Vec<&NttContext> {
         moduli.iter().map(|&m| self.ntt_for_modulus(m)).collect()
+    }
+
+    /// Forces a specific NTT kernel on every table in the chain
+    /// (`Q` and `P` limbs alike). All kernels are bit-identical, so
+    /// this changes scheduling only; it exists for the cross-kernel
+    /// conformance/precision suites and A/B timing.
+    pub fn set_ntt_kernel(&mut self, kernel: NttKernel) {
+        for table in &mut self.ntt {
+            Arc::make_mut(table).set_kernel(kernel);
+        }
+    }
+
+    /// Builder-style [`Self::set_ntt_kernel`].
+    #[must_use]
+    pub fn with_ntt_kernel(mut self, kernel: NttKernel) -> Self {
+        self.set_ntt_kernel(kernel);
+        self
     }
 
     /// Digit tables for hybrid key-switching.

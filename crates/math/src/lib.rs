@@ -9,9 +9,12 @@
 //!   reductions,
 //! * NTT-friendly prime generation and primitive-root search
 //!   ([`prime`]),
-//! * the classical iterative radix-2 number-theoretic transform and the
-//!   **constant-geometry (Pease) NTT** that UFC's interconnect co-design
-//!   is built around ([`ntt`], [`cgntt`]), plus the double-precision
+//! * the classical iterative number-theoretic transform with three
+//!   coexisting kernel generations — seed reference, Shoup/Harvey
+//!   radix-2, cache-blocked radix-4 — behind a per-dimension runtime
+//!   dispatch ([`ntt`], [`ntt::NttKernel`], `UFC_NTT_KERNEL`), and the
+//!   **constant-geometry (Pease) NTT** that UFC's interconnect
+//!   co-design is built around ([`cgntt`]), plus the double-precision
 //!   FFT datapath of the Strix baseline ([`fft`], §VII-D),
 //! * negacyclic polynomial rings `Z_q[X]/(X^N + 1)` ([`poly`]),
 //! * the flat limb-major RNS data plane with in-place kernels
@@ -55,7 +58,7 @@ pub mod rns;
 pub mod sample;
 
 pub use modops::{inv_mod, mul_mod, pow_mod};
-pub use ntt::NttContext;
+pub use ntt::{NttContext, NttKernel};
 pub use plane::RnsPlane;
 pub use poly::Poly;
 pub use rns::RnsBasis;

@@ -18,12 +18,140 @@
 //! `*_reference` methods so equivalence tests and the
 //! `cargo xtask bench-math` harness can measure old vs. new on the
 //! same tables.
+//!
+//! # Kernel generations and dispatch
+//!
+//! Three kernel generations coexist, all bit-identical on reduced
+//! inputs (pinned by `crates/math/tests/kernel_conformance.rs`):
+//!
+//! * [`NttKernel::Reference`] — the seed kernel: fully reduced
+//!   butterflies, one 128-bit `%` per multiply.
+//! * [`NttKernel::Radix2`] — Shoup/Harvey lazy butterflies with
+//!   stage-major twiddles and consecutive stages fused in pairs.
+//! * [`NttKernel::Radix4`] — the same radix-4 butterfly groups (two
+//!   fused radix-2 layers sharing loads/stores, with a radix-2 tail
+//!   stage when the remaining stage count is odd), scheduled
+//!   **cache-blocked**: all stages whose butterfly span fits inside an
+//!   L1-sized block run back to back on that block while it is
+//!   resident, so the coefficient array crosses the cache hierarchy
+//!   once for the whole intra-block phase instead of once per stage
+//!   pair. Only the few cross-block stages still make full-array
+//!   passes. Below [`RADIX4_MIN_DIM`] the blocked schedule degenerates
+//!   to the radix-2 walk.
+//!
+//! Each [`NttContext`] picks a kernel at construction:
+//! the `UFC_NTT_KERNEL` environment variable (`auto` / `reference` /
+//! `radix2` / `radix4`) wins if set, otherwise the per-dimension
+//! heuristic [`NttKernel::auto_for`] applies (radix-4 at
+//! `N ≥ 2^13`, radix-2 below). Tests and benches can override per
+//! context via [`NttContext::set_kernel`] or call a specific kernel
+//! directly via [`NttContext::forward_with`].
 
 use crate::modops::{
     add_mod, inv_mod, mul_mod, mul_shoup_lazy, pow_mod, shoup_precompute, sub_mod, Barrett,
 };
 use crate::poly::Poly;
 use crate::prime::primitive_root_of_unity;
+
+/// Environment variable that overrides NTT kernel selection for every
+/// subsequently built [`NttContext`]: `auto`, `reference`, `radix2` or
+/// `radix4` (case-insensitive).
+pub const KERNEL_ENV: &str = "UFC_NTT_KERNEL";
+
+/// Elements per cache block of the radix-4 schedule: `2^12` × 8 bytes
+/// = 32 KiB, sized to a typical L1 data cache.
+pub const RADIX4_BLOCK: usize = 1 << 12;
+
+/// Smallest ring dimension where the cache-blocked radix-4 schedule
+/// differs from (and beats) the radix-2 walk; the [`NttKernel::auto_for`]
+/// heuristic switches kernels here.
+pub const RADIX4_MIN_DIM: usize = 1 << 13;
+
+/// Which butterfly kernel a [`NttContext`] executes.
+///
+/// All kernels compute the same transform and produce bit-identical
+/// reduced outputs; they differ in butterfly arithmetic (lazy vs fully
+/// reduced) and memory schedule (cache-blocked vs stage-by-stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NttKernel {
+    /// Seed kernel: fully reduced butterflies, 128-bit `%` per
+    /// multiply. Kept as the oracle and measured baseline.
+    Reference,
+    /// Shoup/Harvey lazy radix-2 with fused stage pairs.
+    Radix2,
+    /// Cache-blocked radix-4 butterfly groups with a radix-2 tail
+    /// stage for odd stage counts.
+    Radix4,
+}
+
+impl NttKernel {
+    /// Every kernel, in oracle-to-fastest order — the iteration set of
+    /// the conformance suite and the CI kernel matrix.
+    pub const ALL: [NttKernel; 3] = [NttKernel::Reference, NttKernel::Radix2, NttKernel::Radix4];
+
+    /// The canonical lowercase name (what `UFC_NTT_KERNEL` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            NttKernel::Reference => "reference",
+            NttKernel::Radix2 => "radix2",
+            NttKernel::Radix4 => "radix4",
+        }
+    }
+
+    /// Parses a kernel name (case-insensitive). `None` for unknown
+    /// names — note `auto` is *not* a kernel; it is handled by
+    /// [`NttKernel::select`].
+    pub fn parse(s: &str) -> Option<NttKernel> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" => Some(NttKernel::Reference),
+            "radix2" => Some(NttKernel::Radix2),
+            "radix4" => Some(NttKernel::Radix4),
+            _ => None,
+        }
+    }
+
+    /// The per-dimension heuristic: cache-blocked radix-4 once the
+    /// working set outgrows one block (`n ≥ 2^13`), radix-2 below.
+    pub fn auto_for(n: usize) -> NttKernel {
+        if n >= RADIX4_MIN_DIM {
+            NttKernel::Radix4
+        } else {
+            NttKernel::Radix2
+        }
+    }
+
+    /// Kernel selection for ring dimension `n`: the `UFC_NTT_KERNEL`
+    /// environment variable if set (and not `auto`), otherwise
+    /// [`NttKernel::auto_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `UFC_NTT_KERNEL` value — a typo in a
+    /// CI matrix must not silently fall back to the default kernel.
+    pub fn select(n: usize) -> NttKernel {
+        match std::env::var(KERNEL_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("auto") || v.is_empty() => Self::auto_for(n),
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!("{KERNEL_ENV} must be one of auto|reference|radix2|radix4, got `{v}`")
+            }),
+            Err(_) => Self::auto_for(n),
+        }
+    }
+}
+
+impl std::str::FromStr for NttKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| format!("unknown NTT kernel `{s}`"))
+    }
+}
+
+impl std::fmt::Display for NttKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Precomputed tables for NTTs of a fixed `(N, q)` pair.
 #[derive(Debug, Clone)]
@@ -64,6 +192,8 @@ pub struct NttContext {
     psi_inv_n_shoup: Vec<u64>,
     /// Barrett reducer for the element-wise (hadamard) kernel.
     barrett: Barrett,
+    /// Which butterfly kernel `forward`/`inverse` execute.
+    kernel: NttKernel,
 }
 
 impl NttContext {
@@ -154,7 +284,27 @@ impl NttContext {
             psi_inv_n_pows,
             psi_inv_n_shoup,
             barrett: Barrett::new(q),
+            kernel: NttKernel::select(n),
         }
+    }
+
+    /// The kernel `forward`/`inverse` currently dispatch to.
+    #[inline]
+    pub fn kernel(&self) -> NttKernel {
+        self.kernel
+    }
+
+    /// Forces a specific kernel for this context (tests, benches, and
+    /// scheme contexts that re-pin all their tables at once).
+    pub fn set_kernel(&mut self, kernel: NttKernel) {
+        self.kernel = kernel;
+    }
+
+    /// Builder-style [`Self::set_kernel`].
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: NttKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Ring dimension.
@@ -231,6 +381,102 @@ impl NttContext {
                 self.single_stage(a, len, twiddles, twiddles_shoup);
             }
         }
+    }
+
+    /// The cache-blocked radix-4 stage walker. Outputs are congruent
+    /// to [`Self::lazy_stages`]' at every element with the same `< 4q`
+    /// invariants, so the fully-reduced results are bit-identical;
+    /// the schedule and per-stage work differ:
+    ///
+    /// 1. **Intra-block phase** — every stage whose butterfly span
+    ///    fits inside [`RADIX4_BLOCK`] runs, fused in radix-4 pairs,
+    ///    on one block at a time while that block is L1-resident. The
+    ///    coefficient array makes a single trip through the cache
+    ///    hierarchy for all of these stages combined. The first stage
+    ///    pair elides the stage-1 unit-twiddle multiply
+    ///    ([`Self::fused_pair_first`]), which is why the walker
+    ///    requires entry values `< 2q`.
+    /// 2. **Cross-block phase** — the remaining `log2(n / BLOCK)`
+    ///    stages make full-array passes, still fused in pairs, with a
+    ///    radix-2 tail stage when that count is odd. The finishing
+    ///    work (`[0, q)` correction, or a fused element-wise twist)
+    ///    folds into whichever pass runs last.
+    ///
+    /// Callers must have `n > RADIX4_BLOCK` (smaller transforms use
+    /// the radix-2 walk) and bit-reversed, `< 2q` input.
+    fn radix4_stage_walk(
+        &self,
+        a: &mut [u64],
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        tail: Radix4Tail<'_>,
+    ) {
+        let n = self.n;
+        debug_assert!(n > RADIX4_BLOCK);
+        // First stage length NOT covered by the intra-block phase
+        // (identical for every block, computed once).
+        let mut cross_start = 8;
+        while 2 * cross_start <= RADIX4_BLOCK {
+            cross_start <<= 2;
+        }
+        for block in a.chunks_exact_mut(RADIX4_BLOCK) {
+            self.fused_pair_first(block, twiddles, twiddles_shoup);
+            let mut len = 8;
+            while 2 * len <= RADIX4_BLOCK {
+                self.fused_pair(block, len, twiddles, twiddles_shoup);
+                len <<= 2;
+            }
+        }
+        let mut len = cross_start;
+        while 2 * len < n {
+            self.fused_pair(a, len, twiddles, twiddles_shoup);
+            len <<= 2;
+        }
+        if 2 * len == n {
+            match tail {
+                Radix4Tail::Lazy => self.fused_pair(a, len, twiddles, twiddles_shoup),
+                Radix4Tail::Reduce => self.fused_pair_reduce(a, len, twiddles, twiddles_shoup),
+                Radix4Tail::Twist { pows, shoup } => {
+                    // Folding the twist into this fused pass would
+                    // stream data, stage twiddles and both twist
+                    // tables together — past L2 at the sizes where
+                    // this tail fires. Two streaming passes win.
+                    self.fused_pair(a, len, twiddles, twiddles_shoup);
+                    self.twist_sweep(a, pows, shoup);
+                }
+            }
+        } else if len == n {
+            match tail {
+                Radix4Tail::Lazy => self.single_stage(a, len, twiddles, twiddles_shoup),
+                Radix4Tail::Reduce => self.single_stage_reduce(a, len, twiddles, twiddles_shoup),
+                Radix4Tail::Twist { pows, shoup } => {
+                    self.single_stage_twist(a, len, twiddles, twiddles_shoup, pows, shoup);
+                }
+            }
+        }
+    }
+
+    /// The cyclic radix-4 entry: plain bit-reversal, then the blocked
+    /// walk. Defers to [`Self::lazy_stages`] when the transform fits
+    /// one block (the blocked schedule would be the plain walk).
+    fn lazy_stages_radix4(
+        &self,
+        a: &mut [u64],
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        reduce_output: bool,
+    ) {
+        if self.n <= RADIX4_BLOCK {
+            self.lazy_stages(a, twiddles, twiddles_shoup, reduce_output);
+            return;
+        }
+        bit_reverse_permute(a);
+        let tail = if reduce_output {
+            Radix4Tail::Reduce
+        } else {
+            Radix4Tail::Lazy
+        };
+        self.radix4_stage_walk(a, twiddles, twiddles_shoup, tail);
     }
 
     /// One radix-2 stage with block length `len`, lazy outputs.
@@ -413,18 +659,161 @@ impl NttContext {
         }
     }
 
+    /// The first stage pair (block lengths 2 and 4) of the radix-4
+    /// walk, with the stage-1 multiply elided: stage 1's only twiddle
+    /// is `ω^0 = 1`, so `mul_shoup_lazy(y, 1, …)` is a pure lazy
+    /// reduction — skipping it is valid whenever the inputs are
+    /// already `< 2q`, which every transform entry guarantees
+    /// (reduced coefficients, or a `< 2q` lazy pre-twist). Outputs
+    /// stay congruent with the same `< 4q` bound, so the fully
+    /// reduced results remain bit-identical to the generic walk.
+    fn fused_pair_first(&self, a: &mut [u64], twiddles: &[u64], twiddles_shoup: &[u64]) {
+        let q = self.q;
+        let two_q = 2 * q;
+        // Stage-major layout: stage 2 (block length 4) owns entries
+        // [1, 3) — a unit twiddle for the (a0, a2) leg and ω^{N/4}
+        // for the (a1, a3) leg. Loop-invariant, hoisted.
+        let (wb0, wb0s) = (twiddles[1], twiddles_shoup[1]);
+        let (wb1, wb1s) = (twiddles[2], twiddles_shoup[2]);
+        for chunk in a.chunks_exact_mut(4) {
+            let (x0, x1, x2, x3) = (chunk[0], chunk[1], chunk[2], chunk[3]);
+            debug_assert!(x0 < two_q && x1 < two_q && x2 < two_q && x3 < two_q);
+            // Stage 1: unit twiddle, butterflies are plain add/sub.
+            let a0 = x0 + x1;
+            let a1 = x0 + two_q - x1;
+            let a2 = x2 + x3;
+            let a3 = x2 + two_q - x3;
+            // Stage 2: identical to the generic fused pair.
+            let mut v0 = a0;
+            if v0 >= two_q {
+                v0 -= two_q;
+            }
+            let s2 = mul_shoup_lazy(a2, wb0, wb0s, q);
+            chunk[0] = v0 + s2;
+            chunk[2] = v0 + two_q - s2;
+            let mut v1 = a1;
+            if v1 >= two_q {
+                v1 -= two_q;
+            }
+            let s3 = mul_shoup_lazy(a3, wb1, wb1s, q);
+            chunk[1] = v1 + s3;
+            chunk[3] = v1 + two_q - s3;
+        }
+    }
+
+    /// A standalone element-wise Shoup twist + `[0, q)` correction
+    /// sweep over lazy (`< 4q`) values, with caller-supplied tables.
+    fn twist_sweep(&self, a: &mut [u64], pows: &[u64], shoup: &[u64]) {
+        let q = self.q;
+        for ((x, &w), &ws) in a.iter_mut().zip(pows).zip(shoup) {
+            let r = mul_shoup_lazy(*x, w, ws, q);
+            *x = if r >= q { r - q } else { r };
+        }
+    }
+
+    /// Like [`Self::single_stage`] but with the per-element Shoup
+    /// twist and `[0, q)` correction folded into the stores. Radix-4
+    /// inverse tail for transforms with an odd stage count.
+    fn single_stage_twist(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        pows: &[u64],
+        shoup: &[u64],
+    ) {
+        let q = self.q;
+        let two_q = 2 * q;
+        let half = len / 2;
+        let tw = &twiddles[half - 1..2 * half - 1];
+        let tws = &twiddles_shoup[half - 1..2 * half - 1];
+        let twist = |v: u64, w: u64, ws: u64| {
+            let r = mul_shoup_lazy(v, w, ws, q);
+            if r >= q {
+                r - q
+            } else {
+                r
+            }
+        };
+        for (ci, chunk) in a.chunks_exact_mut(len).enumerate() {
+            let base = ci * len;
+            let p = &pows[base..base + len];
+            let ps = &shoup[base..base + len];
+            let (lo, hi) = chunk.split_at_mut(half);
+            for j in 0..half {
+                let mut u = lo[j];
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let t = mul_shoup_lazy(hi[j], tw[j], tws[j], q);
+                lo[j] = twist(u + t, p[j], ps[j]);
+                hi[j] = twist(u + two_q - t, p[half + j], ps[half + j]);
+            }
+        }
+    }
+
+    /// Fused bit-reversal + lazy ψ pre-twist: one random-access pass
+    /// replaces the radix-2 path's separate twist sweep. Each element
+    /// is multiplied by `ψ^i` for its *original* index `i` while being
+    /// moved to its bit-reversed slot; reduced inputs come back < 2q.
+    fn bit_reverse_twist(&self, a: &mut [u64]) {
+        let n = a.len();
+        debug_assert!(n.is_power_of_two());
+        let bits = n.trailing_zeros();
+        let q = self.q;
+        for i in 0..n {
+            let j = ((i as u64).reverse_bits() >> (64 - bits)) as usize;
+            if i < j {
+                let (vi, vj) = (a[i], a[j]);
+                a[i] = mul_shoup_lazy(vj, self.psi_pows[j], self.psi_shoup[j], q);
+                a[j] = mul_shoup_lazy(vi, self.psi_pows[i], self.psi_shoup[i], q);
+            } else if i == j {
+                a[i] = mul_shoup_lazy(a[i], self.psi_pows[i], self.psi_shoup[i], q);
+            }
+        }
+    }
+
     /// In-place cyclic NTT (natural order in and out), ω = ψ².
     ///
-    /// Input must be reduced (`< q`); output is reduced.
+    /// Input must be reduced (`< q`); output is reduced. Dispatches on
+    /// the context's kernel.
     pub fn forward_cyclic(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
+        match self.kernel {
+            NttKernel::Reference => self.cyclic_stages_reference(a, false),
+            NttKernel::Radix2 => {
+                self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
+            }
+            NttKernel::Radix4 => {
+                self.lazy_stages_radix4(a, &self.omega_stage, &self.omega_stage_shoup, true);
+            }
+        }
     }
 
     /// In-place cyclic inverse NTT (natural order in and out).
     pub fn inverse_cyclic(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
-        self.lazy_stages(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
+        match self.kernel {
+            NttKernel::Reference => {
+                self.cyclic_stages_reference(a, true);
+                for x in a.iter_mut() {
+                    *x = mul_mod(*x, self.n_inv, self.q);
+                }
+                return;
+            }
+            NttKernel::Radix2 => {
+                self.lazy_stages(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
+            }
+            NttKernel::Radix4 => {
+                self.lazy_stages_radix4(
+                    a,
+                    &self.omega_inv_stage,
+                    &self.omega_inv_stage_shoup,
+                    false,
+                );
+            }
+        }
         let q = self.q;
         for x in a.iter_mut() {
             // Lazy inputs < 4q are fine for the Shoup scale; one
@@ -437,32 +826,113 @@ impl NttContext {
     /// Negacyclic forward NTT: coefficient form → evaluation form.
     ///
     /// Evaluation point `i` is `ψ^(2i+1)` (odd powers), matching the
-    /// factorization of `X^N + 1`.
+    /// factorization of `X^N + 1`. Dispatches on the context's kernel
+    /// (see [`Self::kernel`]).
     pub fn forward(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n);
-        let q = self.q;
-        // Lazy pre-twist: reduced inputs come back < 2q, which the
-        // stage invariant (< 4q) absorbs.
-        for ((x, &w), &ws) in a.iter_mut().zip(&self.psi_pows).zip(&self.psi_shoup) {
-            *x = mul_shoup_lazy(*x, w, ws, q);
-        }
-        self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
+        self.forward_with(self.kernel, a);
     }
 
     /// Negacyclic inverse NTT: evaluation form → coefficient form.
     pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_with(self.kernel, a);
+    }
+
+    /// [`Self::forward`] through an explicitly chosen kernel,
+    /// bypassing the context's dispatch. All kernels produce
+    /// bit-identical outputs on reduced inputs.
+    pub fn forward_with(&self, kernel: NttKernel, a: &mut [u64]) {
+        match kernel {
+            NttKernel::Reference => self.forward_reference(a),
+            NttKernel::Radix2 => self.forward_radix2(a),
+            NttKernel::Radix4 => self.forward_radix4(a),
+        }
+    }
+
+    /// [`Self::inverse`] through an explicitly chosen kernel.
+    pub fn inverse_with(&self, kernel: NttKernel, a: &mut [u64]) {
+        match kernel {
+            NttKernel::Reference => self.inverse_reference(a),
+            NttKernel::Radix2 => self.inverse_radix2(a),
+            NttKernel::Radix4 => self.inverse_radix4(a),
+        }
+    }
+
+    /// Lazy pre-twist shared by the negacyclic forward kernels:
+    /// reduced inputs come back < 2q, which the stage invariant
+    /// (< 4q) absorbs.
+    fn pre_twist(&self, a: &mut [u64]) {
+        let q = self.q;
+        for ((x, &w), &ws) in a.iter_mut().zip(&self.psi_pows).zip(&self.psi_shoup) {
+            *x = mul_shoup_lazy(*x, w, ws, q);
+        }
+    }
+
+    /// Fused ψ^{-i}·N^{-1} post-twist shared by the negacyclic inverse
+    /// kernels, straight off the lazy (< 4q) stage outputs.
+    fn post_twist(&self, a: &mut [u64]) {
+        self.twist_sweep(a, &self.psi_inv_n_pows, &self.psi_inv_n_shoup);
+    }
+
+    /// Negacyclic forward NTT, radix-2 Shoup/Harvey kernel.
+    pub fn forward_radix2(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.pre_twist(a);
+        self.lazy_stages(a, &self.omega_stage, &self.omega_stage_shoup, true);
+    }
+
+    /// Negacyclic inverse NTT, radix-2 Shoup/Harvey kernel.
+    pub fn inverse_radix2(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
         self.lazy_stages(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
-        let q = self.q;
-        // Fused ψ^{-i}·N^{-1} post-twist straight off the lazy values.
-        for ((x, &w), &ws) in a
-            .iter_mut()
-            .zip(&self.psi_inv_n_pows)
-            .zip(&self.psi_inv_n_shoup)
-        {
-            let r = mul_shoup_lazy(*x, w, ws, q);
-            *x = if r >= q { r - q } else { r };
+        self.post_twist(a);
+    }
+
+    /// Negacyclic forward NTT, cache-blocked radix-4 kernel.
+    ///
+    /// Bit-identical outputs to [`Self::forward_radix2`], with three
+    /// pass-level savings on top of the blocked schedule: the ψ
+    /// pre-twist rides along with the bit-reversal permutation
+    /// ([`Self::bit_reverse_twist`]), the stage-1 unit-twiddle
+    /// multiply is elided ([`Self::fused_pair_first`]), and the final
+    /// correction folds into the last stage's stores. For
+    /// `n ≤ RADIX4_BLOCK` the blocked schedule degenerates to the
+    /// radix-2 walk, so it defers to it outright.
+    pub fn forward_radix4(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        if self.n <= RADIX4_BLOCK {
+            self.forward_radix2(a);
+            return;
         }
+        self.bit_reverse_twist(a);
+        self.radix4_stage_walk(
+            a,
+            &self.omega_stage,
+            &self.omega_stage_shoup,
+            Radix4Tail::Reduce,
+        );
+    }
+
+    /// Negacyclic inverse NTT, cache-blocked radix-4 kernel.
+    ///
+    /// Mirrors [`Self::forward_radix4`]: the `ψ^{-i}·N^{-1}`
+    /// post-twist pass is folded into the last stage's stores instead
+    /// of making its own trip over the array.
+    pub fn inverse_radix4(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        if self.n <= RADIX4_BLOCK {
+            self.inverse_radix2(a);
+            return;
+        }
+        bit_reverse_permute(a);
+        self.radix4_stage_walk(
+            a,
+            &self.omega_inv_stage,
+            &self.omega_inv_stage_shoup,
+            Radix4Tail::Twist {
+                pows: &self.psi_inv_n_pows,
+                shoup: &self.psi_inv_n_shoup,
+            },
+        );
     }
 
     /// Seed forward kernel (pre-Shoup): one `u128 %` per multiply.
@@ -612,6 +1082,16 @@ impl NttContext {
     }
 }
 
+/// How the radix-4 stage walker finishes its last pass: leave lazy
+/// (`< 4q`) values, fold the `[0, q)` correction in, or fold a
+/// per-element Shoup twist (e.g. the inverse's `ψ^{-i}·N^{-1}`) plus
+/// the correction into the final stores.
+enum Radix4Tail<'a> {
+    Lazy,
+    Reduce,
+    Twist { pows: &'a [u64], shoup: &'a [u64] },
+}
+
 /// In-place bit-reversal permutation.
 pub fn bit_reverse_permute<T>(a: &mut [T]) {
     let n = a.len();
@@ -671,6 +1151,65 @@ mod tests {
             c.inverse_reference(&mut slow);
             assert_eq!(fast, slow, "inverse mismatch at n={n}");
             assert_eq!(fast, orig);
+        }
+    }
+
+    #[test]
+    fn kernel_names_parse_roundtrip() {
+        for k in NttKernel::ALL {
+            assert_eq!(NttKernel::parse(k.name()), Some(k));
+            assert_eq!(k.name().parse::<NttKernel>().ok(), Some(k));
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert_eq!(NttKernel::parse("RADIX4"), Some(NttKernel::Radix4));
+        assert_eq!(NttKernel::parse("radix8"), None);
+        assert!("auto".parse::<NttKernel>().is_err());
+    }
+
+    #[test]
+    fn auto_heuristic_switches_at_min_dim() {
+        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Radix2);
+        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Radix4);
+        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM * 2), NttKernel::Radix4);
+    }
+
+    #[test]
+    fn radix4_matches_radix2_above_and_below_block() {
+        // 2^12 exercises the degenerate (single-block) path, 2^13 the
+        // single-tail-stage path, 2^14 the fused cross-block pair.
+        for log_n in [12usize, 13, 14] {
+            let n = 1 << log_n;
+            let c = ctx(n);
+            let mut rng = 0x243f6a8885a308d3u64 ^ (n as u64);
+            let orig: Vec<u64> = (0..n)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng % c.modulus()
+                })
+                .collect();
+            let mut r2 = orig.clone();
+            let mut r4 = orig.clone();
+            c.forward_radix2(&mut r2);
+            c.forward_radix4(&mut r4);
+            assert_eq!(r2, r4, "forward mismatch at n={n}");
+            c.inverse_radix2(&mut r2);
+            c.inverse_radix4(&mut r4);
+            assert_eq!(r2, r4, "inverse mismatch at n={n}");
+            assert_eq!(r2, orig, "roundtrip mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn forced_kernels_agree_on_negacyclic_mul() {
+        let n = 64;
+        let base = ctx(n);
+        let a = Poly::from_coeffs((0..n as u64).map(|i| i * 17 + 3).collect(), base.modulus());
+        let b = Poly::from_coeffs((0..n as u64).map(|i| i * 5 + 9).collect(), base.modulus());
+        let expect = a.negacyclic_mul_schoolbook(&b);
+        for k in NttKernel::ALL {
+            let c = base.clone().with_kernel(k);
+            assert_eq!(c.kernel(), k);
+            assert_eq!(c.negacyclic_mul(&a, &b), expect, "kernel {k}");
         }
     }
 

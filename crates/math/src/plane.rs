@@ -15,7 +15,7 @@ use crate::automorph::{apply_coeff_slice, apply_eval_slice};
 use crate::modops::{
     add_mod, from_signed, inv_mod, mul_shoup, neg_mod, shoup_precompute, sub_mod, Barrett,
 };
-use crate::ntt::NttContext;
+use crate::ntt::{NttContext, NttKernel};
 use crate::par::par_limbs;
 use crate::poly::{Form, Poly};
 
@@ -321,7 +321,7 @@ impl RnsPlane {
     /// modulus/dimension disagrees with its limb.
     pub fn ntt_forward(&mut self, tables: &[&NttContext]) {
         assert_eq!(self.form, Form::Coeff, "plane already in evaluation form");
-        self.apply_tables(tables, false);
+        self.apply_tables(tables, false, None);
         self.form = Form::Eval;
     }
 
@@ -333,11 +333,28 @@ impl RnsPlane {
     /// Panics if the plane is already in coefficient form.
     pub fn ntt_inverse(&mut self, tables: &[&NttContext]) {
         assert_eq!(self.form, Form::Eval, "plane already in coefficient form");
-        self.apply_tables(tables, true);
+        self.apply_tables(tables, true, None);
         self.form = Form::Coeff;
     }
 
-    fn apply_tables(&mut self, tables: &[&NttContext], inverse: bool) {
+    /// [`Self::ntt_forward`] through an explicitly chosen kernel on
+    /// every limb, bypassing each table's own dispatch — the plane
+    /// entry point of the cross-kernel conformance suite.
+    pub fn ntt_forward_with(&mut self, tables: &[&NttContext], kernel: NttKernel) {
+        assert_eq!(self.form, Form::Coeff, "plane already in evaluation form");
+        self.apply_tables(tables, false, Some(kernel));
+        self.form = Form::Eval;
+    }
+
+    /// [`Self::ntt_inverse`] through an explicitly chosen kernel on
+    /// every limb.
+    pub fn ntt_inverse_with(&mut self, tables: &[&NttContext], kernel: NttKernel) {
+        assert_eq!(self.form, Form::Eval, "plane already in coefficient form");
+        self.apply_tables(tables, true, Some(kernel));
+        self.form = Form::Coeff;
+    }
+
+    fn apply_tables(&mut self, tables: &[&NttContext], inverse: bool, kernel: Option<NttKernel>) {
         assert_eq!(tables.len(), self.limb_count(), "one NTT table per limb");
         let (n, moduli) = (self.n, &self.moduli);
         for (t, &q) in tables.iter().zip(moduli) {
@@ -345,10 +362,11 @@ impl RnsPlane {
             assert_eq!(t.modulus(), q, "NTT table modulus mismatch");
         }
         par_limbs(n, &mut self.data, |i, chunk| {
+            let k = kernel.unwrap_or_else(|| tables[i].kernel());
             if inverse {
-                tables[i].inverse(chunk);
+                tables[i].inverse_with(k, chunk);
             } else {
-                tables[i].forward(chunk);
+                tables[i].forward_with(k, chunk);
             }
         });
     }

@@ -66,6 +66,26 @@ impl Poly {
         }
     }
 
+    /// A deterministic pseudorandom polynomial (splitmix64 stream):
+    /// the same `(n, modulus, seed)` always yields the same
+    /// coefficients, on every platform. Used by the cross-kernel
+    /// conformance suite and the bench harness, where reproducible
+    /// inputs matter more than cryptographic quality.
+    pub fn pseudorandom(n: usize, modulus: u64, seed: u64) -> Self {
+        let mut state = seed;
+        let coeffs = (0..n)
+            .map(|_| {
+                // splitmix64 step.
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                (z ^ (z >> 31)) % modulus
+            })
+            .collect();
+        Self { coeffs, modulus }
+    }
+
     /// The monomial `c * X^k` in dimension `n` (with negacyclic wrap:
     /// `k` may be any value below `2n`, where `X^n = -1`).
     ///

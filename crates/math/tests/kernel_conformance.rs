@@ -1,0 +1,192 @@
+//! Cross-kernel NTT conformance suite.
+//!
+//! The dispatch layer ([`NttKernel`]) promises that the reference,
+//! radix-2 and cache-blocked radix-4 kernels are interchangeable:
+//! **bit-identical** outputs, not merely congruent ones, for the
+//! negacyclic forward/inverse transforms and for full negacyclic
+//! products. This suite pins that promise differentially across every
+//! generated prime for ring dimensions 2^10 … 2^14, and anchors the
+//! whole family to an O(n²) schoolbook oracle at small dimensions.
+//!
+//! Every test selects kernels explicitly (`forward_with`,
+//! `with_kernel`, `ntt_forward_with`), never through the ambient
+//! `UFC_NTT_KERNEL` environment, so the suite passes unchanged under
+//! each leg of the CI kernel matrix.
+
+use ufc_math::modops::mul_mod;
+use ufc_math::ntt::{NttContext, NttKernel};
+use ufc_math::plane::RnsPlane;
+use ufc_math::poly::{Form, Poly};
+use ufc_math::prime::generate_ntt_primes;
+
+/// Ring dimensions covered by the differential sweeps. 2^13 and 2^14
+/// exercise the genuinely blocked radix-4 schedule (dimension above
+/// `RADIX4_BLOCK`); the smaller sizes exercise its radix-2 fallback.
+const LOG_DIMS: [usize; 5] = [10, 11, 12, 13, 14];
+
+/// Prime widths sampled per dimension. 59 bits stresses the lazy
+/// (< 4q < 2^61) headroom of the Harvey butterflies; 30 bits gives a
+/// completely different twiddle landscape.
+const PRIME_BITS: [u32; 3] = [30, 45, 59];
+
+/// Primes generated per (dimension, width) pair.
+const PRIMES_PER_BITS: usize = 2;
+
+/// Every context the sweep runs over: each generated prime at each
+/// dimension.
+fn contexts_for(log_n: usize) -> Vec<NttContext> {
+    let n = 1 << log_n;
+    PRIME_BITS
+        .iter()
+        .flat_map(|&bits| generate_ntt_primes(n, bits, PRIMES_PER_BITS))
+        .map(|q| NttContext::new(n, q))
+        .collect()
+}
+
+/// O(n²) schoolbook negacyclic product, the ground-truth oracle:
+/// `c_k = Σ_{i+j≡k} ± a_i·b_j` with a sign flip on wrap-around.
+fn schoolbook_negacyclic(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = mul_mod(ai, bj, q);
+            let k = (i + j) % n;
+            if i + j < n {
+                c[k] = (c[k] + p) % q;
+            } else {
+                // X^n = -1: wrapped terms enter with a minus sign.
+                c[k] = (c[k] + q - p) % q;
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn forward_bit_identical_across_kernels() {
+    for log_n in LOG_DIMS {
+        for ctx in contexts_for(log_n) {
+            let n = ctx.dim();
+            let q = ctx.modulus();
+            let data = Poly::pseudorandom(n, q, 0xF0F0 ^ (log_n as u64)).into_coeffs();
+            let outputs = NttKernel::ALL.map(|k| {
+                let mut buf = data.clone();
+                ctx.forward_with(k, &mut buf);
+                buf
+            });
+            for (k, out) in NttKernel::ALL.iter().zip(&outputs) {
+                assert_eq!(
+                    *out, outputs[0],
+                    "forward {k} diverged from reference at n=2^{log_n}, q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inverse_bit_identical_across_kernels_and_roundtrips() {
+    for log_n in LOG_DIMS {
+        for ctx in contexts_for(log_n) {
+            let n = ctx.dim();
+            let q = ctx.modulus();
+            let coeffs = Poly::pseudorandom(n, q, 0xBEEF ^ (log_n as u64)).into_coeffs();
+            // A genuine evaluation-form vector (any reduced vector
+            // would do, but a real one also pins the round trip).
+            let mut eval = coeffs.clone();
+            ctx.forward_with(NttKernel::Reference, &mut eval);
+            let outputs = NttKernel::ALL.map(|k| {
+                let mut buf = eval.clone();
+                ctx.inverse_with(k, &mut buf);
+                buf
+            });
+            for (k, out) in NttKernel::ALL.iter().zip(&outputs) {
+                assert_eq!(
+                    *out, outputs[0],
+                    "inverse {k} diverged from reference at n=2^{log_n}, q={q}"
+                );
+                assert_eq!(
+                    *out, coeffs,
+                    "inverse {k} failed to invert the forward transform at n=2^{log_n}, q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negacyclic_mul_bit_identical_across_kernels() {
+    for log_n in LOG_DIMS {
+        for ctx in contexts_for(log_n) {
+            let n = ctx.dim();
+            let q = ctx.modulus();
+            let a = Poly::pseudorandom(n, q, 11 + log_n as u64);
+            let b = Poly::pseudorandom(n, q, 23 + log_n as u64);
+            let products =
+                NttKernel::ALL.map(|k| ctx.clone().with_kernel(k).negacyclic_mul(&a, &b));
+            for (k, p) in NttKernel::ALL.iter().zip(&products) {
+                assert_eq!(
+                    p.coeffs(),
+                    products[0].coeffs(),
+                    "negacyclic mul under {k} diverged at n=2^{log_n}, q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negacyclic_mul_matches_schoolbook_oracle() {
+    for log_n in [4usize, 5, 6, 7, 8] {
+        let n = 1 << log_n;
+        for q in generate_ntt_primes(n, 40, 2) {
+            let ctx = NttContext::new(n, q);
+            let a = Poly::pseudorandom(n, q, 7 + log_n as u64);
+            let b = Poly::pseudorandom(n, q, 13 + log_n as u64);
+            let want = schoolbook_negacyclic(a.coeffs(), b.coeffs(), q);
+            for k in NttKernel::ALL {
+                let got = ctx.clone().with_kernel(k).negacyclic_mul(&a, &b);
+                assert_eq!(
+                    got.coeffs(),
+                    &want[..],
+                    "negacyclic mul under {k} disagrees with the schoolbook oracle \
+                     at n={n}, q={q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rns_plane_transforms_bit_identical_across_kernels() {
+    for log_n in [12usize, 13] {
+        let n = 1 << log_n;
+        let moduli = generate_ntt_primes(n, 50, 3);
+        let tables: Vec<NttContext> = moduli.iter().map(|&q| NttContext::new(n, q)).collect();
+        let table_refs: Vec<&NttContext> = tables.iter().collect();
+        let polys: Vec<Poly> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| Poly::pseudorandom(n, q, 1000 + i as u64))
+            .collect();
+        let coeff_plane = RnsPlane::from_polys(&polys, Form::Coeff);
+        let eval_planes = NttKernel::ALL.map(|k| {
+            let mut p = coeff_plane.clone();
+            p.ntt_forward_with(&table_refs, k);
+            p
+        });
+        for (k, p) in NttKernel::ALL.iter().zip(&eval_planes) {
+            assert_eq!(
+                *p, eval_planes[0],
+                "plane forward under {k} diverged at n=2^{log_n}"
+            );
+            let mut back = p.clone();
+            back.ntt_inverse_with(&table_refs, *k);
+            assert_eq!(
+                back, coeff_plane,
+                "plane round trip under {k} lost coefficients at n=2^{log_n}"
+            );
+        }
+    }
+}

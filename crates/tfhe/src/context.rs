@@ -4,7 +4,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use ufc_isa::trace::{Trace, TraceOp};
 use ufc_math::gadget::Gadget;
-use ufc_math::ntt::NttContext;
+use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::poly::Poly;
 use ufc_math::prime::generate_ntt_prime;
 
@@ -124,6 +124,25 @@ impl TfheContext {
     /// NTT tables.
     pub fn ntt(&self) -> &NttContext {
         &self.ntt
+    }
+
+    /// The NTT kernel the RLWE tables dispatch to.
+    pub fn ntt_kernel(&self) -> NttKernel {
+        self.ntt.kernel()
+    }
+
+    /// Forces a specific NTT kernel on the RLWE tables. All kernels
+    /// are bit-identical, so this changes scheduling only; it exists
+    /// for the cross-kernel conformance suite and A/B timing.
+    pub fn set_ntt_kernel(&mut self, kernel: NttKernel) {
+        Arc::make_mut(&mut self.ntt).set_kernel(kernel);
+    }
+
+    /// Builder-style [`Self::set_ntt_kernel`].
+    #[must_use]
+    pub fn with_ntt_kernel(mut self, kernel: NttKernel) -> Self {
+        self.set_ntt_kernel(kernel);
+        self
     }
 
     /// RGSW gadget.

@@ -29,6 +29,16 @@ pub enum Gate {
 }
 
 impl Gate {
+    /// Every supported two-input gate, for exhaustive sweeps.
+    pub const ALL: [Gate; 6] = [
+        Gate::And,
+        Gate::Or,
+        Gate::Nand,
+        Gate::Nor,
+        Gate::Xor,
+        Gate::Xnor,
+    ];
+
     /// Plaintext truth table (for tests and trace validation).
     pub fn eval(&self, a: bool, b: bool) -> bool {
         match self {
@@ -139,15 +149,7 @@ mod tests {
     #[test]
     fn all_gates_all_inputs() {
         let (ctx, keys, mut rng) = setup(73);
-        let gates = [
-            Gate::And,
-            Gate::Or,
-            Gate::Nand,
-            Gate::Nor,
-            Gate::Xor,
-            Gate::Xnor,
-        ];
-        for gate in gates {
+        for gate in Gate::ALL {
             for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
                 let ca = encrypt_bool(&ctx, &keys, a, &mut rng);
                 let cb = encrypt_bool(&ctx, &keys, b, &mut rng);

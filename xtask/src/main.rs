@@ -294,14 +294,29 @@ fn bench_math(quick: bool) -> ExitCode {
     let tables = report
         .get("tables")
         .and_then(serde::Value::as_array)
-        .map(<[serde::Value]>::len)
-        .unwrap_or(0);
-    if tables == 0 {
+        .map(<[serde::Value]>::to_vec)
+        .unwrap_or_default();
+    if tables.is_empty() {
         eprintln!("xtask bench-math: report has no tables");
         return ExitCode::FAILURE;
     }
+    // The kernel-dispatch contract: the radix-2 vs radix-4 comparison
+    // table must be present and populated.
+    let radix_rows = tables
+        .iter()
+        .find(|t| t.get("name").and_then(serde::Value::as_str) == Some("ntt_radix"))
+        .and_then(|t| t.get("rows"))
+        .and_then(serde::Value::as_array)
+        .map(<[serde::Value]>::len)
+        .unwrap_or(0);
+    if radix_rows == 0 {
+        eprintln!("xtask bench-math: report has no populated `ntt_radix` table");
+        return ExitCode::FAILURE;
+    }
     println!(
-        "bench-math ok: {tables} tables, headline speedup {speedup:.2}x in {}",
+        "bench-math ok: {} tables ({radix_rows} ntt_radix rows), headline speedup \
+         {speedup:.2}x in {}",
+        tables.len(),
         out.display()
     );
     ExitCode::SUCCESS

@@ -36,7 +36,7 @@ fn bench_radix_kernels(c: &mut Criterion) {
         let n = 1usize << log_n;
         let ctx = NttContext::new(n, generate_ntt_prime(n, 60).unwrap());
         let data = Poly::pseudorandom(n, ctx.modulus(), 0x5EED).into_coeffs();
-        for kernel in [NttKernel::Radix2, NttKernel::Radix4] {
+        for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
             g.bench_with_input(
                 BenchmarkId::new(format!("forward/{kernel}"), log_n),
                 &data,

@@ -73,6 +73,12 @@ fn random_poly<R: Rng>(rng: &mut R, n: usize, q: u64) -> Poly {
 
 fn main() {
     let opts = parse_opts();
+    // Benchmark runs must fail fast on a typo'd kernel override: the
+    // library would only warn and fall back, which here would silently
+    // measure the wrong kernel.
+    if let Err(e) = NttKernel::from_env() {
+        usage_error(&e.to_string());
+    }
     let mut rng = StdRng::seed_from_u64(0x0f1e2d3c);
     let sizes: Vec<usize> = if opts.quick {
         vec![1 << 10, 1 << 11, 1 << 12]
@@ -145,22 +151,36 @@ fn main() {
         );
     }
 
-    // --------------------------------------------- radix-2 vs radix-4
-    println!("\n## Negacyclic NTT kernel generations (radix-2 vs cache-blocked radix-4)\n");
+    // ------------------------------- radix-2 vs radix-4 vs SIMD lanes
+    let avx2 = ufc_math::simd::avx2_available();
     println!(
-        "| N | fwd r2 (µs) | fwd r4 (µs) | fwd speedup | inv r2 (µs) | inv r4 (µs) | inv speedup |"
+        "\n## Negacyclic NTT kernel generations (radix-2 vs cache-blocked radix-4 vs SIMD, \
+         AVX2 {})\n",
+        if avx2 {
+            "active"
+        } else {
+            "absent: portable lanes"
+        }
     );
-    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| N | fwd r2 (µs) | fwd r4 (µs) | fwd simd (µs) | fwd r4/simd speedup \
+         | inv r2 (µs) | inv r4 (µs) | inv simd (µs) | inv r4/simd speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
     let radix_table = json.table(
         "ntt_radix",
         &[
             "n",
             "forward_radix2_ns",
             "forward_radix4_ns",
+            "forward_simd_ns",
             "forward_speedup",
+            "forward_simd_speedup",
             "inverse_radix2_ns",
             "inverse_radix4_ns",
+            "inverse_simd_ns",
             "inverse_speedup",
+            "inverse_simd_speedup",
         ],
     );
     for &n in &sizes {
@@ -179,6 +199,11 @@ fn main() {
             ctx.forward_with(NttKernel::Radix4, &mut buf);
         });
         assert_eq!(buf, eval, "radix-4 forward diverged from radix-2");
+        let fwd_simd = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(NttKernel::Simd, &mut buf);
+        });
+        assert_eq!(buf, eval, "simd forward diverged from radix-2");
         let inv2 = time_ns(r, || {
             buf.copy_from_slice(&eval);
             ctx.inverse_with(NttKernel::Radix2, &mut buf);
@@ -189,24 +214,128 @@ fn main() {
             ctx.inverse_with(NttKernel::Radix4, &mut buf);
         });
         assert_eq!(buf, data, "radix-4 inverse diverged from radix-2");
+        let inv_simd = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_with(NttKernel::Simd, &mut buf);
+        });
+        assert_eq!(buf, data, "simd inverse diverged from radix-2");
         radix_table.push(vec![
             cell(n as u64),
             cell(fwd2),
             cell(fwd4),
+            cell(fwd_simd),
             cell(fwd2 / fwd4),
+            cell(fwd4 / fwd_simd),
             cell(inv2),
             cell(inv4),
+            cell(inv_simd),
             cell(inv2 / inv4),
+            cell(inv4 / inv_simd),
         ]);
         println!(
-            "| {n} | {:.1} | {:.1} | {:.2}x | {:.1} | {:.1} | {:.2}x |",
+            "| {n} | {:.1} | {:.1} | {:.1} | {:.2}x | {:.1} | {:.1} | {:.1} | {:.2}x |",
             fwd2 / 1e3,
             fwd4 / 1e3,
-            fwd2 / fwd4,
+            fwd_simd / 1e3,
+            fwd4 / fwd_simd,
             inv2 / 1e3,
             inv4 / 1e3,
-            inv2 / inv4
+            inv_simd / 1e3,
+            inv4 / inv_simd
         );
+    }
+
+    // ------------------------------------------- element-wise kernels
+    // The RNS plane's add/sub/hadamard/mac/scale now run on the SIMD
+    // lane layer; measure them against the scalar loops they replaced.
+    println!("\n## Element-wise plane kernels (scalar loop vs SIMD lanes)\n");
+    println!("| kernel | scalar (µs) | simd (µs) | speedup |");
+    println!("|---|---|---|---|");
+    let ew_table = json.table(
+        "ew_kernels",
+        &["kernel", "n", "scalar_ns", "simd_ns", "speedup"],
+    );
+    {
+        use ufc_math::modops::{add_mod, mul_mod, shoup_precompute, sub_mod, Barrett};
+        use ufc_math::simd;
+        let n = if opts.quick { 1 << 13 } else { 1 << 15 };
+        let q = generate_ntt_prime(1 << 10, 59).expect("59-bit NTT prime");
+        let br = Barrett::new(q);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let c: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let s = rng.gen_range(1..q);
+        let ss = shoup_precompute(s, q);
+        let r = reps(n);
+        let mut buf = a.clone();
+        // (name, scalar loop, simd call) per kernel; each rep re-seeds
+        // the destination so both sides do identical memory traffic.
+        let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+        macro_rules! ew {
+            ($name:expr, $scalar:expr, $simd:expr) => {{
+                let scalar = time_ns(r, || {
+                    buf.copy_from_slice(&a);
+                    $scalar(&mut buf);
+                });
+                let scalar_out = buf.clone();
+                let simd_t = time_ns(r, || {
+                    buf.copy_from_slice(&a);
+                    $simd(&mut buf);
+                });
+                assert_eq!(buf, scalar_out, "{} kernels diverged", $name);
+                rows.push(($name, scalar, simd_t));
+            }};
+        }
+        ew!(
+            "add",
+            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                *xi = add_mod(*xi, bi, q);
+            },
+            |x: &mut Vec<u64>| simd::add_mod_slice(x, &b, q)
+        );
+        ew!(
+            "sub",
+            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                *xi = sub_mod(*xi, bi, q);
+            },
+            |x: &mut Vec<u64>| simd::sub_mod_slice(x, &b, q)
+        );
+        ew!(
+            "hadamard",
+            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                *xi = br.mul(*xi, bi);
+            },
+            |x: &mut Vec<u64>| simd::mul_mod_slice(x, &b, q)
+        );
+        ew!(
+            "mac",
+            |x: &mut Vec<u64>| for ((xi, &bi), &ci) in x.iter_mut().zip(&b).zip(&c) {
+                *xi = add_mod(*xi, mul_mod(bi, ci, q), q);
+            },
+            |x: &mut Vec<u64>| simd::mac_mod_slice(x, &b, &c, q)
+        );
+        ew!(
+            "scale",
+            |x: &mut Vec<u64>| for xi in x.iter_mut() {
+                *xi = br.mul(*xi, s);
+            },
+            |x: &mut Vec<u64>| simd::scale_shoup_slice(x, s, ss, q)
+        );
+        for (name, scalar, simd_t) in rows {
+            let speedup = scalar / simd_t;
+            ew_table.push(vec![
+                cell(name),
+                cell(n as u64),
+                cell(scalar),
+                cell(simd_t),
+                cell(speedup),
+            ]);
+            println!(
+                "| {name} | {:.1} | {:.1} | {speedup:.2}x |",
+                scalar / 1e3,
+                simd_t / 1e3
+            );
+        }
     }
 
     // ------------------------------------------- negacyclic multiply
@@ -379,8 +508,10 @@ fn main() {
     #[derive(serde::Serialize)]
     struct Host {
         available_parallelism: u64,
+        avx2: bool,
         mul_mod_ns: f64,
         mul_shoup_lazy_ns: f64,
+        simd_note: String,
     }
     #[derive(serde::Serialize)]
     struct Headline {
@@ -402,8 +533,15 @@ fn main() {
         quick: opts.quick,
         host: Host {
             available_parallelism: cores as u64,
+            avx2,
             mul_mod_ns,
             mul_shoup_lazy_ns: mul_shoup_ns,
+            simd_note: "AVX2 has no 64-bit vector multiply (vpmullq is AVX-512), so each \
+                        64x64 lane product is synthesized from 32-bit vpmuludq partials; \
+                        kernels dominated by variable-by-variable products (hadamard, mac) \
+                        can trail scalar Barrett on such hosts, while add/sub/scale and the \
+                        Shoup butterflies vectorize cleanly."
+                .to_owned(),
         },
         headline: Headline {
             n: headline_n as u64,

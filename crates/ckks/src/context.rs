@@ -80,7 +80,14 @@ impl CkksContext {
         let ntt: Vec<Arc<NttContext>> = q_moduli
             .iter()
             .chain(&p_moduli)
-            .map(|&q| Arc::new(NttContext::new(n, q)))
+            .map(|&q| {
+                // Generated primes satisfy try_new by construction;
+                // route through it so parameter drift surfaces the
+                // typed NttError instead of an inversion panic.
+                let t = NttContext::try_new(n, q)
+                    .unwrap_or_else(|e| panic!("generated CKKS modulus rejected: {e}"));
+                Arc::new(t)
+            })
             .collect();
 
         let mut ctx = Self {

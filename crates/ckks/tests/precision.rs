@@ -90,7 +90,7 @@ fn pipeline(kernel: NttKernel) -> PipelineOut {
 #[test]
 fn precision_pinned_and_bit_identical_across_kernels() {
     let reference = pipeline(NttKernel::Reference);
-    for kernel in [NttKernel::Radix2, NttKernel::Radix4] {
+    for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
         let out = pipeline(kernel);
         assert_eq!(
             out.roundtrip, reference.roundtrip,

@@ -5,7 +5,7 @@ use ufc_compiler::memory::SpillModel;
 use ufc_compiler::stats::{CompileStats, OpLowering};
 use ufc_compiler::{CompileError, CompileOptions, Compiler};
 use ufc_isa::instr::InstrStream;
-use ufc_isa::params::ckks_params;
+use ufc_isa::params::{try_ckks_params, try_tfhe_params, ParamsError};
 use ufc_isa::trace::{Trace, TraceOp};
 use ufc_sim::machines::{Machine, UfcConfig, UfcMachine};
 use ufc_sim::{simulate, SimReport};
@@ -19,6 +19,9 @@ pub enum RunError {
     /// The static verifier found error-severity problems in the input
     /// trace or the compiled stream.
     Verify(Report),
+    /// The trace names a parameter set the registry does not know
+    /// (surfaced by the working-set model before machine construction).
+    Params(ParamsError),
 }
 
 impl std::fmt::Display for RunError {
@@ -26,6 +29,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Compile(e) => write!(f, "{e}"),
             RunError::Verify(r) => write!(f, "verification failed:\n{r}"),
+            RunError::Params(e) => write!(f, "{e}"),
         }
     }
 }
@@ -35,6 +39,12 @@ impl std::error::Error for RunError {}
 impl From<CompileError> for RunError {
     fn from(e: CompileError) -> Self {
         RunError::Compile(e)
+    }
+}
+
+impl From<ParamsError> for RunError {
+    fn from(e: ParamsError) -> Self {
+        RunError::Params(e)
     }
 }
 
@@ -146,10 +156,27 @@ impl Ufc {
 
     /// Builds the machine model for a given workload (applying the
     /// scratchpad working-set model to set the spill fraction, §V-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace names an unknown parameter set; use
+    /// [`Ufc::try_machine_for`] on user-supplied traces.
     pub fn machine_for(&self, trace: &Trace) -> UfcMachine {
+        self.try_machine_for(trace)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Ufc::machine_for`]: an unknown CKKS/TFHE parameter
+    /// id in the trace comes back as a typed [`ParamsError`] instead
+    /// of a panic from the working-set model.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamsError`] naming the unknown set.
+    pub fn try_machine_for(&self, trace: &Trace) -> Result<UfcMachine, ParamsError> {
         let mut cfg = self.config;
-        cfg.spill_fraction = self.spill_fraction(trace);
-        UfcMachine::new(cfg)
+        cfg.spill_fraction = self.try_spill_fraction(trace)?;
+        Ok(UfcMachine::new(cfg))
     }
 
     /// Fraction of overflowed working set that actually re-streams
@@ -157,20 +184,20 @@ impl Ufc {
     /// quarter of the raw overflow turns into traffic.
     const SPILL_REUSE: f64 = 0.25;
 
-    fn spill_fraction(&self, trace: &Trace) -> f64 {
+    fn try_spill_fraction(&self, trace: &Trace) -> Result<f64, ParamsError> {
         let spill = SpillModel::new(self.config.scratchpad_mib as u64 * 1024 * 1024);
         let mut frac: f64 = 0.0;
         if let Some(id) = trace.ckks_params {
-            let p = ckks_params(id).expect("unknown CKKS set");
+            let p = try_ckks_params(id)?;
             let ws = SpillModel::ckks_working_set(&p, p.max_level(), 4);
             frac = frac.max(spill.spill_fraction(ws));
         }
         if let Some(id) = trace.tfhe_params {
-            let p = ufc_isa::params::tfhe_params(id).expect("unknown TFHE set");
+            let p = try_tfhe_params(id)?;
             let ws = SpillModel::tfhe_working_set(&p, self.opts.max_batch);
             frac = frac.max(spill.spill_fraction(ws));
         }
-        frac * Self::SPILL_REUSE
+        Ok(frac * Self::SPILL_REUSE)
     }
 
     /// Compiles and simulates a workload on this UFC instance.
@@ -207,7 +234,7 @@ impl Ufc {
         if stream_report.has_errors() {
             return Err(RunError::Verify(stream_report));
         }
-        let machine = self.machine_for(trace);
+        let machine = self.try_machine_for(trace)?;
         Ok(simulate(&machine, &stream))
     }
 
@@ -315,8 +342,30 @@ mod tests {
             CompileOptions::default(),
         );
         let tr = ufc_workloads::ckks_bootstrap::generate("C1");
-        assert!(small.spill_fraction(&tr) > 0.0);
+        assert!(small.try_spill_fraction(&tr).unwrap() > 0.0);
         let big = Ufc::paper_default();
-        assert_eq!(big.spill_fraction(&tr), 0.0);
+        assert_eq!(big.try_spill_fraction(&tr).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn machine_for_rejects_unknown_params_with_typed_error() {
+        let ufc = Ufc::paper_default();
+        let tr = ufc_isa::trace::Trace::new("bogus").with_ckks("C9");
+        match ufc.try_machine_for(&tr) {
+            Err(ParamsError::UnknownCkks { id }) => assert_eq!(id, "C9"),
+            other => panic!("expected UnknownCkks, got {other:?}"),
+        }
+        let tr = ufc_isa::trace::Trace::new("bogus").with_tfhe("T9");
+        let err = ufc.try_machine_for(&tr).unwrap_err();
+        assert_eq!(
+            err,
+            ParamsError::UnknownTfhe {
+                id: "T9".to_owned()
+            }
+        );
+        // The same failure surfaces through RunError so callers of the
+        // fallible run paths see one error type.
+        let run_err = RunError::from(err);
+        assert!(run_err.to_string().contains("unknown TFHE parameter set"));
     }
 }

@@ -216,6 +216,15 @@ pub enum ParamsError {
         /// The id that failed to resolve.
         id: String,
     },
+    /// A parameter set resolved, but its ring/modulus combination
+    /// cannot back an NTT context (composite modulus, `q ≢ 1 mod 2n`,
+    /// or no NTT-friendly prime of the requested width exists).
+    InvalidNtt {
+        /// The parameter-set id whose instantiation failed.
+        id: String,
+        /// What the NTT layer rejected, human-readable.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ParamsError {
@@ -236,6 +245,9 @@ impl std::fmt::Display for ParamsError {
                     "unknown TFHE parameter set `{id}` (known: {})",
                     known.join(", ")
                 )
+            }
+            ParamsError::InvalidNtt { id, detail } => {
+                write!(f, "parameter set `{id}` cannot back an NTT: {detail}")
             }
         }
     }

@@ -9,13 +9,15 @@
 //!   reductions,
 //! * NTT-friendly prime generation and primitive-root search
 //!   ([`prime`]),
-//! * the classical iterative number-theoretic transform with three
+//! * the classical iterative number-theoretic transform with four
 //!   coexisting kernel generations — seed reference, Shoup/Harvey
-//!   radix-2, cache-blocked radix-4 — behind a per-dimension runtime
-//!   dispatch ([`ntt`], [`ntt::NttKernel`], `UFC_NTT_KERNEL`), and the
-//!   **constant-geometry (Pease) NTT** that UFC's interconnect
-//!   co-design is built around ([`cgntt`]), plus the double-precision
-//!   FFT datapath of the Strix baseline ([`fft`], §VII-D),
+//!   radix-2, cache-blocked radix-4, and 4-wide SIMD lanes ([`simd`],
+//!   AVX2 with a bit-identical portable fallback) — behind a
+//!   per-dimension runtime dispatch ([`ntt`], [`ntt::NttKernel`],
+//!   `UFC_NTT_KERNEL`), and the **constant-geometry (Pease) NTT**
+//!   that UFC's interconnect co-design is built around ([`cgntt`]),
+//!   plus the double-precision FFT datapath of the Strix baseline
+//!   ([`fft`], §VII-D),
 //! * negacyclic polynomial rings `Z_q[X]/(X^N + 1)` ([`poly`]),
 //! * the flat limb-major RNS data plane with in-place kernels
 //!   ([`plane`]) and dependency-free limb parallelism ([`par`]),
@@ -28,7 +30,10 @@
 //! * secret / noise samplers ([`sample`]).
 //!
 //! Everything is pure, deterministic (given an RNG) and extensively
-//! property-tested; no `unsafe` code is used.
+//! property-tested. `unsafe` is confined to exactly one module — the
+//! AVX2 intrinsics backend of [`simd`], gated behind runtime feature
+//! detection — and every other module is compiled with
+//! `deny(unsafe_code)`.
 //!
 //! ## Example
 //!
@@ -56,6 +61,7 @@ pub mod poly;
 pub mod prime;
 pub mod rns;
 pub mod sample;
+pub mod simd;
 
 pub use modops::{inv_mod, mul_mod, pow_mod};
 pub use ntt::{NttContext, NttKernel};

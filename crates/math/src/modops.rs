@@ -246,6 +246,29 @@ pub fn mul_shoup(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
     }
 }
 
+/// Brings a lazy Harvey representative `v < 4q` back to canonical
+/// `[0, q)` with two conditional subtractions — the correction pass the
+/// NTT kernels run after their deferred-reduction stage walks.
+#[inline]
+pub fn reduce_4q(v: u64, q: u64) -> u64 {
+    debug_assert!(v < 4 * q);
+    let two_q = 2 * q;
+    let v = if v >= two_q { v - two_q } else { v };
+    if v >= q {
+        v - q
+    } else {
+        v
+    }
+}
+
+/// Computes `2^64 mod q` — the radix constant used to fold a 128-bit
+/// product `hi·2^64 + lo` through two Shoup multiplies on vector lanes
+/// that lack a native 128-bit reduction.
+#[inline]
+pub fn pow2_64_mod(q: u64) -> u64 {
+    ((1u128 << 64) % q as u128) as u64
+}
+
 /// Maps a signed integer into `[0, q)`.
 #[inline]
 pub fn from_signed(v: i64, q: u64) -> u64 {
@@ -358,6 +381,20 @@ mod tests {
             assert!(r < 2 * P, "lazy result must stay below 2q");
             assert_eq!(r % P, mul_mod(a % P, w, P));
             assert_eq!(mul_shoup(a, w, ws, P), mul_mod(a % P, w, P));
+        }
+    }
+
+    #[test]
+    fn reduce_4q_matches_mod() {
+        for v in [0u64, 1, P - 1, P, 2 * P - 1, 2 * P, 3 * P + 5, 4 * P - 1] {
+            assert_eq!(reduce_4q(v, P), v % P, "v={v}");
+        }
+    }
+
+    #[test]
+    fn pow2_64_mod_matches_definition() {
+        for q in [2u64, 3, 11, P, Q, (1 << 62) - 57] {
+            assert_eq!(pow2_64_mod(q) as u128, (1u128 << 64) % q as u128, "q={q}");
         }
     }
 

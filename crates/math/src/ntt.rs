@@ -21,7 +21,7 @@
 //!
 //! # Kernel generations and dispatch
 //!
-//! Three kernel generations coexist, all bit-identical on reduced
+//! Four kernel generations coexist, all bit-identical on reduced
 //! inputs (pinned by `crates/math/tests/kernel_conformance.rs`):
 //!
 //! * [`NttKernel::Reference`] — the seed kernel: fully reduced
@@ -38,24 +38,35 @@
 //!   pair. Only the few cross-block stages still make full-array
 //!   passes. Below [`RADIX4_MIN_DIM`] the blocked schedule degenerates
 //!   to the radix-2 walk.
+//! * [`NttKernel::Simd`] — the radix-4 cache-blocked schedule with its
+//!   butterfly inner loops replaced by the 4-wide lane kernels of
+//!   [`crate::simd`] (AVX2 on supporting hosts, a bit-identical
+//!   portable 4-lane unroll everywhere else). Same lazy-reduction
+//!   invariants, same canonical outputs — the software analogue of
+//!   UFC's arrays of hardware butterfly lanes.
 //!
 //! Each [`NttContext`] picks a kernel at construction:
 //! the `UFC_NTT_KERNEL` environment variable (`auto` / `reference` /
-//! `radix2` / `radix4`) wins if set, otherwise the per-dimension
-//! heuristic [`NttKernel::auto_for`] applies (radix-4 at
-//! `N ≥ 2^13`, radix-2 below). Tests and benches can override per
-//! context via [`NttContext::set_kernel`] or call a specific kernel
-//! directly via [`NttContext::forward_with`].
+//! `radix2` / `radix4` / `simd`) wins if set and well-formed,
+//! otherwise the heuristic [`NttKernel::auto_for`] applies (SIMD
+//! whenever the host has AVX2, else radix-4 at `N ≥ 2^13` and radix-2
+//! below). A malformed value no longer panics library consumers:
+//! [`NttKernel::select`] warns once on stderr and falls back to the
+//! heuristic, while CLIs validate the variable at startup via
+//! [`NttKernel::from_env`] and fail fast. Tests and benches can
+//! override per context via [`NttContext::set_kernel`] or call a
+//! specific kernel directly via [`NttContext::forward_with`].
 
 use crate::modops::{
     add_mod, inv_mod, mul_mod, mul_shoup_lazy, pow_mod, shoup_precompute, sub_mod, Barrett,
 };
 use crate::poly::Poly;
-use crate::prime::primitive_root_of_unity;
+use crate::prime::{is_prime, primitive_root_of_unity};
+use crate::simd;
 
 /// Environment variable that overrides NTT kernel selection for every
-/// subsequently built [`NttContext`]: `auto`, `reference`, `radix2` or
-/// `radix4` (case-insensitive).
+/// subsequently built [`NttContext`]: `auto`, `reference`, `radix2`,
+/// `radix4` or `simd` (case-insensitive).
 pub const KERNEL_ENV: &str = "UFC_NTT_KERNEL";
 
 /// Elements per cache block of the radix-4 schedule: `2^12` × 8 bytes
@@ -82,12 +93,21 @@ pub enum NttKernel {
     /// Cache-blocked radix-4 butterfly groups with a radix-2 tail
     /// stage for odd stage counts.
     Radix4,
+    /// The radix-4 blocked schedule executed on the 4-wide lane
+    /// kernels of [`crate::simd`] (AVX2 when available, bit-identical
+    /// portable unroll otherwise).
+    Simd,
 }
 
 impl NttKernel {
     /// Every kernel, in oracle-to-fastest order — the iteration set of
     /// the conformance suite and the CI kernel matrix.
-    pub const ALL: [NttKernel; 3] = [NttKernel::Reference, NttKernel::Radix2, NttKernel::Radix4];
+    pub const ALL: [NttKernel; 4] = [
+        NttKernel::Reference,
+        NttKernel::Radix2,
+        NttKernel::Radix4,
+        NttKernel::Simd,
+    ];
 
     /// The canonical lowercase name (what `UFC_NTT_KERNEL` accepts).
     pub fn name(self) -> &'static str {
@@ -95,6 +115,7 @@ impl NttKernel {
             NttKernel::Reference => "reference",
             NttKernel::Radix2 => "radix2",
             NttKernel::Radix4 => "radix4",
+            NttKernel::Simd => "simd",
         }
     }
 
@@ -106,17 +127,64 @@ impl NttKernel {
             "reference" => Some(NttKernel::Reference),
             "radix2" => Some(NttKernel::Radix2),
             "radix4" => Some(NttKernel::Radix4),
+            "simd" => Some(NttKernel::Simd),
             _ => None,
         }
     }
 
-    /// The per-dimension heuristic: cache-blocked radix-4 once the
-    /// working set outgrows one block (`n ≥ 2^13`), radix-2 below.
+    /// The heuristic default: the SIMD lane kernel whenever the host
+    /// supports AVX2 (it wins at every dimension — same schedule as
+    /// radix-4, wider butterflies), otherwise cache-blocked radix-4
+    /// once the working set outgrows one block (`n ≥ 2^13`) and
+    /// radix-2 below.
     pub fn auto_for(n: usize) -> NttKernel {
-        if n >= RADIX4_MIN_DIM {
+        if simd::avx2_available() {
+            NttKernel::Simd
+        } else if n >= RADIX4_MIN_DIM {
             NttKernel::Radix4
         } else {
             NttKernel::Radix2
+        }
+    }
+
+    /// Parses an observed `UFC_NTT_KERNEL` value without touching the
+    /// process environment (the pure seam under [`NttKernel::from_env`],
+    /// directly unit-testable). `None`, the empty string and `auto`
+    /// all mean "no override"; anything else must name a kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelEnvError`] when the value names no known kernel.
+    pub fn parse_env_value(value: Option<&str>) -> Result<Option<NttKernel>, KernelEnvError> {
+        match value {
+            None => Ok(None),
+            Some(v) if v.is_empty() || v.eq_ignore_ascii_case("auto") => Ok(None),
+            Some(v) => match Self::parse(v) {
+                Some(k) => Ok(Some(k)),
+                None => Err(KernelEnvError {
+                    value: v.to_string(),
+                }),
+            },
+        }
+    }
+
+    /// Reads the `UFC_NTT_KERNEL` override from the environment:
+    /// `Ok(Some(kernel))` for a forced kernel, `Ok(None)` when unset
+    /// (or `auto`/empty).
+    ///
+    /// CLIs call this once at startup and fail fast on `Err`; library
+    /// paths go through [`NttKernel::select`], which degrades to the
+    /// heuristic with a one-shot warning instead of panicking deep
+    /// inside table construction.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelEnvError`] when the variable is set to an unrecognized
+    /// value.
+    pub fn from_env() -> Result<Option<NttKernel>, KernelEnvError> {
+        match std::env::var(KERNEL_ENV) {
+            Ok(v) => Self::parse_env_value(Some(&v)),
+            Err(_) => Ok(None),
         }
     }
 
@@ -124,20 +192,108 @@ impl NttKernel {
     /// environment variable if set (and not `auto`), otherwise
     /// [`NttKernel::auto_for`].
     ///
-    /// # Panics
-    ///
-    /// Panics on an unrecognized `UFC_NTT_KERNEL` value — a typo in a
-    /// CI matrix must not silently fall back to the default kernel.
+    /// A malformed variable does **not** panic here: contexts are
+    /// built deep inside scheme and simulator code, where aborting on
+    /// a typo'd environment would take the whole consumer down. The
+    /// malformed value is reported once on stderr and selection falls
+    /// back to the heuristic. Binaries that want the hard failure
+    /// (bench runners, the CI kernel matrix via `xtask`) validate with
+    /// [`NttKernel::from_env`] before building anything.
     pub fn select(n: usize) -> NttKernel {
-        match std::env::var(KERNEL_ENV) {
-            Ok(v) if v.eq_ignore_ascii_case("auto") || v.is_empty() => Self::auto_for(n),
-            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
-                panic!("{KERNEL_ENV} must be one of auto|reference|radix2|radix4, got `{v}`")
-            }),
-            Err(_) => Self::auto_for(n),
+        match Self::from_env() {
+            Ok(Some(k)) => k,
+            Ok(None) => Self::auto_for(n),
+            Err(e) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("warning: {e}; falling back to automatic kernel selection");
+                });
+                Self::auto_for(n)
+            }
         }
     }
 }
+
+/// An unrecognized `UFC_NTT_KERNEL` value, reported by
+/// [`NttKernel::from_env`] / [`NttKernel::parse_env_value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelEnvError {
+    /// The offending environment value, verbatim.
+    pub value: String,
+}
+
+impl std::fmt::Display for KernelEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{KERNEL_ENV} must be one of auto|reference|radix2|radix4|simd, got `{}`",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for KernelEnvError {}
+
+/// Why a set of NTT parameters cannot back an [`NttContext`], from
+/// [`NttContext::try_new`] / [`NttContext::try_with_psi`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NttError {
+    /// The ring dimension is not a (nonzero) power of two.
+    DimNotPowerOfTwo {
+        /// The rejected dimension.
+        n: usize,
+    },
+    /// The modulus is outside the supported range `[2, 2^62)`.
+    ModulusOutOfRange {
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// The modulus is composite, so roots of unity and inverses are
+    /// not guaranteed to exist.
+    ModulusNotPrime {
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// `q ≢ 1 (mod 2n)`: the ring has no primitive 2n-th root of
+    /// unity, so the negacyclic NTT does not exist.
+    NotNttFriendly {
+        /// The ring dimension.
+        n: usize,
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// The caller-supplied ψ is not a primitive 2N-th root of unity.
+    PsiNotPrimitive {
+        /// The rejected root.
+        psi: u64,
+        /// The modulus it was checked against.
+        q: u64,
+    },
+}
+
+impl std::fmt::Display for NttError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            NttError::DimNotPowerOfTwo { n } => {
+                write!(f, "ring dimension {n} is not a power of two")
+            }
+            NttError::ModulusOutOfRange { q } => {
+                write!(f, "modulus {q} is outside the supported range [2, 2^62)")
+            }
+            NttError::ModulusNotPrime { q } => write!(f, "modulus {q} is not prime"),
+            NttError::NotNttFriendly { n, q } => write!(
+                f,
+                "modulus {q} is not NTT-friendly for dimension {n} (q must be 1 mod {})",
+                2 * n
+            ),
+            NttError::PsiNotPrimitive { psi, q } => {
+                write!(f, "{psi} is not a primitive 2N-th root of unity mod {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
 
 impl std::str::FromStr for NttKernel {
     type Err = String;
@@ -202,12 +358,41 @@ impl NttContext {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is not a power of two or `q` is not ≡ 1 mod 2n.
+    /// Panics when the parameters are invalid, with the
+    /// [`NttError`] as the message. Fallible callers (anything fed
+    /// from user-supplied parameter sets) should use
+    /// [`Self::try_new`] instead.
     pub fn new(n: usize, q: u64) -> Self {
-        assert!(n.is_power_of_two(), "ring dimension must be a power of two");
-        assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
+        Self::try_new(n, q).unwrap_or_else(|e| panic!("invalid NTT parameters: {e}"))
+    }
+
+    /// Fallible [`Self::new`]: validates the parameter set — `n` a
+    /// power of two, `q` a prime in `[2, 2^62)` with `q ≡ 1 mod 2n` —
+    /// before any table construction, so bad parameters surface as
+    /// typed errors instead of panics from inversion helpers deep in
+    /// the build.
+    ///
+    /// # Errors
+    ///
+    /// The first failing [`NttError`] check, in the order listed
+    /// above.
+    pub fn try_new(n: usize, q: u64) -> Result<Self, NttError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NttError::DimNotPowerOfTwo { n });
+        }
+        if !(2..1u64 << 62).contains(&q) {
+            return Err(NttError::ModulusOutOfRange { q });
+        }
+        if !is_prime(q) {
+            return Err(NttError::ModulusNotPrime { q });
+        }
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(NttError::NotNttFriendly { n, q });
+        }
+        // Cannot fail past this point: q prime with 2n | q - 1
+        // guarantees a primitive 2n-th root exists.
         let psi = primitive_root_of_unity(2 * n as u64, q);
-        Self::with_psi(n, q, psi)
+        Self::try_with_psi(n, q, psi)
     }
 
     /// Builds tables using a caller-chosen 2N-th root `psi`.
@@ -217,10 +402,30 @@ impl NttContext {
     ///
     /// # Panics
     ///
-    /// Panics if `psi` is not a primitive 2N-th root of unity mod `q`.
+    /// Panics when the parameters are invalid, with the
+    /// [`NttError`] as the message (see [`Self::try_with_psi`]).
     pub fn with_psi(n: usize, q: u64, psi: u64) -> Self {
-        assert_eq!(pow_mod(psi, 2 * n as u64, q), 1, "psi^2N must be 1");
-        assert_eq!(pow_mod(psi, n as u64, q), q - 1, "psi^N must be -1");
+        Self::try_with_psi(n, q, psi).unwrap_or_else(|e| panic!("invalid NTT parameters: {e}"))
+    }
+
+    /// Fallible [`Self::with_psi`]. Validates dimension, modulus range
+    /// and the primitivity of `psi` (`ψ^2N = 1`, `ψ^N = −1`); does
+    /// *not* re-check primality, so the automorphism path can re-derive
+    /// contexts from an already-validated modulus cheaply.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError`] describing the first failing check.
+    pub fn try_with_psi(n: usize, q: u64, psi: u64) -> Result<Self, NttError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NttError::DimNotPowerOfTwo { n });
+        }
+        if !(2..1u64 << 62).contains(&q) {
+            return Err(NttError::ModulusOutOfRange { q });
+        }
+        if pow_mod(psi, 2 * n as u64, q) != 1 || pow_mod(psi, n as u64, q) != q.wrapping_sub(1) {
+            return Err(NttError::PsiNotPrimitive { psi, q });
+        }
         let mut psi_pows = Vec::with_capacity(n);
         let mut omega_pows = Vec::with_capacity(n);
         let omega = mul_mod(psi, psi, q);
@@ -232,8 +437,10 @@ impl NttContext {
             p = mul_mod(p, psi, q);
             w = mul_mod(w, omega, q);
         }
-        let psi_inv = inv_mod(psi, q).expect("psi invertible");
-        let omega_inv = inv_mod(omega, q).expect("omega invertible");
+        // ψ passed the primitivity check, so ψ (hence ω = ψ²) is a
+        // unit; N can still collide with a composite modulus.
+        let psi_inv = inv_mod(psi, q).ok_or(NttError::PsiNotPrimitive { psi, q })?;
+        let omega_inv = inv_mod(omega, q).ok_or(NttError::PsiNotPrimitive { psi, q })?;
         let mut psi_inv_pows = Vec::with_capacity(n);
         let mut omega_inv_pows = Vec::with_capacity(n);
         let mut p = 1u64;
@@ -244,7 +451,10 @@ impl NttContext {
             p = mul_mod(p, psi_inv, q);
             w = mul_mod(w, omega_inv, q);
         }
-        let n_inv = inv_mod(n as u64, q).expect("N invertible");
+        // N is a power of two, so gcd(N, q) > 1 only for even q —
+        // which is composite (q > 2 here since q ≥ 2 and ψ^N = −1
+        // forces q > 2).
+        let n_inv = inv_mod(n as u64, q).ok_or(NttError::ModulusNotPrime { q })?;
         let shoup_of =
             |v: &[u64]| -> Vec<u64> { v.iter().map(|&w| shoup_precompute(w, q)).collect() };
         let psi_shoup = shoup_of(&psi_pows);
@@ -266,7 +476,7 @@ impl NttContext {
         let omega_inv_stage_shoup = shoup_of(&omega_inv_stage);
         let psi_inv_n_pows: Vec<u64> = psi_inv_pows.iter().map(|&p| mul_mod(p, n_inv, q)).collect();
         let psi_inv_n_shoup = shoup_of(&psi_inv_n_pows);
-        Self {
+        Ok(Self {
             n,
             q,
             psi,
@@ -285,7 +495,7 @@ impl NttContext {
             psi_inv_n_shoup,
             barrett: Barrett::new(q),
             kernel: NttKernel::select(n),
-        }
+        })
     }
 
     /// The kernel `forward`/`inverse` currently dispatch to.
@@ -788,6 +998,10 @@ impl NttContext {
             NttKernel::Radix4 => {
                 self.lazy_stages_radix4(a, &self.omega_stage, &self.omega_stage_shoup, true);
             }
+            NttKernel::Simd => {
+                bit_reverse_permute(a);
+                self.simd_stage_walk(a, &self.omega_stage, &self.omega_stage_shoup, true);
+            }
         }
     }
 
@@ -812,6 +1026,10 @@ impl NttContext {
                     &self.omega_inv_stage_shoup,
                     false,
                 );
+            }
+            NttKernel::Simd => {
+                bit_reverse_permute(a);
+                self.simd_stage_walk(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
             }
         }
         let q = self.q;
@@ -845,6 +1063,7 @@ impl NttContext {
             NttKernel::Reference => self.forward_reference(a),
             NttKernel::Radix2 => self.forward_radix2(a),
             NttKernel::Radix4 => self.forward_radix4(a),
+            NttKernel::Simd => self.forward_simd(a),
         }
     }
 
@@ -854,6 +1073,7 @@ impl NttContext {
             NttKernel::Reference => self.inverse_reference(a),
             NttKernel::Radix2 => self.inverse_radix2(a),
             NttKernel::Radix4 => self.inverse_radix4(a),
+            NttKernel::Simd => self.inverse_simd(a),
         }
     }
 
@@ -933,6 +1153,149 @@ impl NttContext {
                 shoup: &self.psi_inv_n_shoup,
             },
         );
+    }
+
+    /// Negacyclic forward NTT, 4-wide SIMD lane kernel.
+    ///
+    /// Same schedule as [`Self::forward_radix4`] (blocked above
+    /// [`RADIX4_BLOCK`], plain fused walk below), with the butterfly
+    /// inner loops running on the [`crate::simd`] lane kernels. The
+    /// lane kernels evaluate the identical per-element integer
+    /// formulas, so outputs are bit-identical to every other kernel.
+    pub fn forward_simd(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        if self.n > RADIX4_BLOCK {
+            self.bit_reverse_twist(a);
+        } else {
+            // Lane form of the ψ pre-twist (< 2q out), then permute.
+            simd::twist_lazy_slice(a, &self.psi_pows, &self.psi_shoup, self.q);
+            bit_reverse_permute(a);
+        }
+        self.simd_stage_walk(a, &self.omega_stage, &self.omega_stage_shoup, true);
+    }
+
+    /// Negacyclic inverse NTT, 4-wide SIMD lane kernel.
+    ///
+    /// Lazy stage walk, then the fused `ψ^{-i}·N^{-1}` post-twist as
+    /// one lane sweep with the `[0, q)` correction folded in.
+    pub fn inverse_simd(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        bit_reverse_permute(a);
+        self.simd_stage_walk(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
+        simd::twist_reduce_slice(a, &self.psi_inv_n_pows, &self.psi_inv_n_shoup, self.q);
+    }
+
+    /// The SIMD stage walker: the radix-4 blocked schedule with lane
+    /// butterflies. Requires bit-reversed input `< 2q` (the blocked
+    /// phase starts with [`Self::fused_pair_first`], which elides the
+    /// unit-twiddle stage-1 multiply under exactly that bound).
+    ///
+    /// With `reduce_output` the final stage folds the `[0, q)`
+    /// correction into its stores; otherwise outputs stay lazy
+    /// (`< 4q`) for a caller-side twist/scale sweep to finish.
+    fn simd_stage_walk(
+        &self,
+        a: &mut [u64],
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        reduce_output: bool,
+    ) {
+        let n = self.n;
+        let mut len = 2;
+        if n > RADIX4_BLOCK {
+            for block in a.chunks_exact_mut(RADIX4_BLOCK) {
+                self.fused_pair_first(block, twiddles, twiddles_shoup);
+                let mut blen = 8;
+                while 2 * blen <= RADIX4_BLOCK {
+                    self.fused_pair_simd(block, blen, twiddles, twiddles_shoup, false);
+                    blen <<= 2;
+                }
+            }
+            // First stage length not covered by the intra-block phase.
+            len = 8;
+            while 2 * len <= RADIX4_BLOCK {
+                len <<= 2;
+            }
+        }
+        while 2 * len < n {
+            self.fused_pair_simd(a, len, twiddles, twiddles_shoup, false);
+            len <<= 2;
+        }
+        if 2 * len == n {
+            self.fused_pair_simd(a, len, twiddles, twiddles_shoup, reduce_output);
+        } else if len == n {
+            self.single_stage_simd(a, len, twiddles, twiddles_shoup, reduce_output);
+        }
+    }
+
+    /// Lane form of [`Self::fused_pair`] / [`Self::fused_pair_reduce`]:
+    /// the four quarter-slices of each `2·len` chunk are contiguous,
+    /// so the fused two-stage butterfly vectorizes directly. Falls
+    /// back to the scalar fused pair when the quarter length is below
+    /// the lane width.
+    fn fused_pair_simd(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        reduce: bool,
+    ) {
+        let ha = len / 2;
+        if ha < simd::LANES {
+            if reduce {
+                self.fused_pair_reduce(a, len, twiddles, twiddles_shoup);
+            } else {
+                self.fused_pair(a, len, twiddles, twiddles_shoup);
+            }
+            return;
+        }
+        let twb = &twiddles[len - 1..2 * len - 1];
+        let twbs = &twiddles_shoup[len - 1..2 * len - 1];
+        let (twb_lo, twb_hi) = twb.split_at(ha);
+        let (twbs_lo, twbs_hi) = twbs.split_at(ha);
+        let tw = simd::FusedTwiddles {
+            a: &twiddles[ha - 1..2 * ha - 1],
+            a_shoup: &twiddles_shoup[ha - 1..2 * ha - 1],
+            b_lo: twb_lo,
+            b_lo_shoup: twbs_lo,
+            b_hi: twb_hi,
+            b_hi_shoup: twbs_hi,
+        };
+        for chunk in a.chunks_exact_mut(2 * len) {
+            let (left, right) = chunk.split_at_mut(len);
+            let (x0s, x1s) = left.split_at_mut(ha);
+            let (x2s, x3s) = right.split_at_mut(ha);
+            simd::harvey_fused_pair(x0s, x1s, x2s, x3s, &tw, self.q, reduce);
+        }
+    }
+
+    /// Lane form of [`Self::single_stage`] /
+    /// [`Self::single_stage_reduce`] — the radix-2 tail stage for odd
+    /// stage counts.
+    fn single_stage_simd(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        reduce: bool,
+    ) {
+        let half = len / 2;
+        if half < simd::LANES {
+            if reduce {
+                self.single_stage_reduce(a, len, twiddles, twiddles_shoup);
+            } else {
+                self.single_stage(a, len, twiddles, twiddles_shoup);
+            }
+            return;
+        }
+        let tw = &twiddles[half - 1..2 * half - 1];
+        let tws = &twiddles_shoup[half - 1..2 * half - 1];
+        for chunk in a.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            simd::harvey_stage(lo, hi, tw, tws, self.q, reduce);
+        }
     }
 
     /// Seed forward kernel (pre-Shoup): one `u128 %` per multiply.
@@ -1162,15 +1525,104 @@ mod tests {
             assert_eq!(format!("{k}"), k.name());
         }
         assert_eq!(NttKernel::parse("RADIX4"), Some(NttKernel::Radix4));
+        assert_eq!(NttKernel::parse("SIMD"), Some(NttKernel::Simd));
         assert_eq!(NttKernel::parse("radix8"), None);
         assert!("auto".parse::<NttKernel>().is_err());
     }
 
     #[test]
     fn auto_heuristic_switches_at_min_dim() {
-        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Radix2);
-        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Radix4);
-        assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM * 2), NttKernel::Radix4);
+        if simd::avx2_available() {
+            // AVX2 hosts prefer the lane kernel at every dimension.
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Simd);
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Simd);
+        } else {
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Radix2);
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Radix4);
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM * 2), NttKernel::Radix4);
+        }
+    }
+
+    #[test]
+    fn env_value_parsing_is_total() {
+        assert_eq!(NttKernel::parse_env_value(None), Ok(None));
+        assert_eq!(NttKernel::parse_env_value(Some("")), Ok(None));
+        assert_eq!(NttKernel::parse_env_value(Some("auto")), Ok(None));
+        assert_eq!(NttKernel::parse_env_value(Some("AUTO")), Ok(None));
+        assert_eq!(
+            NttKernel::parse_env_value(Some("simd")),
+            Ok(Some(NttKernel::Simd))
+        );
+        assert_eq!(
+            NttKernel::parse_env_value(Some("Radix4")),
+            Ok(Some(NttKernel::Radix4))
+        );
+        let err = NttKernel::parse_env_value(Some("radix16")).unwrap_err();
+        assert_eq!(err.value, "radix16");
+        let msg = err.to_string();
+        assert!(msg.contains("radix16") && msg.contains(KERNEL_ENV), "{msg}");
+    }
+
+    #[test]
+    fn simd_matches_radix4_across_schedules() {
+        // 2^12 exercises the small fused walk, 2^13 the blocked walk
+        // with a single tail stage, 2^14 the fused cross-block pair.
+        for log_n in [12usize, 13, 14] {
+            let n = 1 << log_n;
+            let c = ctx(n);
+            let mut rng = 0x13198a2e03707344u64 ^ (n as u64);
+            let orig: Vec<u64> = (0..n)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng % c.modulus()
+                })
+                .collect();
+            let mut r4 = orig.clone();
+            let mut sv = orig.clone();
+            c.forward_radix4(&mut r4);
+            c.forward_simd(&mut sv);
+            assert_eq!(r4, sv, "forward mismatch at n={n}");
+            c.inverse_radix4(&mut r4);
+            c.inverse_simd(&mut sv);
+            assert_eq!(r4, sv, "inverse mismatch at n={n}");
+            assert_eq!(sv, orig, "roundtrip mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let q = generate_ntt_prime(64, 40).unwrap();
+        assert_eq!(
+            NttContext::try_new(48, q).unwrap_err(),
+            NttError::DimNotPowerOfTwo { n: 48 }
+        );
+        assert_eq!(
+            NttContext::try_new(64, 0).unwrap_err(),
+            NttError::ModulusOutOfRange { q: 0 }
+        );
+        assert_eq!(
+            NttContext::try_new(64, 1 << 62).unwrap_err(),
+            NttError::ModulusOutOfRange { q: 1 << 62 }
+        );
+        // 513 = 27·19 is ≡ 1 mod 128, so compositeness is what trips.
+        assert_eq!(
+            NttContext::try_new(64, 513).unwrap_err(),
+            NttError::ModulusNotPrime { q: 513 }
+        );
+        // A prime that is not 1 mod 2n: 2^31 - 1 (Mersenne).
+        assert_eq!(
+            NttContext::try_new(64, (1 << 31) - 1).unwrap_err(),
+            NttError::NotNttFriendly {
+                n: 64,
+                q: (1 << 31) - 1
+            }
+        );
+        // ψ = 1 is never a primitive 2N-th root for N > 1.
+        assert_eq!(
+            NttContext::try_with_psi(64, q, 1).unwrap_err(),
+            NttError::PsiNotPrimitive { psi: 1, q }
+        );
+        assert!(NttContext::try_new(64, q).is_ok());
     }
 
     #[test]

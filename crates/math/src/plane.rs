@@ -7,17 +7,18 @@
 //! `Vec<Poly>`-of-`Vec<u64>`, an [`RnsPlane`] stores all residue limbs
 //! of a polynomial in a single `Vec<u64>` with stride `n` (limb `i`
 //! occupies `data[i*n .. (i+1)*n]`), plus per-limb moduli and a
-//! [`Form`] tag. All operations are in place, use Barrett/Shoup
-//! multiplies, and fan out across limbs via
-//! [`crate::par::par_limbs`].
+//! [`Form`] tag. All operations are in place and fan out across limbs
+//! via [`crate::par::par_limbs`]; the element-wise kernels
+//! (add/sub/hadamard/mac/scale) run on the 4-wide lane primitives of
+//! [`crate::simd`] — AVX2 when the host has it, the bit-identical
+//! portable unroll otherwise.
 
 use crate::automorph::{apply_coeff_slice, apply_eval_slice};
-use crate::modops::{
-    add_mod, from_signed, inv_mod, mul_shoup, neg_mod, shoup_precompute, sub_mod, Barrett,
-};
+use crate::modops::{from_signed, inv_mod, mul_shoup, neg_mod, shoup_precompute, sub_mod, Barrett};
 use crate::ntt::{NttContext, NttKernel};
 use crate::par::par_limbs;
 use crate::poly::{Form, Poly};
+use crate::simd;
 
 /// A polynomial in RNS representation, stored limb-major in one flat
 /// buffer.
@@ -213,10 +214,7 @@ impl RnsPlane {
         self.check(rhs);
         let (n, moduli) = (self.n, &self.moduli);
         par_limbs(n, &mut self.data, |i, chunk| {
-            let q = moduli[i];
-            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
-                *a = add_mod(*a, b, q);
-            }
+            simd::add_mod_slice(chunk, rhs.limb(i), moduli[i]);
         });
     }
 
@@ -225,10 +223,7 @@ impl RnsPlane {
         self.check(rhs);
         let (n, moduli) = (self.n, &self.moduli);
         par_limbs(n, &mut self.data, |i, chunk| {
-            let q = moduli[i];
-            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
-                *a = sub_mod(*a, b, q);
-            }
+            simd::sub_mod_slice(chunk, rhs.limb(i), moduli[i]);
         });
     }
 
@@ -243,7 +238,7 @@ impl RnsPlane {
         });
     }
 
-    /// In-place Hadamard product (Barrett): `self ← self ∘ rhs`.
+    /// In-place Hadamard product: `self ← self ∘ rhs`.
     ///
     /// # Panics
     ///
@@ -257,26 +252,19 @@ impl RnsPlane {
         );
         let (n, moduli) = (self.n, &self.moduli);
         par_limbs(n, &mut self.data, |i, chunk| {
-            let br = Barrett::new(moduli[i]);
-            for (a, &b) in chunk.iter_mut().zip(rhs.limb(i)) {
-                *a = br.mul(*a, b);
-            }
+            simd::mul_mod_slice(chunk, rhs.limb(i), moduli[i]);
         });
     }
 
-    /// Multiply-accumulate (Barrett): `self ← self + a ∘ b`. All
-    /// three planes must be in evaluation form over the same moduli.
+    /// Multiply-accumulate: `self ← self + a ∘ b`. All three planes
+    /// must be in evaluation form over the same moduli.
     pub fn mac_assign(&mut self, a: &Self, b: &Self) {
         self.check(a);
         self.check(b);
         assert_eq!(self.form, Form::Eval, "mac requires evaluation form");
         let (n, moduli) = (self.n, &self.moduli);
         par_limbs(n, &mut self.data, |i, chunk| {
-            let q = moduli[i];
-            let br = Barrett::new(q);
-            for ((acc, &x), &y) in chunk.iter_mut().zip(a.limb(i)).zip(b.limb(i)) {
-                *acc = add_mod(*acc, br.mul(x, y), q);
-            }
+            simd::mac_mod_slice(chunk, a.limb(i), b.limb(i), moduli[i]);
         });
     }
 
@@ -293,9 +281,7 @@ impl RnsPlane {
             let q = moduli[i];
             let s = scalars[i] % q;
             let s_shoup = shoup_precompute(s, q);
-            for a in chunk.iter_mut() {
-                *a = mul_shoup(*a, s, s_shoup, q);
-            }
+            simd::scale_shoup_slice(chunk, s, s_shoup, q);
         });
     }
 

@@ -1,0 +1,1012 @@
+//! 4-wide SIMD lane kernels: the software stand-in for UFC's arrays of
+//! butterfly and modular-ALU lanes.
+//!
+//! Every public function here is a *slice kernel*: it applies one
+//! modular primitive across a whole slice, dispatching once per call
+//! between two backends:
+//!
+//! * **AVX2** (`x86_64` only) — `u64x4` lanes built from
+//!   `core::arch::x86_64` intrinsics. AVX2 has no 64×64-bit multiply
+//!   or unsigned 64-bit compare, so both are synthesized: the multiply
+//!   from four `vpmuludq` 32×32 partial products with explicit carry
+//!   propagation, the compare by biasing both operands with the sign
+//!   bit and using the signed `vpcmpgtq`. Selected at runtime via
+//!   [`avx2_available`] (one `is_x86_feature_detected!` probe cached
+//!   in a `OnceLock`).
+//! * **Portable** — a 4-lane scalar-unrolled fallback, always
+//!   compiled, on every architecture. It reuses the scalar primitives
+//!   from [`crate::modops`], so it is trivially bit-identical to the
+//!   pre-SIMD code paths.
+//!
+//! # Bit-identity contract
+//!
+//! Both backends produce **exactly** the same output words:
+//!
+//! * The lazy kernels ([`twist_lazy_slice`], [`harvey_stage`],
+//!   [`harvey_fused_pair`], [`scale_shoup_slice`]) evaluate the *same
+//!   integer formula* per lane as their scalar counterparts
+//!   (`a·w − ⌊a·w_shoup/2⁶⁴⌋·q` in wrapping 64-bit arithmetic), so
+//!   even the lazy `[0, 2q)`/`[0, 4q)` representatives match word for
+//!   word — the Harvey lazy-reduction bounds are preserved, not just
+//!   congruence.
+//! * The canonical kernels ([`add_mod_slice`], [`sub_mod_slice`],
+//!   [`mac_mod_slice`]) use the same conditional-subtract formula per
+//!   lane. [`mul_mod_slice`] is the one kernel where the backends use
+//!   different *internal* reductions (Barrett on the portable path, a
+//!   `2⁶⁴ mod q` high/low-word fold on AVX2); both return the unique
+//!   canonical residue in `[0, q)`, so outputs are still identical.
+//!
+//! Tail elements past the last full 4-lane group are always handled by
+//! the scalar arithmetic of the portable backend, on both paths.
+//!
+//! # Why AVX2-only (for now)
+//!
+//! AVX2 is the widest vector extension that is near-universal on
+//! x86-64 servers and that `is_x86_feature_detected!` can gate without
+//! compile-time `-C target-feature` plumbing. AVX-512 (`vpmullq`
+//! removes the 32×32 decomposition) and NEON ports drop into the same
+//! backend seam later without touching callers.
+//!
+//! This is the **only** module in the workspace that uses `unsafe`
+//! (see the workspace `unsafe_code = "deny"` lint note in the root
+//! `Cargo.toml`): raw-pointer vector loads/stores and the
+//! `#[target_feature]` call boundary. Each site carries a SAFETY
+//! comment; everything else in the crate remains `#![deny(unsafe_code)]`.
+#![allow(unsafe_code)]
+
+use crate::modops::{add_mod, mul_shoup_lazy, pow2_64_mod, reduce_4q, shoup_precompute, Barrett};
+
+/// Lane width of the SIMD backends: both the AVX2 path (`u64x4` in a
+/// 256-bit register) and the portable scalar unroll process 4 elements
+/// per group.
+pub const LANES: usize = 4;
+
+/// Whether the AVX2 backend is usable on this host. Probed once with
+/// `is_x86_feature_detected!("avx2")` and cached in a `OnceLock`;
+/// always `false` off `x86_64`.
+pub fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// The six stage-twiddle slices consumed by one fused radix-2 stage
+/// pair (stage A plus the two halves of stage B), bundled so the
+/// butterfly kernel's signature stays readable. All slices have the
+/// same length as the coefficient quarter-slices they multiply.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedTwiddles<'a> {
+    /// Stage-A twiddles (block length `len`).
+    pub a: &'a [u64],
+    /// Shoup companions of `a`.
+    pub a_shoup: &'a [u64],
+    /// Stage-B twiddles for the `(x0, x2)` butterflies.
+    pub b_lo: &'a [u64],
+    /// Shoup companions of `b_lo`.
+    pub b_lo_shoup: &'a [u64],
+    /// Stage-B twiddles for the `(x1, x3)` butterflies.
+    pub b_hi: &'a [u64],
+    /// Shoup companions of `b_hi`.
+    pub b_hi_shoup: &'a [u64],
+}
+
+/// `a[i] ← (a[i] + b[i]) mod q`, canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::add_mod_slice(a, b, q) };
+        return;
+    }
+    portable::add_mod_slice(a, b, q);
+}
+
+/// `a[i] ← (a[i] - b[i]) mod q`, canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::sub_mod_slice(a, b, q) };
+        return;
+    }
+    portable::sub_mod_slice(a, b, q);
+}
+
+/// Hadamard product `a[i] ← a[i]·b[i] mod q` over canonical residues.
+///
+/// The portable path reduces with Barrett (as the scalar plane kernel
+/// always did); the AVX2 path folds the 128-bit product as
+/// `hi·(2⁶⁴ mod q) + lo` through two lazy Shoup multiplies. Both
+/// return the canonical residue, so outputs are bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `q` is outside the
+/// Barrett range `[2, 2⁶²)`.
+pub fn mul_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::mul_mod_slice(a, b, q) };
+        return;
+    }
+    portable::mul_mod_slice(a, b, q);
+}
+
+/// Multiply-accumulate `acc[i] ← (acc[i] + a[i]·b[i]) mod q` over
+/// canonical residues.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `q` is outside the
+/// Barrett range `[2, 2⁶²)`.
+pub fn mac_mod_slice(acc: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+    assert_eq!(acc.len(), a.len(), "slice length mismatch");
+    assert_eq!(acc.len(), b.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::mac_mod_slice(acc, a, b, q) };
+        return;
+    }
+    portable::mac_mod_slice(acc, a, b, q);
+}
+
+/// Broadcast Shoup scale `a[i] ← a[i]·s mod q`, fully reduced.
+/// `s_shoup` must be [`shoup_precompute`]`(s, q)`; `a` may hold any
+/// 64-bit values (lazy representatives included), the output is
+/// canonical — the exact contract of [`crate::modops::mul_shoup`].
+pub fn scale_shoup_slice(a: &mut [u64], s: u64, s_shoup: u64, q: u64) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::scale_shoup_slice(a, s, s_shoup, q) };
+        return;
+    }
+    portable::scale_shoup_slice(a, s, s_shoup, q);
+}
+
+/// Element-wise lazy Shoup twist `a[i] ← a[i]·w[i] mod q` as a
+/// representative in `[0, 2q)` — the ψ pre-twist of the negacyclic
+/// forward NTT. Accepts any 64-bit `a[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn twist_lazy_slice(a: &mut [u64], w: &[u64], w_shoup: &[u64], q: u64) {
+    assert_eq!(a.len(), w.len(), "slice length mismatch");
+    assert_eq!(a.len(), w_shoup.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::twist_lazy_slice(a, w, w_shoup, q) };
+        return;
+    }
+    portable::twist_lazy_slice(a, w, w_shoup, q);
+}
+
+/// Element-wise Shoup twist with the `[0, q)` correction folded in —
+/// the fused `ψ^{-i}·N^{-1}` post-twist of the negacyclic inverse NTT,
+/// straight off lazy (`< 4q`) stage outputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn twist_reduce_slice(a: &mut [u64], w: &[u64], w_shoup: &[u64], q: u64) {
+    assert_eq!(a.len(), w.len(), "slice length mismatch");
+    assert_eq!(a.len(), w_shoup.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::twist_reduce_slice(a, w, w_shoup, q) };
+        return;
+    }
+    portable::twist_reduce_slice(a, w, w_shoup, q);
+}
+
+/// One Harvey lazy radix-2 butterfly stage over paired half-slices:
+/// for each `j`,
+///
+/// ```text
+/// u  = lo[j] − 2q·[lo[j] ≥ 2q]          (correct the u leg to < 2q)
+/// t  = a[j]·w[j] mod q as < 2q          (lazy Shoup multiply)
+/// lo[j] = u + t,   hi[j] = u + 2q − t   (both < 4q)
+/// ```
+///
+/// With `reduce`, both outputs get the final `[0, q)` correction — the
+/// last-stage variant. The same data flow serves the inverse
+/// transform: this codebase runs the inverse as a Cooley–Tukey walk
+/// over the ω⁻¹ stage tables (not a Gentleman–Sande butterfly), so
+/// forward and inverse share this one primitive.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn harvey_stage(lo: &mut [u64], hi: &mut [u64], tw: &[u64], tws: &[u64], q: u64, reduce: bool) {
+    assert_eq!(lo.len(), hi.len(), "slice length mismatch");
+    assert_eq!(lo.len(), tw.len(), "slice length mismatch");
+    assert_eq!(lo.len(), tws.len(), "slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::harvey_stage(lo, hi, tw, tws, q, reduce) };
+        return;
+    }
+    portable::harvey_stage(lo, hi, tw, tws, q, reduce);
+}
+
+/// Two fused Harvey radix-2 stages over the four quarter-slices of a
+/// `2·len` chunk — the vector form of the scalar fused stage pair:
+/// stage A butterflies `(x0, x1)` and `(x2, x3)` with the `tw.a`
+/// twiddles, then stage B butterflies `(a0, a2)` and `(a1, a3)` with
+/// `tw.b_lo`/`tw.b_hi`, all in registers, with a single load and store
+/// per element. Bit-identical to running [`harvey_stage`] twice.
+/// With `reduce`, stage B's outputs get the `[0, q)` correction.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `x0`'s.
+pub fn harvey_fused_pair(
+    x0: &mut [u64],
+    x1: &mut [u64],
+    x2: &mut [u64],
+    x3: &mut [u64],
+    tw: &FusedTwiddles<'_>,
+    q: u64,
+    reduce: bool,
+) {
+    let ha = x0.len();
+    assert!(
+        x1.len() == ha && x2.len() == ha && x3.len() == ha,
+        "quarter-slice length mismatch"
+    );
+    assert!(
+        tw.a.len() == ha
+            && tw.a_shoup.len() == ha
+            && tw.b_lo.len() == ha
+            && tw.b_lo_shoup.len() == ha
+            && tw.b_hi.len() == ha
+            && tw.b_hi_shoup.len() == ha,
+        "twiddle slice length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { avx2::harvey_fused_pair(x0, x1, x2, x3, tw, q, reduce) };
+        return;
+    }
+    portable::harvey_fused_pair(x0, x1, x2, x3, tw, q, reduce);
+}
+
+/// The portable backend: 4-lane scalar-unrolled loops over the same
+/// scalar primitives the pre-SIMD code paths used. Always compiled (on
+/// every architecture) and always used for tail elements, so the AVX2
+/// backend's conformance target is in the same binary.
+mod portable {
+    use super::{add_mod, mul_shoup_lazy, reduce_4q, Barrett, FusedTwiddles, LANES};
+
+    #[inline(always)]
+    fn csub(v: u64, m: u64) -> u64 {
+        if v >= m {
+            v - m
+        } else {
+            v
+        }
+    }
+
+    pub(super) fn add_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        let mut bc = b.chunks_exact(LANES);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for (av, bv) in (&mut ac).zip(&mut bc) {
+            av[0] = add_mod(av[0], bv[0], q);
+            av[1] = add_mod(av[1], bv[1], q);
+            av[2] = add_mod(av[2], bv[2], q);
+            av[3] = add_mod(av[3], bv[3], q);
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = add_mod(*x, y, q);
+        }
+    }
+
+    pub(super) fn sub_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        let sub = |x: u64, y: u64| if x >= y { x - y } else { x + q - y };
+        let mut bc = b.chunks_exact(LANES);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for (av, bv) in (&mut ac).zip(&mut bc) {
+            av[0] = sub(av[0], bv[0]);
+            av[1] = sub(av[1], bv[1]);
+            av[2] = sub(av[2], bv[2]);
+            av[3] = sub(av[3], bv[3]);
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = sub(*x, y);
+        }
+    }
+
+    pub(super) fn mul_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        let br = Barrett::new(q);
+        let mut bc = b.chunks_exact(LANES);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for (av, bv) in (&mut ac).zip(&mut bc) {
+            av[0] = br.mul(av[0], bv[0]);
+            av[1] = br.mul(av[1], bv[1]);
+            av[2] = br.mul(av[2], bv[2]);
+            av[3] = br.mul(av[3], bv[3]);
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *x = br.mul(*x, y);
+        }
+    }
+
+    pub(super) fn mac_mod_slice(acc: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+        let br = Barrett::new(q);
+        let mac = |d: u64, x: u64, y: u64| add_mod(d, br.mul(x, y), q);
+        let mut av = a.chunks_exact(LANES);
+        let mut bv = b.chunks_exact(LANES);
+        let mut dv = acc.chunks_exact_mut(LANES);
+        for ((d, x), y) in (&mut dv).zip(&mut av).zip(&mut bv) {
+            d[0] = mac(d[0], x[0], y[0]);
+            d[1] = mac(d[1], x[1], y[1]);
+            d[2] = mac(d[2], x[2], y[2]);
+            d[3] = mac(d[3], x[3], y[3]);
+        }
+        for ((d, &x), &y) in dv
+            .into_remainder()
+            .iter_mut()
+            .zip(av.remainder())
+            .zip(bv.remainder())
+        {
+            *d = mac(*d, x, y);
+        }
+    }
+
+    pub(super) fn scale_shoup_slice(a: &mut [u64], s: u64, s_shoup: u64, q: u64) {
+        let mul = |x: u64| csub(mul_shoup_lazy(x, s, s_shoup, q), q);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for av in &mut ac {
+            av[0] = mul(av[0]);
+            av[1] = mul(av[1]);
+            av[2] = mul(av[2]);
+            av[3] = mul(av[3]);
+        }
+        for x in ac.into_remainder() {
+            *x = mul(*x);
+        }
+    }
+
+    pub(super) fn twist_lazy_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: u64) {
+        let mut wc = w.chunks_exact(LANES);
+        let mut sc = ws.chunks_exact(LANES);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for ((av, wv), sv) in (&mut ac).zip(&mut wc).zip(&mut sc) {
+            av[0] = mul_shoup_lazy(av[0], wv[0], sv[0], q);
+            av[1] = mul_shoup_lazy(av[1], wv[1], sv[1], q);
+            av[2] = mul_shoup_lazy(av[2], wv[2], sv[2], q);
+            av[3] = mul_shoup_lazy(av[3], wv[3], sv[3], q);
+        }
+        for ((x, &wv), &sv) in ac
+            .into_remainder()
+            .iter_mut()
+            .zip(wc.remainder())
+            .zip(sc.remainder())
+        {
+            *x = mul_shoup_lazy(*x, wv, sv, q);
+        }
+    }
+
+    pub(super) fn twist_reduce_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: u64) {
+        let twist = |x: u64, wv: u64, sv: u64| csub(mul_shoup_lazy(x, wv, sv, q), q);
+        let mut wc = w.chunks_exact(LANES);
+        let mut sc = ws.chunks_exact(LANES);
+        let mut ac = a.chunks_exact_mut(LANES);
+        for ((av, wv), sv) in (&mut ac).zip(&mut wc).zip(&mut sc) {
+            av[0] = twist(av[0], wv[0], sv[0]);
+            av[1] = twist(av[1], wv[1], sv[1]);
+            av[2] = twist(av[2], wv[2], sv[2]);
+            av[3] = twist(av[3], wv[3], sv[3]);
+        }
+        for ((x, &wv), &sv) in ac
+            .into_remainder()
+            .iter_mut()
+            .zip(wc.remainder())
+            .zip(sc.remainder())
+        {
+            *x = twist(*x, wv, sv);
+        }
+    }
+
+    /// Scalar Harvey butterfly shared by both stage kernels; returns
+    /// the `(lo, hi)` pair.
+    #[inline(always)]
+    fn butterfly(x: u64, y: u64, w: u64, ws: u64, q: u64) -> (u64, u64) {
+        let two_q = 2 * q;
+        let u = csub(x, two_q);
+        let t = mul_shoup_lazy(y, w, ws, q);
+        (u + t, u + two_q - t)
+    }
+
+    pub(super) fn harvey_stage(
+        lo: &mut [u64],
+        hi: &mut [u64],
+        tw: &[u64],
+        tws: &[u64],
+        q: u64,
+        reduce: bool,
+    ) {
+        for (((x, y), &w), &ws) in lo.iter_mut().zip(hi.iter_mut()).zip(tw).zip(tws) {
+            let (a, b) = butterfly(*x, *y, w, ws, q);
+            if reduce {
+                *x = reduce_4q(a, q);
+                *y = reduce_4q(b, q);
+            } else {
+                *x = a;
+                *y = b;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn harvey_fused_pair(
+        x0: &mut [u64],
+        x1: &mut [u64],
+        x2: &mut [u64],
+        x3: &mut [u64],
+        tw: &FusedTwiddles<'_>,
+        q: u64,
+        reduce: bool,
+    ) {
+        for j in 0..x0.len() {
+            let (a0, a1) = butterfly(x0[j], x1[j], tw.a[j], tw.a_shoup[j], q);
+            let (a2, a3) = butterfly(x2[j], x3[j], tw.a[j], tw.a_shoup[j], q);
+            let (y0, y2) = butterfly(a0, a2, tw.b_lo[j], tw.b_lo_shoup[j], q);
+            let (y1, y3) = butterfly(a1, a3, tw.b_hi[j], tw.b_hi_shoup[j], q);
+            if reduce {
+                x0[j] = reduce_4q(y0, q);
+                x1[j] = reduce_4q(y1, q);
+                x2[j] = reduce_4q(y2, q);
+                x3[j] = reduce_4q(y3, q);
+            } else {
+                x0[j] = y0;
+                x1[j] = y1;
+                x2[j] = y2;
+                x3[j] = y3;
+            }
+        }
+    }
+}
+
+/// The AVX2 backend. Every function carries
+/// `#[target_feature(enable = "avx2")]` and is only reachable through
+/// the dispatchers above after [`avx2_available`] returned true.
+///
+/// Layout of every kernel: process `len / 4 * 4` elements in 256-bit
+/// groups, then delegate the tail to the scalar arithmetic of the
+/// portable backend so tails are handled identically on both paths.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{portable, pow2_64_mod, shoup_precompute, FusedTwiddles, LANES};
+    use core::arch::x86_64::*;
+
+    /// Sign-bit bias for synthesizing unsigned 64-bit compares out of
+    /// the signed `vpcmpgtq`.
+    const SIGN: i64 = i64::MIN;
+
+    /// Broadcasts `v` to all four lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn splat(v: u64) -> __m256i {
+        _mm256_set1_epi64x(v as i64)
+    }
+
+    /// Unsigned per-lane `a < b` mask (all-ones lanes where true).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmp_lt(a: __m256i, b: __m256i) -> __m256i {
+        let bias = _mm256_set1_epi64x(SIGN);
+        _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias), _mm256_xor_si256(a, bias))
+    }
+
+    /// Conditional subtract: per lane, `v - m` if `v ≥ m` else `v`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn csub(v: __m256i, m: __m256i) -> __m256i {
+        // andnot(lt, m) keeps `m` exactly in the lanes where v ≥ m.
+        _mm256_sub_epi64(v, _mm256_andnot_si256(cmp_lt(v, m), m))
+    }
+
+    /// Brings lazy `< 4q` lanes back to `[0, q)`: two conditional
+    /// subtractions, matching `modops::reduce_4q` per lane.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_4q_vec(v: __m256i, q: __m256i, two_q: __m256i) -> __m256i {
+        csub(csub(v, two_q), q)
+    }
+
+    /// Low 64 bits of the per-lane product `a·b`, from three
+    /// `vpmuludq` 32×32 partials (the `ahi·bhi` term shifts out).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_lo(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let ll = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+        _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// High 64 bits of the per-lane product `a·b`: all four 32×32
+    /// partials with explicit carry propagation through the middle
+    /// column.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_hi(a: __m256i, b: __m256i) -> __m256i {
+        let lo32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, b_hi);
+        let hl = _mm256_mul_epu32(a_hi, b);
+        let hh = _mm256_mul_epu32(a_hi, b_hi);
+        // Middle column: (ll >> 32) + lo32(lh) + lo32(hl) ≤ 3·(2³²−1),
+        // no 64-bit overflow; its high word is the carry into `hh`.
+        let mid = _mm256_add_epi64(
+            _mm256_srli_epi64(ll, 32),
+            _mm256_add_epi64(_mm256_and_si256(lh, lo32), _mm256_and_si256(hl, lo32)),
+        );
+        _mm256_add_epi64(
+            _mm256_add_epi64(hh, _mm256_srli_epi64(mid, 32)),
+            _mm256_add_epi64(_mm256_srli_epi64(lh, 32), _mm256_srli_epi64(hl, 32)),
+        )
+    }
+
+    /// Per-lane `mul_shoup_lazy(a, w, w_shoup, q)`: identical wrapping
+    /// formula, so lazy representatives match the scalar path word for
+    /// word.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn shoup_lazy(a: __m256i, w: __m256i, ws: __m256i, q: __m256i) -> __m256i {
+        let hi = mul_hi(a, ws);
+        _mm256_sub_epi64(mul_lo(a, w), mul_lo(hi, q))
+    }
+
+    /// Unaligned 4-lane load from `s[i..i + 4]`.
+    ///
+    /// SAFETY (callers): `i + 4 <= s.len()`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load(s: &[u64], i: usize) -> __m256i {
+        debug_assert!(i + LANES <= s.len());
+        // SAFETY: in-bounds per the function contract; loadu has no
+        // alignment requirement.
+        unsafe { _mm256_loadu_si256(s.as_ptr().add(i).cast()) }
+    }
+
+    /// Unaligned 4-lane store to `s[i..i + 4]`.
+    ///
+    /// SAFETY (callers): `i + 4 <= s.len()`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store(s: &mut [u64], i: usize, v: __m256i) {
+        debug_assert!(i + LANES <= s.len());
+        // SAFETY: in-bounds per the function contract; storeu has no
+        // alignment requirement.
+        unsafe { _mm256_storeu_si256(s.as_mut_ptr().add(i).cast(), v) }
+    }
+
+    /// Number of elements covered by full 4-lane groups.
+    #[inline]
+    fn full(n: usize) -> usize {
+        n / LANES * LANES
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        let qv = splat(q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            let s = _mm256_add_epi64(load(a, i), load(b, i));
+            store(a, i, csub(s, qv));
+        }
+        portable::add_mod_slice(&mut a[n4..], &b[n4..], q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        let qv = splat(q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            let x = load(a, i);
+            let y = load(b, i);
+            // x - y, plus q exactly in the lanes where x < y.
+            let add_q = _mm256_and_si256(cmp_lt(x, y), qv);
+            store(a, i, _mm256_add_epi64(_mm256_sub_epi64(x, y), add_q));
+        }
+        portable::sub_mod_slice(&mut a[n4..], &b[n4..], q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_mod_slice(a: &mut [u64], b: &[u64], q: u64) {
+        // Fold the 128-bit product p = hi·2⁶⁴ + lo as two lazy Shoup
+        // multiplies: hi·(2⁶⁴ mod q) and lo·1, each < 2q, summing to
+        // < 4q (q < 2⁶² per the Barrett contract), then reduce. The
+        // result is the canonical residue — identical to the portable
+        // backend's Barrett output.
+        let r64 = pow2_64_mod(q);
+        let r64v = splat(r64);
+        let r64s = splat(shoup_precompute(r64, q));
+        let onev = splat(1);
+        let ones = splat(shoup_precompute(1, q));
+        let qv = splat(q);
+        let two_qv = splat(2 * q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            let x = load(a, i);
+            let y = load(b, i);
+            let p_lo = mul_lo(x, y);
+            let p_hi = mul_hi(x, y);
+            let t_hi = shoup_lazy(p_hi, r64v, r64s, qv);
+            let t_lo = shoup_lazy(p_lo, onev, ones, qv);
+            store(
+                a,
+                i,
+                reduce_4q_vec(_mm256_add_epi64(t_hi, t_lo), qv, two_qv),
+            );
+        }
+        portable::mul_mod_slice(&mut a[n4..], &b[n4..], q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mac_mod_slice(acc: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+        let r64 = pow2_64_mod(q);
+        let r64v = splat(r64);
+        let r64s = splat(shoup_precompute(r64, q));
+        let onev = splat(1);
+        let ones = splat(shoup_precompute(1, q));
+        let qv = splat(q);
+        let two_qv = splat(2 * q);
+        let n4 = full(acc.len());
+        for i in (0..n4).step_by(LANES) {
+            let x = load(a, i);
+            let y = load(b, i);
+            let p_lo = mul_lo(x, y);
+            let p_hi = mul_hi(x, y);
+            let t_hi = shoup_lazy(p_hi, r64v, r64s, qv);
+            let t_lo = shoup_lazy(p_lo, onev, ones, qv);
+            let prod = reduce_4q_vec(_mm256_add_epi64(t_hi, t_lo), qv, two_qv);
+            let s = _mm256_add_epi64(load(acc, i), prod);
+            store(acc, i, csub(s, qv));
+        }
+        portable::mac_mod_slice(&mut acc[n4..], &a[n4..], &b[n4..], q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_shoup_slice(a: &mut [u64], s: u64, s_shoup: u64, q: u64) {
+        let wv = splat(s);
+        let wsv = splat(s_shoup);
+        let qv = splat(q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            let r = shoup_lazy(load(a, i), wv, wsv, qv);
+            store(a, i, csub(r, qv));
+        }
+        portable::scale_shoup_slice(&mut a[n4..], s, s_shoup, q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn twist_lazy_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: u64) {
+        let qv = splat(q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            store(a, i, shoup_lazy(load(a, i), load(w, i), load(ws, i), qv));
+        }
+        portable::twist_lazy_slice(&mut a[n4..], &w[n4..], &ws[n4..], q);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn twist_reduce_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: u64) {
+        let qv = splat(q);
+        let n4 = full(a.len());
+        for i in (0..n4).step_by(LANES) {
+            let r = shoup_lazy(load(a, i), load(w, i), load(ws, i), qv);
+            store(a, i, csub(r, qv));
+        }
+        portable::twist_reduce_slice(&mut a[n4..], &w[n4..], &ws[n4..], q);
+    }
+
+    /// Vector Harvey butterfly: returns `(u + t, u + 2q − t)` with the
+    /// u leg corrected to `< 2q`, exactly like the scalar butterfly.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn butterfly(
+        x: __m256i,
+        y: __m256i,
+        w: __m256i,
+        ws: __m256i,
+        q: __m256i,
+        two_q: __m256i,
+    ) -> (__m256i, __m256i) {
+        let u = csub(x, two_q);
+        let t = shoup_lazy(y, w, ws, q);
+        (
+            _mm256_add_epi64(u, t),
+            _mm256_sub_epi64(_mm256_add_epi64(u, two_q), t),
+        )
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn harvey_stage(
+        lo: &mut [u64],
+        hi: &mut [u64],
+        tw: &[u64],
+        tws: &[u64],
+        q: u64,
+        reduce: bool,
+    ) {
+        let qv = splat(q);
+        let two_qv = splat(2 * q);
+        let n4 = full(lo.len());
+        for i in (0..n4).step_by(LANES) {
+            let (mut a, mut b) = butterfly(
+                load(lo, i),
+                load(hi, i),
+                load(tw, i),
+                load(tws, i),
+                qv,
+                two_qv,
+            );
+            if reduce {
+                a = reduce_4q_vec(a, qv, two_qv);
+                b = reduce_4q_vec(b, qv, two_qv);
+            }
+            store(lo, i, a);
+            store(hi, i, b);
+        }
+        portable::harvey_stage(
+            &mut lo[n4..],
+            &mut hi[n4..],
+            &tw[n4..],
+            &tws[n4..],
+            q,
+            reduce,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn harvey_fused_pair(
+        x0: &mut [u64],
+        x1: &mut [u64],
+        x2: &mut [u64],
+        x3: &mut [u64],
+        tw: &FusedTwiddles<'_>,
+        q: u64,
+        reduce: bool,
+    ) {
+        let qv = splat(q);
+        let two_qv = splat(2 * q);
+        let n4 = full(x0.len());
+        for i in (0..n4).step_by(LANES) {
+            let wa = load(tw.a, i);
+            let was = load(tw.a_shoup, i);
+            let (a0, a1) = butterfly(load(x0, i), load(x1, i), wa, was, qv, two_qv);
+            let (a2, a3) = butterfly(load(x2, i), load(x3, i), wa, was, qv, two_qv);
+            let (mut y0, mut y2) =
+                butterfly(a0, a2, load(tw.b_lo, i), load(tw.b_lo_shoup, i), qv, two_qv);
+            let (mut y1, mut y3) =
+                butterfly(a1, a3, load(tw.b_hi, i), load(tw.b_hi_shoup, i), qv, two_qv);
+            if reduce {
+                y0 = reduce_4q_vec(y0, qv, two_qv);
+                y1 = reduce_4q_vec(y1, qv, two_qv);
+                y2 = reduce_4q_vec(y2, qv, two_qv);
+                y3 = reduce_4q_vec(y3, qv, two_qv);
+            }
+            store(x0, i, y0);
+            store(x1, i, y1);
+            store(x2, i, y2);
+            store(x3, i, y3);
+        }
+        let rest = FusedTwiddles {
+            a: &tw.a[n4..],
+            a_shoup: &tw.a_shoup[n4..],
+            b_lo: &tw.b_lo[n4..],
+            b_lo_shoup: &tw.b_lo_shoup[n4..],
+            b_hi: &tw.b_hi[n4..],
+            b_hi_shoup: &tw.b_hi_shoup[n4..],
+        };
+        portable::harvey_fused_pair(
+            &mut x0[n4..],
+            &mut x1[n4..],
+            &mut x2[n4..],
+            &mut x3[n4..],
+            &rest,
+            q,
+            reduce,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modops::{mul_mod, mul_shoup, sub_mod};
+    use crate::prime::generate_ntt_prime;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed
+    }
+
+    fn vecs(len: usize, q: u64, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut s = seed | 1;
+        let a = (0..len).map(|_| lcg(&mut s) % q).collect();
+        let b = (0..len).map(|_| lcg(&mut s) % q).collect();
+        (a, b)
+    }
+
+    /// Every slice kernel at lengths that exercise empty, tail-only,
+    /// exact-multiple and mixed group/tail splits, against the scalar
+    /// oracles.
+    #[test]
+    fn slice_kernels_match_scalar_oracles() {
+        let q = generate_ntt_prime(64, 59).unwrap();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 64, 67] {
+            let (a, b) = vecs(len, q, 0x5eed ^ len as u64);
+
+            let mut add = a.clone();
+            add_mod_slice(&mut add, &b, q);
+            let mut sub = a.clone();
+            sub_mod_slice(&mut sub, &b, q);
+            let mut mul = a.clone();
+            mul_mod_slice(&mut mul, &b, q);
+            let mut mac = b.clone();
+            mac_mod_slice(&mut mac, &a, &b, q);
+            for j in 0..len {
+                assert_eq!(add[j], add_mod(a[j], b[j], q), "add len={len} j={j}");
+                assert_eq!(sub[j], sub_mod(a[j], b[j], q), "sub len={len} j={j}");
+                assert_eq!(mul[j], mul_mod(a[j], b[j], q), "mul len={len} j={j}");
+                assert_eq!(
+                    mac[j],
+                    add_mod(b[j], mul_mod(a[j], b[j], q), q),
+                    "mac len={len} j={j}"
+                );
+            }
+
+            let s = a.first().copied().unwrap_or(3) % q;
+            let ss = shoup_precompute(s, q);
+            let mut scaled = a.clone();
+            scale_shoup_slice(&mut scaled, s, ss, q);
+            for j in 0..len {
+                assert_eq!(
+                    scaled[j],
+                    mul_shoup(a[j], s, ss, q),
+                    "scale len={len} j={j}"
+                );
+            }
+
+            let ws: Vec<u64> = b.iter().map(|&w| shoup_precompute(w, q)).collect();
+            let mut lazy = a.clone();
+            twist_lazy_slice(&mut lazy, &b, &ws, q);
+            let mut red = a.clone();
+            twist_reduce_slice(&mut red, &b, &ws, q);
+            for j in 0..len {
+                assert_eq!(
+                    lazy[j],
+                    mul_shoup_lazy(a[j], b[j], ws[j], q),
+                    "twist_lazy len={len} j={j}"
+                );
+                assert!(lazy[j] < 2 * q, "lazy bound len={len} j={j}");
+                assert_eq!(red[j], mul_shoup(a[j], b[j], ws[j], q), "twist_reduce");
+            }
+        }
+    }
+
+    /// The butterfly kernels, including denormal lazy inputs in
+    /// `[q, 2q)` and `[0, 4q)`, against the scalar formula — exact
+    /// word equality on the lazy representatives, not just congruence.
+    #[test]
+    fn butterfly_kernels_match_scalar_formula_on_lazy_inputs() {
+        let q = generate_ntt_prime(64, 59).unwrap();
+        let scalar_butterfly = |x: u64, y: u64, w: u64, ws: u64| {
+            let two_q = 2 * q;
+            let u = if x >= two_q { x - two_q } else { x };
+            let t = mul_shoup_lazy(y, w, ws, q);
+            (u + t, u + two_q - t)
+        };
+        for len in [1usize, 3, 4, 5, 8, 13, 64] {
+            let mut s = 0xb1ff ^ len as u64;
+            // Lazy operands anywhere below 4q; twiddles reduced.
+            let lo0: Vec<u64> = (0..len).map(|_| lcg(&mut s) % (4 * q)).collect();
+            let hi0: Vec<u64> = (0..len).map(|_| lcg(&mut s) % (4 * q)).collect();
+            let w: Vec<u64> = (0..len).map(|_| lcg(&mut s) % q).collect();
+            let ws: Vec<u64> = w.iter().map(|&x| shoup_precompute(x, q)).collect();
+            for reduce in [false, true] {
+                let mut lo = lo0.clone();
+                let mut hi = hi0.clone();
+                harvey_stage(&mut lo, &mut hi, &w, &ws, q, reduce);
+                for j in 0..len {
+                    let (a, b) = scalar_butterfly(lo0[j], hi0[j], w[j], ws[j]);
+                    let (a, b) = if reduce {
+                        (reduce_4q(a, q), reduce_4q(b, q))
+                    } else {
+                        (a, b)
+                    };
+                    assert_eq!(lo[j], a, "stage lo len={len} j={j} reduce={reduce}");
+                    assert_eq!(hi[j], b, "stage hi len={len} j={j} reduce={reduce}");
+                }
+            }
+            // Fused pair vs two explicit stages on denormal [q, 2q)
+            // inputs (the < 2q entry bound of the blocked walk).
+            let mk = |s: &mut u64| -> Vec<u64> { (0..len).map(|_| q + lcg(s) % q).collect() };
+            let (x0, x1, x2, x3) = (mk(&mut s), mk(&mut s), mk(&mut s), mk(&mut s));
+            let wb: Vec<u64> = (0..2 * len).map(|_| lcg(&mut s) % q).collect();
+            let wbs: Vec<u64> = wb.iter().map(|&x| shoup_precompute(x, q)).collect();
+            let tw = FusedTwiddles {
+                a: &w,
+                a_shoup: &ws,
+                b_lo: &wb[..len],
+                b_lo_shoup: &wbs[..len],
+                b_hi: &wb[len..],
+                b_hi_shoup: &wbs[len..],
+            };
+            for reduce in [false, true] {
+                let (mut f0, mut f1, mut f2, mut f3) =
+                    (x0.clone(), x1.clone(), x2.clone(), x3.clone());
+                harvey_fused_pair(&mut f0, &mut f1, &mut f2, &mut f3, &tw, q, reduce);
+                let (mut g0, mut g1, mut g2, mut g3) =
+                    (x0.clone(), x1.clone(), x2.clone(), x3.clone());
+                harvey_stage(&mut g0, &mut g1, &w, &ws, q, false);
+                harvey_stage(&mut g2, &mut g3, &w, &ws, q, false);
+                harvey_stage(&mut g0, &mut g2, &wb[..len], &wbs[..len], q, reduce);
+                harvey_stage(&mut g1, &mut g3, &wb[len..], &wbs[len..], q, reduce);
+                assert_eq!(f0, g0, "fused len={len} reduce={reduce}");
+                assert_eq!(f1, g1, "fused len={len} reduce={reduce}");
+                assert_eq!(f2, g2, "fused len={len} reduce={reduce}");
+                assert_eq!(f3, g3, "fused len={len} reduce={reduce}");
+            }
+        }
+    }
+
+    /// On AVX2 hosts, the vector backend must agree word-for-word with
+    /// the always-compiled portable backend (on other hosts this
+    /// degenerates to portable-vs-portable and trivially passes, which
+    /// is exactly the fallback contract).
+    #[test]
+    fn backends_agree_across_moduli() {
+        for bits in [30u32, 45, 59] {
+            let q = generate_ntt_prime(128, bits).unwrap();
+            let (a, b) = vecs(133, q, u64::from(bits));
+            let mut x = a.clone();
+            mul_mod_slice(&mut x, &b, q);
+            let mut y = a.clone();
+            portable::mul_mod_slice(&mut y, &b, q);
+            assert_eq!(x, y, "mul_mod backends diverge at {bits} bits");
+            let mut x = b.clone();
+            mac_mod_slice(&mut x, &a, &b, q);
+            let mut y = b.clone();
+            portable::mac_mod_slice(&mut y, &a, &b, q);
+            assert_eq!(x, y, "mac backends diverge at {bits} bits");
+        }
+    }
+}

@@ -13,11 +13,15 @@
 //! `UFC_NTT_KERNEL` environment, so the suite passes unchanged under
 //! each leg of the CI kernel matrix.
 
-use ufc_math::modops::mul_mod;
+use proptest::prelude::*;
+use ufc_math::modops::{
+    add_mod, mul_mod, mul_shoup, mul_shoup_lazy, reduce_4q, shoup_precompute, sub_mod,
+};
 use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::plane::RnsPlane;
 use ufc_math::poly::{Form, Poly};
-use ufc_math::prime::generate_ntt_primes;
+use ufc_math::prime::{generate_ntt_prime, generate_ntt_primes};
+use ufc_math::simd;
 
 /// Ring dimensions covered by the differential sweeps. 2^13 and 2^14
 /// exercise the genuinely blocked radix-4 schedule (dimension above
@@ -155,6 +159,154 @@ fn negacyclic_mul_matches_schoolbook_oracle() {
                 );
             }
         }
+    }
+}
+
+/// Deterministic filler: `len` values in `[lo, hi)` from a splitmix64
+/// walk of `seed`.
+fn fill(seed: u64, len: usize, lo: u64, hi: u64) -> Vec<u64> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            lo + (z ^ (z >> 31)) % (hi - lo)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The SIMD element-wise slice kernels at ragged (non-multiple-of-4)
+    /// lengths: every length exercises the vector body *and* the scalar
+    /// tail, and each lane must match the scalar oracle exactly.
+    #[test]
+    fn prop_simd_slice_kernels_match_oracles_at_ragged_lengths(
+        seed in any::<u64>(), len in 1usize..67
+    ) {
+        let q = generate_ntt_prime(1 << 10, 59).unwrap();
+        let a = fill(seed, len, 0, q);
+        let b = fill(seed ^ 0xA5A5, len, 0, q);
+
+        let mut got = a.clone();
+        simd::add_mod_slice(&mut got, &b, q);
+        for i in 0..len {
+            prop_assert_eq!(got[i], add_mod(a[i], b[i], q), "add lane {}", i);
+        }
+
+        let mut got = a.clone();
+        simd::sub_mod_slice(&mut got, &b, q);
+        for i in 0..len {
+            prop_assert_eq!(got[i], sub_mod(a[i], b[i], q), "sub lane {}", i);
+        }
+
+        let mut got = a.clone();
+        simd::mul_mod_slice(&mut got, &b, q);
+        for i in 0..len {
+            prop_assert_eq!(got[i], mul_mod(a[i], b[i], q), "mul lane {}", i);
+        }
+
+        let c = fill(seed ^ 0x5A5A, len, 0, q);
+        let mut got = c.clone();
+        simd::mac_mod_slice(&mut got, &a, &b, q);
+        for i in 0..len {
+            prop_assert_eq!(
+                got[i],
+                add_mod(c[i], mul_mod(a[i], b[i], q), q),
+                "mac lane {}", i
+            );
+        }
+
+        let s = 1 + seed % (q - 1);
+        let ss = shoup_precompute(s, q);
+        let mut got = a.clone();
+        simd::scale_shoup_slice(&mut got, s, ss, q);
+        for i in 0..len {
+            prop_assert_eq!(got[i], mul_shoup(a[i], s, ss, q), "scale lane {}", i);
+        }
+    }
+
+    /// The SIMD butterfly/twist primitives on *denormal* lazy inputs —
+    /// representatives in `[q, 2q)` rather than canonical `[0, q)` —
+    /// must match the scalar Harvey formula word-for-word, because the
+    /// stage walk feeds them exactly such values between stages.
+    #[test]
+    fn prop_simd_butterflies_match_scalar_formula_on_denormal_inputs(
+        seed in any::<u64>(), len in 1usize..41, reduce in any::<bool>()
+    ) {
+        let q = generate_ntt_prime(1 << 10, 59).unwrap();
+        let w = fill(seed ^ 1, len, 1, q);
+        let ws: Vec<u64> = w.iter().map(|&wi| shoup_precompute(wi, q)).collect();
+
+        // Twists accept any lazy representative; feed [q, 2q).
+        let a = fill(seed, len, q, 2 * q);
+        let mut got = a.clone();
+        simd::twist_lazy_slice(&mut got, &w, &ws, q);
+        for i in 0..len {
+            prop_assert_eq!(
+                got[i],
+                mul_shoup_lazy(a[i], w[i], ws[i], q),
+                "twist_lazy lane {}", i
+            );
+        }
+        let mut got = a.clone();
+        simd::twist_reduce_slice(&mut got, &w, &ws, q);
+        for i in 0..len {
+            prop_assert_eq!(
+                got[i],
+                mul_shoup(a[i], w[i], ws[i], q),
+                "twist_reduce lane {}", i
+            );
+        }
+
+        // Stage inputs may sit anywhere below 4q on the u leg and 2q on
+        // the multiplied leg; [q, 2q) is the denormal band both share.
+        let lo0 = fill(seed ^ 2, len, q, 2 * q);
+        let hi0 = fill(seed ^ 3, len, q, 2 * q);
+        let (mut lo, mut hi) = (lo0.clone(), hi0.clone());
+        simd::harvey_stage(&mut lo, &mut hi, &w, &ws, q, reduce);
+        for i in 0..len {
+            let u = if lo0[i] >= 2 * q { lo0[i] - 2 * q } else { lo0[i] };
+            let t = mul_shoup_lazy(hi0[i], w[i], ws[i], q);
+            let (mut el, mut eh) = (u + t, u + 2 * q - t);
+            if reduce {
+                el = reduce_4q(el, q);
+                eh = reduce_4q(eh, q);
+            }
+            prop_assert_eq!(lo[i], el, "stage lo lane {}", i);
+            prop_assert_eq!(hi[i], eh, "stage hi lane {}", i);
+        }
+    }
+
+    /// Whole-transform conformance under proptest: the SIMD generation
+    /// must equal the radix-4 generation bit-for-bit, forward and
+    /// inverse, including on denormal `[q, 2q)` input vectors (both
+    /// kernels tolerate any `< 2q` entry representative).
+    #[test]
+    fn prop_simd_transform_bit_identical_to_radix4(
+        seed in any::<u64>(), log_n in 10usize..13, denormal in any::<bool>()
+    ) {
+        let n = 1 << log_n;
+        let q = generate_ntt_prime(n, 59).unwrap();
+        let ctx = NttContext::new(n, q);
+        let (lo, hi) = if denormal { (q, 2 * q) } else { (0, q) };
+        let data = fill(seed, n, lo, hi);
+
+        let mut s = data.clone();
+        ctx.forward_simd(&mut s);
+        let mut r = data.clone();
+        ctx.forward_radix4(&mut r);
+        prop_assert_eq!(&s, &r, "forward diverged at n=2^{}", log_n);
+
+        // Inverse operates on reduced evaluation-form vectors.
+        let mut si = s.clone();
+        ctx.inverse_simd(&mut si);
+        let mut ri = r.clone();
+        ctx.inverse_radix4(&mut ri);
+        prop_assert_eq!(&si, &ri, "inverse diverged at n=2^{}", log_n);
     }
 }
 

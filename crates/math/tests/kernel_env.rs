@@ -1,0 +1,64 @@
+//! Regression test for the panic-free kernel-selection path: a
+//! malformed `UFC_NTT_KERNEL` must not abort library consumers that
+//! merely build [`ufc_math::ntt::NttContext`]s — it warns once on
+//! stderr and falls back to the automatic heuristic.
+//!
+//! Environment variables are process-global, so the test re-invokes
+//! its own binary with the malformed value set instead of mutating the
+//! harness process (which would race against other tests).
+
+use std::process::Command;
+
+use ufc_math::ntt::{NttContext, KERNEL_ENV};
+
+/// Marker variable switching this binary into child mode.
+const CHILD_ENV: &str = "UFC_KERNEL_ENV_CHILD";
+
+/// What the child prints when both contexts came up.
+const CHILD_OK: &str = "kernel-env-child-ok";
+
+#[test]
+fn malformed_env_warns_once_and_falls_back() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child_build_contexts();
+        return;
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .args([
+            "--exact",
+            "malformed_env_warns_once_and_falls_back",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, "1")
+        .env(KERNEL_ENV, "radix16-bogus")
+        .output()
+        .expect("spawn child test process");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "child aborted on malformed {KERNEL_ENV}\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains(CHILD_OK), "stdout:\n{stdout}");
+    // The warning names the offending value and fires exactly once
+    // even though the child builds two contexts.
+    let warnings = stderr
+        .matches("falling back to automatic kernel selection")
+        .count();
+    assert_eq!(warnings, 1, "stderr:\n{stderr}");
+    assert!(stderr.contains("radix16-bogus"), "stderr:\n{stderr}");
+}
+
+/// Child mode: acts like a library consumer that builds two NTT
+/// contexts with the malformed variable in scope and then uses them.
+fn child_build_contexts() {
+    let a = NttContext::new(64, 7681);
+    let b = NttContext::new(128, 7681);
+    let x: Vec<u64> = (0..64).collect();
+    let mut y = x.clone();
+    a.forward(&mut y);
+    a.inverse(&mut y);
+    assert_eq!(x, y, "roundtrip through fallback kernel");
+    println!("{CHILD_OK}: kernels {:?} {:?}", a.kernel(), b.kernel());
+}

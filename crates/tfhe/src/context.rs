@@ -62,11 +62,16 @@ impl TfheContext {
         ks_levels: usize,
     ) -> Self {
         let q = generate_ntt_prime(ring_dim, 31).expect("31-bit NTT prime");
+        // The generated prime satisfies try_new's checks by
+        // construction; route through it anyway so any future
+        // parameter drift panics with the typed NttError message.
+        let ntt = NttContext::try_new(ring_dim, q)
+            .unwrap_or_else(|e| panic!("generated TFHE modulus rejected: {e}"));
         Self {
             q,
             lwe_dim,
             ring_dim,
-            ntt: Arc::new(NttContext::new(ring_dim, q)),
+            ntt: Arc::new(ntt),
             gadget: Gadget::new(q, glwe_log_base, glwe_levels),
             ks_gadget: Gadget::new(q, ks_log_base, ks_levels),
             sigma: 3.2,
@@ -95,15 +100,44 @@ impl TfheContext {
     }
 
     /// Builds the context for one of the paper's T1–T4 sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the set cannot be instantiated (see
+    /// [`Self::try_from_params`] for the fallible form).
     pub fn from_params(p: &ufc_isa::params::TfheParams) -> Self {
-        Self::new(
-            p.lwe_dim as usize,
-            p.n(),
-            p.glwe_log_base,
-            p.glwe_levels as usize,
-            p.ks_log_base,
-            p.ks_levels as usize,
-        )
+        Self::try_from_params(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::from_params`]: failures to find an NTT prime
+    /// or to build NTT tables surface as
+    /// [`ufc_isa::params::ParamsError::InvalidNtt`] instead of a panic
+    /// deep inside table construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ufc_isa::params::ParamsError`] naming the set and the reason.
+    pub fn try_from_params(
+        p: &ufc_isa::params::TfheParams,
+    ) -> Result<Self, ufc_isa::params::ParamsError> {
+        let ring_dim = p.n();
+        let invalid = |detail: String| ufc_isa::params::ParamsError::InvalidNtt {
+            id: p.id.to_string(),
+            detail,
+        };
+        let q = generate_ntt_prime(ring_dim, 31)
+            .ok_or_else(|| invalid(format!("no 31-bit NTT prime for ring dimension {ring_dim}")))?;
+        let ntt = NttContext::try_new(ring_dim, q).map_err(|e| invalid(e.to_string()))?;
+        Ok(Self {
+            q,
+            lwe_dim: p.lwe_dim as usize,
+            ring_dim,
+            ntt: Arc::new(ntt),
+            gadget: Gadget::new(q, p.glwe_log_base, p.glwe_levels as usize),
+            ks_gadget: Gadget::new(q, p.ks_log_base, p.ks_levels as usize),
+            sigma: 3.2,
+            backend: MulBackend::Ntt,
+        })
     }
 
     /// Ciphertext modulus.
@@ -216,6 +250,33 @@ mod tests {
         assert_eq!(ctx.lwe_dim(), 500);
         assert_eq!(ctx.ring_dim(), 1024);
         assert_eq!(ctx.q() % (2 * 1024), 1);
+    }
+
+    #[test]
+    fn try_from_params_reports_typed_error() {
+        // log_n = 30 leaves no room for a 31-bit prime ≡ 1 mod 2^31,
+        // so prime generation fails before any table is allocated.
+        let bogus = ufc_isa::params::TfheParams {
+            id: "T9",
+            lwe_dim: 500,
+            log_n: 30,
+            glwe_levels: 2,
+            glwe_log_base: 10,
+            ks_levels: 3,
+            ks_log_base: 6,
+        };
+        let err = TfheContext::try_from_params(&bogus).unwrap_err();
+        match &err {
+            ufc_isa::params::ParamsError::InvalidNtt { id, detail } => {
+                assert_eq!(id, "T9");
+                assert!(detail.contains("NTT prime"), "{detail}");
+            }
+            other => panic!("expected InvalidNtt, got {other:?}"),
+        }
+        assert!(err.to_string().contains("T9"));
+        // The paper's real sets all instantiate.
+        let t1 = ufc_isa::params::tfhe_params("T1").unwrap();
+        assert!(TfheContext::try_from_params(&t1).is_ok());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! When `UFC_NTT_KERNEL` is set (the CI kernel matrix), the sweep
 //! runs once under that ambient kernel: the matrix provides the
 //! cross-kernel coverage. When it is unset, the test iterates all
-//! three kernels itself and additionally asserts ciphertext equality.
+//! four kernels itself and additionally asserts ciphertext equality.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,9 +49,12 @@ fn gate_sweep(kernel: NttKernel, seed: u64) -> Vec<ufc_tfhe::lwe::LweCiphertext>
 fn all_gates_exhaustive_under_every_kernel() {
     // Under the CI kernel matrix the ambient kernel is forced via the
     // environment; the matrix legs jointly cover all kernels, so one
-    // sweep each suffices. `NttKernel::select` panics on a malformed
-    // value, so a typo in the matrix cannot silently skip coverage.
+    // sweep each suffices. A typo'd matrix value cannot silently skip
+    // coverage: `NttKernel::from_env` rejects it, and the matrix legs
+    // validate the variable through `xtask` before running anything
+    // (library-side `select` would only warn and fall back).
     if std::env::var_os(KERNEL_ENV).is_some() {
+        NttKernel::from_env().expect("kernel matrix leg set a malformed UFC_NTT_KERNEL");
         let ambient = TfheContext::new(64, 256, 7, 3, 6, 4).ntt_kernel();
         for seed in SEEDS {
             gate_sweep(ambient, seed);
@@ -60,7 +63,7 @@ fn all_gates_exhaustive_under_every_kernel() {
     }
     for seed in SEEDS {
         let reference = gate_sweep(NttKernel::Reference, seed);
-        for kernel in [NttKernel::Radix2, NttKernel::Radix4] {
+        for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
             let outputs = gate_sweep(kernel, seed);
             assert_eq!(
                 outputs, reference,

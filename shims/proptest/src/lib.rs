@@ -83,6 +83,12 @@ macro_rules! impl_int_strategy {
 
 impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {

@@ -18,6 +18,13 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
+    // The CI kernel matrix forces kernels through `UFC_NTT_KERNEL`; a
+    // typo'd value must kill the matrix leg, not be silently absorbed
+    // by the library's warn-and-fall-back path somewhere downstream.
+    if let Err(e) = ufc_math::ntt::NttKernel::from_env() {
+        eprintln!("xtask: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
@@ -300,11 +307,12 @@ fn bench_math(quick: bool) -> ExitCode {
         eprintln!("xtask bench-math: report has no tables");
         return ExitCode::FAILURE;
     }
-    // The kernel-dispatch contract: the radix-2 vs radix-4 comparison
-    // table must be present and populated.
-    let radix_rows = tables
+    // The kernel-dispatch contract: the radix-2 vs radix-4 vs SIMD
+    // comparison table must be present and populated.
+    let radix_table = tables
         .iter()
-        .find(|t| t.get("name").and_then(serde::Value::as_str) == Some("ntt_radix"))
+        .find(|t| t.get("name").and_then(serde::Value::as_str) == Some("ntt_radix"));
+    let radix_rows = radix_table
         .and_then(|t| t.get("rows"))
         .and_then(serde::Value::as_array)
         .map(<[serde::Value]>::len)
@@ -312,6 +320,41 @@ fn bench_math(quick: bool) -> ExitCode {
     if radix_rows == 0 {
         eprintln!("xtask bench-math: report has no populated `ntt_radix` table");
         return ExitCode::FAILURE;
+    }
+    // SIMD-lane coverage: on AVX2 hosts the report must carry the simd
+    // NTT columns and the element-wise lane-kernel table. Non-AVX2
+    // hosts still run the portable lanes, but the committed report is
+    // only held to the vector contract where vectors exist.
+    let avx2 = report
+        .get("host")
+        .and_then(|h| h.get("avx2"))
+        .and_then(serde::Value::as_bool);
+    let Some(avx2) = avx2 else {
+        eprintln!("xtask bench-math: report host has no boolean `avx2` field");
+        return ExitCode::FAILURE;
+    };
+    if avx2 {
+        let has_simd_col = radix_table
+            .and_then(|t| t.get("columns"))
+            .and_then(serde::Value::as_array)
+            .is_some_and(|cols| cols.iter().any(|c| c.as_str() == Some("forward_simd_ns")));
+        if !has_simd_col {
+            eprintln!(
+                "xtask bench-math: AVX2 host but `ntt_radix` has no `forward_simd_ns` column"
+            );
+            return ExitCode::FAILURE;
+        }
+        let ew_rows = tables
+            .iter()
+            .find(|t| t.get("name").and_then(serde::Value::as_str) == Some("ew_kernels"))
+            .and_then(|t| t.get("rows"))
+            .and_then(serde::Value::as_array)
+            .map(<[serde::Value]>::len)
+            .unwrap_or(0);
+        if ew_rows == 0 {
+            eprintln!("xtask bench-math: AVX2 host but no populated `ew_kernels` table");
+            return ExitCode::FAILURE;
+        }
     }
     println!(
         "bench-math ok: {} tables ({radix_rows} ntt_radix rows), headline speedup \

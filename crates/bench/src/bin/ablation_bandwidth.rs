@@ -2,6 +2,8 @@
 //! (1 TB/s); this sweep shows which workloads are bandwidth-bound and
 //! where extra PHYs would (not) help.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_compiler::CompileOptions;
 use ufc_core::Ufc;

@@ -6,6 +6,8 @@
 //! pass) for a large wiring saving; this binary quantifies both sides
 //! on the rotation-heavy CKKS workloads.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_compiler::CompileOptions;
 use ufc_core::Ufc;

@@ -13,6 +13,8 @@
 //! negacyclic-multiply speedup at the largest ring dimension. `--quick`
 //! restricts sizes and repetitions for CI smoke runs.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;

@@ -1,6 +1,8 @@
 //! Fig. 2 — Hardware utilization of the NTT unit on SHARP and Strix
 //! for polynomials of different degrees.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 use ufc_sim::machines::{SharpMachine, StrixMachine};
 

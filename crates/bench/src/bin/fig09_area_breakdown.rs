@@ -1,5 +1,7 @@
 //! Fig. 9 — The area breakdown of UFC.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, row};
 use ufc_sim::machines::UfcConfig;
 

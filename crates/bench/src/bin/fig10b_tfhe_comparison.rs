@@ -1,5 +1,7 @@
 //! Fig. 10(b) — TFHE workloads: UFC vs Strix.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_core::compare::{compare, geomean};
 use ufc_core::Ufc;

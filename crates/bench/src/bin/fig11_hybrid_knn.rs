@@ -1,5 +1,7 @@
 //! Fig. 11 — Hybrid k-NN: UFC vs the composed SHARP+Strix system.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_core::compare::{compare, geomean};
 use ufc_core::Ufc;

@@ -1,5 +1,7 @@
 //! Fig. 12 — Utilization of key UFC components.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 use ufc_core::Ufc;
 

@@ -1,5 +1,7 @@
 //! Fig. 13 — Design-space exploration of CG-NTT configurations.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_core::dse::{default_mix, sweep_cg_networks};
 

@@ -1,5 +1,7 @@
 //! Fig. 14 — Design-space exploration of lane counts (throughput).
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row, time};
 use ufc_core::dse::{default_mix, sweep_lanes};
 

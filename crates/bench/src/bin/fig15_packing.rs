@@ -1,6 +1,8 @@
 //! Fig. 15 — Performance gain of small-polynomial packing with CoLP
 //! and TvLP (both on top of PLP).
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row};
 use ufc_compiler::{CompileOptions, Packing};
 use ufc_core::Ufc;

@@ -2,6 +2,8 @@
 //! metric of the logic-scheme accelerator literature — for UFC vs
 //! Strix across T1–T4.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, ratio, row};
 use ufc_core::compare::compare;
 use ufc_core::Ufc;

@@ -1,6 +1,8 @@
 //! Operation breakdown (the Figs. 3–4 complement): where the cycles
 //! go, per program phase, for one CKKS and one TFHE workload on UFC.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 use ufc_core::Ufc;
 

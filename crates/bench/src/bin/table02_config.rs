@@ -1,5 +1,7 @@
 //! Table II — Architecture configuration of UFC.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, row};
 use ufc_sim::machines::Machine;
 use ufc_sim::machines::{UfcConfig, UfcMachine};

@@ -1,5 +1,7 @@
 //! Table III — FHE parameter settings (C1–C3, T1–T4).
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, row};
 use ufc_isa::params::{CKKS_SETS, TFHE_SETS};
 

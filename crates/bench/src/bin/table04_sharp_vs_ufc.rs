@@ -1,5 +1,7 @@
 //! Table IV — Comparison between SHARP and UFC.
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{header, row};
 use ufc_sim::machines::sharp::{SHARP_BCONV_WPC, SHARP_ELEW_WPC, SHARP_NOC_WPC, SHARP_NTT_WPC};
 use ufc_sim::machines::{Machine, SharpMachine, UfcConfig, UfcMachine};

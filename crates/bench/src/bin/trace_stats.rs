@@ -2,6 +2,8 @@
 //! trace — the view the paper's tracing tool produces before
 //! compilation (§VI-B).
 
+#![forbid(unsafe_code)]
+
 use ufc_bench::{cell, header, row, JsonReport, OutputOpts};
 
 fn main() {

@@ -27,6 +27,8 @@
 //! | `gates_throughput` | bootstrapped gates/s, UFC vs Strix |
 //! | `ablation_bandwidth` | HBM bandwidth sensitivity |
 
+#![forbid(unsafe_code)]
+
 pub mod output;
 
 pub use output::{cell, JsonReport, JsonTable, OutputOpts};

@@ -19,8 +19,9 @@ fn gaussian_signed<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
     (0..n).map(|_| gaussian(rng, NOISE_SIGMA)).collect()
 }
 
-/// Noise standard deviation (the ubiquitous σ = 3.2).
-pub const NOISE_SIGMA: f64 = 3.2;
+/// Noise standard deviation (the ubiquitous σ = 3.2), shared with the
+/// static noise model in `ufc_isa::noise`.
+pub use ufc_isa::noise::NOISE_SIGMA;
 
 /// The ternary secret key.
 #[derive(Debug, Clone)]

@@ -24,6 +24,8 @@
 //! (`N = 32 … 2^10`) while the workload generators use the paper's
 //! Table III sets analytically.
 
+#![forbid(unsafe_code)]
+
 pub mod bootstrap;
 pub mod ciphertext;
 pub mod context;

@@ -11,93 +11,11 @@ use crate::ciphertext::Ciphertext;
 use crate::eval::Evaluator;
 use crate::keys::SecretKey;
 
-/// A conservative estimate of a ciphertext's slot-domain state:
-/// the largest message magnitude and the error bound.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NoiseBudget {
-    /// Upper bound on `|message|` in the slots.
-    pub value_bound: f64,
-    /// Upper bound on the absolute slot error.
-    pub error_bound: f64,
-}
-
-impl NoiseBudget {
-    /// Budget of a fresh encryption of values bounded by `value_bound`
-    /// at scale `delta` in ring dimension `n`.
-    ///
-    /// Fresh noise is `(e0 + e1·s + v·e_pk)` with ternary `s`/`v`:
-    /// coefficient magnitude `O(σ·N)`, decoded to roughly
-    /// `σ·N / Δ` per slot (embedding spreads it by at most `N`).
-    pub fn fresh(value_bound: f64, n: usize, delta: f64) -> Self {
-        let sigma = crate::keys::NOISE_SIGMA;
-        Self {
-            value_bound,
-            error_bound: 16.0 * sigma * n as f64 / delta,
-        }
-    }
-
-    /// Remaining precision in bits (`log2(value/error)`); `None` when
-    /// the error has swallowed the message.
-    pub fn precision_bits(&self) -> Option<f64> {
-        if self.error_bound <= 0.0 {
-            return Some(f64::INFINITY);
-        }
-        let r = self.value_bound / self.error_bound;
-        (r > 1.0).then(|| r.log2())
-    }
-
-    /// Budget after homomorphic addition.
-    pub fn add(&self, rhs: &Self) -> Self {
-        Self {
-            value_bound: self.value_bound + rhs.value_bound,
-            error_bound: self.error_bound + rhs.error_bound,
-        }
-    }
-
-    /// Budget after multiplying by a plaintext with values bounded by
-    /// `p_bound` (encoding error of the plaintext included).
-    pub fn mul_plain(&self, p_bound: f64, n: usize, delta: f64) -> Self {
-        let encode_err = n as f64 / delta; // rounding of the encoding
-        Self {
-            value_bound: self.value_bound * p_bound,
-            error_bound: self.error_bound * p_bound + self.value_bound * encode_err,
-        }
-    }
-
-    /// Budget after ciphertext × ciphertext multiplication (including
-    /// the relinearization key-switch noise).
-    pub fn mul_ct(&self, rhs: &Self, n: usize, delta: f64) -> Self {
-        let sigma = crate::keys::NOISE_SIGMA;
-        // Cross terms plus the key-switch additive noise (≈ digit
-        // noise divided by P, decoded).
-        let ks_err = 32.0 * sigma * n as f64 / delta;
-        Self {
-            value_bound: self.value_bound * rhs.value_bound,
-            error_bound: self.error_bound * rhs.value_bound
-                + rhs.error_bound * self.value_bound
-                + self.error_bound * rhs.error_bound
-                + ks_err,
-        }
-    }
-
-    /// Budget after a rescale (slot values are scale-invariant; the
-    /// division adds a small rounding term).
-    pub fn rescale(&self, n: usize, new_scale: f64) -> Self {
-        Self {
-            value_bound: self.value_bound,
-            error_bound: self.error_bound + n as f64 / new_scale,
-        }
-    }
-
-    /// Budget after a rotation (pure permutation + key-switch noise).
-    pub fn rotate(&self, n: usize, delta: f64) -> Self {
-        let sigma = crate::keys::NOISE_SIGMA;
-        Self {
-            value_bound: self.value_bound,
-            error_bound: self.error_bound + 32.0 * sigma * n as f64 / delta,
-        }
-    }
-}
+// The transfer functions live in `ufc_isa::noise` so the static noise
+// pass (`ufc-verify`) shares the exact model this crate's tests
+// calibrate against measured error; re-exported here for the runtime
+// callers that grew up with the `ufc_ckks::noise` path.
+pub use ufc_isa::noise::NoiseBudget;
 
 /// Measures the actual slot-domain error of a ciphertext against
 /// reference values (test harness utility).

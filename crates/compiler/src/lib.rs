@@ -32,6 +32,8 @@
 //! assert!(stream.len() > 10); // tensor + key-switch pipeline
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod lower;
 pub mod memory;

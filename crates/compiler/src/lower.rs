@@ -116,6 +116,10 @@ impl Compiler {
             scratchpad_bytes: self.opts.scratchpad_bytes,
             ops,
             spills,
+            noise: ufc_verify::noise_checks::noise_schedule(
+                trace,
+                &ufc_verify::NoiseOptions::default(),
+            ),
         };
         Ok((out, stats))
     }

@@ -50,7 +50,10 @@ pub struct OpKindStat {
 }
 
 /// Everything the compiler can report about one lowering run.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+///
+/// Not `Eq`: the [noise schedule](ufc_verify::NoiseSchedule) rows
+/// carry floating-point precision/margin estimates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CompileStats {
     /// Per-op lowering records, in trace order.
     pub ops: Vec<OpLowering>,
@@ -62,6 +65,10 @@ pub struct CompileStats {
     pub total_hbm_bytes: u64,
     /// Scratchpad capacity used for the spill checks, in bytes.
     pub scratchpad_bytes: u64,
+    /// Static noise schedule of the source trace: per-op CKKS
+    /// precision and TFHE margin estimates from the `ufc-verify`
+    /// abstract interpreter.
+    pub noise: ufc_verify::NoiseSchedule,
 }
 
 impl CompileStats {
@@ -119,6 +126,7 @@ mod tests {
             total_instrs: 502,
             total_hbm_bytes: 4096,
             scratchpad_bytes: 256 << 20,
+            noise: ufc_verify::NoiseSchedule::default(),
         };
         let kinds = stats.by_op_kind();
         assert_eq!(kinds.len(), 2);
@@ -142,9 +150,11 @@ mod tests {
             total_instrs: 1,
             total_hbm_bytes: 0,
             scratchpad_bytes: 4,
+            noise: ufc_verify::NoiseSchedule::default(),
         };
         let v = serde::Serialize::to_value(&stats);
         assert!(v.get("spills").is_some());
+        assert!(v.get("noise").is_some());
         assert_eq!(stats.total_spill_overflow(), 6);
     }
 }

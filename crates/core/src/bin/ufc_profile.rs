@@ -13,6 +13,8 @@
 //! in `ui.perfetto.dev`, and `--json` writes the full serializable
 //! summary.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use ufc_core::{profile_stream, ProfiledRun, Ufc};
 use ufc_isa::serial::{stream_from_text, trace_from_text};
@@ -201,6 +203,56 @@ fn print_report(run: &ProfiledRun, top: usize) {
                 stats.total_spill_overflow()
             );
         }
+        print_noise_schedule(&stats.noise, top);
+    }
+}
+
+/// The static noise schedule: worst-case summary plus the `top`
+/// tightest rows (least CKKS precision, then least TFHE margin).
+fn print_noise_schedule(noise: &ufc_verify::NoiseSchedule, top: usize) {
+    if noise.is_empty() {
+        return;
+    }
+    println!();
+    println!("## noise schedule ({} rows)", noise.entries.len());
+    match noise.min_precision_bits {
+        Some(p) => println!("worst CKKS precision: {p:.1} bits"),
+        None => println!("worst CKKS precision: n/a (no CKKS ops)"),
+    }
+    match noise.min_margin_sigmas {
+        Some(m) => println!("worst TFHE margin: {m:.1} sigma"),
+        None => println!("worst TFHE margin: n/a (no TFHE ops)"),
+    }
+    let mut tight: Vec<&ufc_verify::noise_checks::NoiseScheduleEntry> = noise
+        .entries
+        .iter()
+        .filter(|e| e.precision_bits.is_some() || e.margin_sigmas.is_some())
+        .collect();
+    tight.sort_by(|a, b| {
+        let key = |e: &ufc_verify::noise_checks::NoiseScheduleEntry| {
+            // Rank by whichever slack the row carries; CKKS precision
+            // and TFHE sigma-margin share a "bits of headroom" scale
+            // closely enough for a worst-first listing.
+            e.precision_bits
+                .or(e.margin_sigmas)
+                .unwrap_or(f64::INFINITY)
+        };
+        key(a).total_cmp(&key(b))
+    });
+    println!("| op | level | scale | precision (bits) | margin (sigma) |");
+    println!("|---|---|---|---|---|");
+    for e in tight.iter().take(top) {
+        let fmt_u32 = |v: Option<u32>| v.map_or("-".into(), |x| x.to_string());
+        let fmt_f64 = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1}"));
+        println!(
+            "| {} {} | {} | {} | {} | {} |",
+            e.index,
+            e.op,
+            fmt_u32(e.level),
+            fmt_f64(e.scale_log2),
+            fmt_f64(e.precision_bits),
+            fmt_f64(e.margin_sigmas)
+        );
     }
 }
 

@@ -16,6 +16,8 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod dse;
 pub mod profile;

@@ -108,6 +108,10 @@ pub fn try_compile_with_barriers_stats(
         scratchpad_bytes: opts.scratchpad_bytes,
         ops,
         spills,
+        noise: ufc_verify::noise_checks::noise_schedule(
+            trace,
+            &ufc_verify::NoiseOptions::default(),
+        ),
     };
     Ok((out, stats))
 }
@@ -223,6 +227,9 @@ impl Ufc {
     pub fn run_verified(&self, trace: &Trace) -> Result<SimReport, RunError> {
         let vopts = VerifyOptions {
             scratchpad_bytes: Some(self.config.scratchpad_mib as u64 * 1024 * 1024),
+            // A verified run also refuses workloads whose static noise
+            // schedule predicts decryption failure.
+            noise: Some(ufc_verify::NoiseOptions::default()),
             ..VerifyOptions::default()
         };
         let trace_report = verify_trace(trace, &vopts);

@@ -16,7 +16,10 @@
 //!   key-switching digit counts, ciphertext sizes) that both the
 //!   schemes and the cost models consume.
 
+#![forbid(unsafe_code)]
+
 pub mod instr;
+pub mod noise;
 pub mod params;
 pub mod serial;
 pub mod trace;

@@ -1,0 +1,333 @@
+//! Shared noise models for CKKS and TFHE ciphertexts.
+//!
+//! Both the runtime schemes (`ufc-ckks`, `ufc-tfhe`) and the static
+//! noise pass (`ufc-verify`) need the same answer to "how much error
+//! does this ciphertext carry?". This module is the single home of
+//! those transfer functions, parameterized over the Table III registry
+//! ([`crate::params`]) so the static analysis can reason about traces
+//! it never executes:
+//!
+//! * [`NoiseBudget`] — the CKKS slot-domain state `(value_bound,
+//!   error_bound)`: a conservative upper bound on the message
+//!   magnitude and absolute slot error. Originally developed inside
+//!   `ufc-ckks` and validated there against *measured* decryption
+//!   error; lifted here so the verifier shares the exact model the
+//!   runtime was calibrated with.
+//! * [`LweNoise`] — the TFHE per-sample phase-error variance in raw
+//!   torus units, with transfer functions for gate linear parts,
+//!   key switching and the PBS reset, all derived from the gadget
+//!   parameters of [`crate::params::TfheParams`].
+//!
+//! The constants are deliberately conservative (bounds, not
+//! estimates); `ufc-verify`'s empirical soundness suite pins them
+//! against the real schemes.
+
+use crate::params::TfheParams;
+
+/// Standard deviation of fresh encryption noise, shared by both
+/// schemes (the classic `σ = 3.2` of the FHE literature).
+pub const NOISE_SIGMA: f64 = 3.2;
+
+/// Nominal TFHE ciphertext modulus for static analysis: the runtime
+/// uses a 31-bit NTT-friendly prime (§VII-D), so `2^31` is the right
+/// magnitude for margin computations on registry parameter sets.
+pub const TFHE_Q: f64 = 2147483648.0; // 2^31
+
+// --------------------------------------------------------------- CKKS
+
+/// A conservative estimate of a CKKS ciphertext's slot-domain state:
+/// the largest message magnitude and the error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBudget {
+    /// Upper bound on `|message|` in the slots.
+    pub value_bound: f64,
+    /// Upper bound on the absolute slot error.
+    pub error_bound: f64,
+}
+
+impl NoiseBudget {
+    /// Budget of a fresh encryption of values bounded by `value_bound`
+    /// at scale `delta` in ring dimension `n`.
+    ///
+    /// Fresh noise is `(e0 + e1·s + v·e_pk)` with ternary `s`/`v`:
+    /// coefficient magnitude `O(σ·N)`, decoded to roughly
+    /// `σ·N / Δ` per slot (embedding spreads it by at most `N`).
+    pub fn fresh(value_bound: f64, n: usize, delta: f64) -> Self {
+        Self {
+            value_bound,
+            error_bound: 16.0 * NOISE_SIGMA * n as f64 / delta,
+        }
+    }
+
+    /// Remaining precision in bits (`log2(value/error)`); `None` when
+    /// the error has swallowed the message.
+    pub fn precision_bits(&self) -> Option<f64> {
+        if self.error_bound <= 0.0 {
+            return Some(f64::INFINITY);
+        }
+        let r = self.value_bound / self.error_bound;
+        (r > 1.0).then(|| r.log2())
+    }
+
+    /// Budget after homomorphic addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self {
+            value_bound: self.value_bound + rhs.value_bound,
+            error_bound: self.error_bound + rhs.error_bound,
+        }
+    }
+
+    /// Budget after multiplying by a plaintext with values bounded by
+    /// `p_bound` (encoding error of the plaintext included).
+    pub fn mul_plain(&self, p_bound: f64, n: usize, delta: f64) -> Self {
+        let encode_err = n as f64 / delta; // rounding of the encoding
+        Self {
+            value_bound: self.value_bound * p_bound,
+            error_bound: self.error_bound * p_bound + self.value_bound * encode_err,
+        }
+    }
+
+    /// Budget after ciphertext × ciphertext multiplication (including
+    /// the relinearization key-switch noise).
+    pub fn mul_ct(&self, rhs: &Self, n: usize, delta: f64) -> Self {
+        // Cross terms plus the key-switch additive noise (≈ digit
+        // noise divided by P, decoded).
+        let ks_err = 32.0 * NOISE_SIGMA * n as f64 / delta;
+        Self {
+            value_bound: self.value_bound * rhs.value_bound,
+            error_bound: self.error_bound * rhs.value_bound
+                + rhs.error_bound * self.value_bound
+                + self.error_bound * rhs.error_bound
+                + ks_err,
+        }
+    }
+
+    /// Budget after a rescale (slot values are scale-invariant; the
+    /// division adds a small rounding term).
+    pub fn rescale(&self, n: usize, new_scale: f64) -> Self {
+        Self {
+            value_bound: self.value_bound,
+            error_bound: self.error_bound + n as f64 / new_scale,
+        }
+    }
+
+    /// Budget after a rotation (pure permutation + key-switch noise).
+    pub fn rotate(&self, n: usize, delta: f64) -> Self {
+        Self {
+            value_bound: self.value_bound,
+            error_bound: self.error_bound + 32.0 * NOISE_SIGMA * n as f64 / delta,
+        }
+    }
+
+    /// Budget after a CKKS bootstrap: the modulus chain is refreshed
+    /// and the error is reset to a fresh-encryption bound inflated by
+    /// the EvalMod approximation factor (the sine polynomial is exact
+    /// only to a few fractional bits).
+    pub fn bootstrap(&self, n: usize, delta: f64) -> Self {
+        const EVALMOD_FACTOR: f64 = 64.0;
+        let fresh = Self::fresh(self.value_bound.max(1.0), n, delta);
+        Self {
+            value_bound: fresh.value_bound,
+            error_bound: fresh.error_bound * EVALMOD_FACTOR,
+        }
+    }
+}
+
+// --------------------------------------------------------------- TFHE
+
+/// Per-sample LWE phase-error state in raw torus units (over the
+/// nominal modulus [`TFHE_Q`]): the variance of `phase − encode(m)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LweNoise {
+    /// Variance of the phase error, in (torus units)².
+    pub variance: f64,
+}
+
+impl LweNoise {
+    /// A fresh encryption: variance `σ²`.
+    pub fn fresh() -> Self {
+        Self {
+            variance: NOISE_SIGMA * NOISE_SIGMA,
+        }
+    }
+
+    /// A trivial (noiseless) ciphertext.
+    pub fn trivial() -> Self {
+        Self { variance: 0.0 }
+    }
+
+    /// Standard deviation of the phase error.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// After adding two ciphertexts.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self {
+            variance: self.variance + rhs.variance,
+        }
+    }
+
+    /// After scaling by a small constant `k`.
+    pub fn scale(&self, k: f64) -> Self {
+        Self {
+            variance: k * k * self.variance,
+        }
+    }
+
+    /// Worst-case two-input bootstrapped-gate linear part: the XOR
+    /// family computes `2·(c1 + c2) (+ trivial offset)`, quadrupling
+    /// the summed variance. With both inputs at this state the
+    /// variance grows eightfold.
+    pub fn gate_linear(&self) -> Self {
+        self.add(self).scale(2.0)
+    }
+
+    /// Output noise of a programmable bootstrap — independent of the
+    /// input (provided the input still decodes; check
+    /// [`LweNoise::exceeds_margin`] first). Dominated by the
+    /// blind-rotation external products: `n` CMUXes, each adding
+    /// `2·N·ℓ·(B²/12)·σ²` of gadget noise plus the decomposition
+    /// rounding floor `(1 + N/2)·(q/B^ℓ)²/12`.
+    pub fn pbs_output(p: &TfheParams, q: f64) -> Self {
+        let n = f64::from(p.lwe_dim);
+        let big_n = p.n() as f64;
+        let levels = f64::from(p.glwe_levels);
+        let base = 2f64.powi(p.glwe_log_base as i32);
+        let gadget = 2.0 * big_n * levels * (base * base / 12.0) * NOISE_SIGMA * NOISE_SIGMA;
+        let drop = q / base.powf(levels);
+        let rounding = (1.0 + big_n / 2.0) * drop * drop / 12.0;
+        Self {
+            variance: n * (gadget + rounding),
+        }
+    }
+
+    /// After the LWE key switch back to dimension `n`: gadget noise
+    /// from `N·d_ks` key rows plus the decomposition rounding of the
+    /// `N` input coefficients (binary key, half the bits set).
+    pub fn key_switch(&self, p: &TfheParams, q: f64) -> Self {
+        let big_n = p.n() as f64;
+        let levels = f64::from(p.ks_levels);
+        let base = 2f64.powi(p.ks_log_base as i32);
+        let gadget = big_n * levels * (base * base / 12.0) * NOISE_SIGMA * NOISE_SIGMA;
+        let drop = q / base.powf(levels);
+        let rounding = (big_n / 2.0) * drop * drop / 12.0;
+        Self {
+            variance: self.variance + gadget + rounding,
+        }
+    }
+
+    /// Additional variance from the modulus switch to `2N` performed
+    /// before every blind rotation, expressed back in `q` units.
+    pub fn mod_switch(&self, p: &TfheParams, q: f64) -> Self {
+        let step = q / (2.0 * p.n() as f64);
+        let rounding = (1.0 + f64::from(p.lwe_dim) / 2.0) * step * step / 12.0;
+        Self {
+            variance: self.variance + rounding,
+        }
+    }
+
+    /// Decryption margin for a `space`-message torus encoding: the
+    /// phase may drift `q/(2·space)` before it decodes wrong.
+    pub fn margin(q: f64, space: f64) -> f64 {
+        q / (2.0 * space)
+    }
+
+    /// Whether the 6σ phase-error envelope crosses `margin` — i.e.
+    /// whether decryption (or the sign test feeding a bootstrap) is at
+    /// risk of flipping the message.
+    pub fn exceeds_margin(&self, margin: f64) -> bool {
+        6.0 * self.std_dev() > margin
+    }
+
+    /// How many σ of headroom remain to `margin` (for diagnostics).
+    pub fn margin_sigmas(&self, margin: f64) -> f64 {
+        let sd = self.std_dev();
+        if sd <= 0.0 {
+            return f64::INFINITY;
+        }
+        margin / sd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::tfhe_params;
+
+    #[test]
+    fn ckks_error_grows_monotonically_through_ops() {
+        let n = 64;
+        let delta = 2f64.powi(34);
+        let fresh = NoiseBudget::fresh(1.0, n, delta);
+        let added = fresh.add(&fresh);
+        let mulled = added.mul_ct(&fresh, n, delta);
+        assert!(added.error_bound > fresh.error_bound);
+        assert!(mulled.error_bound > added.error_bound);
+        assert_eq!(mulled.value_bound, 2.0);
+    }
+
+    #[test]
+    fn ckks_precision_bits_reports_exhaustion() {
+        let dead = NoiseBudget {
+            value_bound: 1.0,
+            error_bound: 2.0,
+        };
+        assert!(dead.precision_bits().is_none());
+        let alive = NoiseBudget {
+            value_bound: 1.0,
+            error_bound: 1.0 / 1024.0,
+        };
+        assert!((alive.precision_bits().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ckks_bootstrap_refreshes_a_tired_budget() {
+        let n = 1 << 16;
+        let delta = 2f64.powi(34);
+        let mut b = NoiseBudget::fresh(1.0, n, delta);
+        for _ in 0..40 {
+            b = b.rotate(n, delta);
+        }
+        let refreshed = b.bootstrap(n, delta);
+        assert!(refreshed.error_bound < b.error_bound);
+        assert!(refreshed.precision_bits().unwrap() > 4.0);
+    }
+
+    #[test]
+    fn tfhe_gate_chain_grows_until_pbs_resets() {
+        let t1 = tfhe_params("T1").unwrap();
+        let margin = LweNoise::margin(TFHE_Q, 8.0);
+        // A bootstrapped gate pipeline: PBS output + key switch, one
+        // gate linear part, then the next bootstrap — safely inside
+        // the margin for every Table III set.
+        for id in ["T1", "T2", "T3"] {
+            let p = tfhe_params(id).unwrap();
+            let after_gate = LweNoise::pbs_output(&p, TFHE_Q)
+                .key_switch(&p, TFHE_Q)
+                .gate_linear()
+                .mod_switch(&p, TFHE_Q);
+            assert!(!after_gate.exceeds_margin(margin), "{id} gate at risk");
+        }
+        // A chain of gates with no PBS eventually starves.
+        let mut v = LweNoise::pbs_output(&t1, TFHE_Q).key_switch(&t1, TFHE_Q);
+        let mut gates = 0;
+        while !v.exceeds_margin(margin) {
+            v = v.gate_linear();
+            gates += 1;
+            assert!(gates < 64, "chain never starved");
+        }
+        assert!(gates >= 2, "a single gate must not starve");
+    }
+
+    #[test]
+    fn tfhe_margin_sigmas_orders_states() {
+        let t1 = tfhe_params("T1").unwrap();
+        let margin = LweNoise::margin(TFHE_Q, 8.0);
+        let fresh = LweNoise::fresh();
+        let boot = LweNoise::pbs_output(&t1, TFHE_Q);
+        assert!(fresh.margin_sigmas(margin) > boot.margin_sigmas(margin));
+        assert!(LweNoise::trivial().margin_sigmas(margin).is_infinite());
+        assert!(!fresh.exceeds_margin(margin));
+    }
+}

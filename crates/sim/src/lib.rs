@@ -37,6 +37,8 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod machines;
 pub mod observe;

@@ -19,6 +19,8 @@
 //! * **Hybrid programs** ([`hybrid`]): a driver composing the two with
 //!   per-op tracing, used by the k-NN workload.
 
+#![forbid(unsafe_code)]
+
 pub mod extract;
 pub mod hybrid;
 pub mod repack;

@@ -37,6 +37,8 @@
 //! assert_eq!(cp.segments.iter().map(|s| s.contribution).sum::<u64>(), cp.length);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod jsonl;
 pub mod metrics;
 pub mod perfetto;

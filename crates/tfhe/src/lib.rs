@@ -25,6 +25,8 @@
 //! (`n = 64, N = 256`); the workload generators use Table III's T1–T4
 //! sets analytically.
 
+#![forbid(unsafe_code)]
+
 pub mod bootstrap;
 pub mod circuits;
 pub mod context;

@@ -9,16 +9,22 @@
 //!                          enable target-specific checks (default: any)
 //!   --scratchpad-mib N     scratchpad capacity for the liveness sweep
 //!                          (default: 256, the UfcConfig default)
+//!   --noise                run the noise/scale abstract interpreter
+//!   --params IDS           parameter sets for the noise pass, e.g.
+//!                          "C1,T2" (implies --noise)
 //!   --deny-warnings        treat warnings as fatal
 //!   -h, --help             this text
 //! ```
 //!
 //! Exit codes: 0 = clean (or info only), 1 = findings at the fatal
-//! threshold, 2 = usage or I/O or parse failure.
+//! threshold (errors or decryption risks), 2 = usage or I/O or parse
+//! failure.
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
-use ufc_verify::{verify_text, Target, VerifyOptions};
+use ufc_verify::{verify_text, NoiseOptions, Target, VerifyOptions};
 
 const USAGE: &str = "\
 usage: ufc-lint [OPTIONS] FILE...
@@ -30,6 +36,11 @@ options:
   --json                emit diagnostics as JSON (one object per file)
   --target TARGET       any | ufc | composed   (default: any)
   --scratchpad-mib N    scratchpad capacity in MiB (default: 256)
+  --noise               run the noise/scale abstract interpreter
+  --params IDS          comma-separated parameter sets for the noise
+                        pass (C1..C3, T1..T4), e.g. \"C1,T2\"; used
+                        when the artifact does not declare its own
+                        (implies --noise)
   --deny-warnings       non-zero exit on warnings, not just errors
   -h, --help            show this help
 ";
@@ -39,7 +50,25 @@ struct Args {
     json: bool,
     target: Target,
     scratchpad_mib: Option<u64>,
+    noise: Option<NoiseOptions>,
     deny_warnings: bool,
+}
+
+/// Parses a `--params` value ("C1,T2") into noise-pass overrides.
+fn parse_params(v: &str, base: NoiseOptions) -> Result<NoiseOptions, ArgError> {
+    let mut opts = base;
+    for id in v.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if let Some(p) = ufc_isa::params::ckks_params(id) {
+            opts.ckks = Some(p);
+        } else if let Some(p) = ufc_isa::params::tfhe_params(id) {
+            opts.tfhe = Some(p);
+        } else {
+            return Err(ArgError::Bad(format!(
+                "unknown parameter set `{id}` (C1..C3, T1..T4)"
+            )));
+        }
+    }
+    Ok(opts)
 }
 
 enum ArgError {
@@ -53,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, ArgError> {
         json: false,
         target: Target::Any,
         scratchpad_mib: None,
+        noise: None,
         deny_warnings: false,
     };
     let mut it = argv.iter();
@@ -61,6 +91,16 @@ fn parse_args(argv: &[String]) -> Result<Args, ArgError> {
             "-h" | "--help" => return Err(ArgError::Help),
             "--json" => args.json = true,
             "--deny-warnings" => args.deny_warnings = true,
+            "--noise" => {
+                args.noise.get_or_insert_with(NoiseOptions::default);
+            }
+            "--params" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError::Bad("--params needs a value".into()))?;
+                let base = args.noise.unwrap_or_default();
+                args.noise = Some(parse_params(v, base)?);
+            }
             "--target" => {
                 let v = it
                     .next()
@@ -108,6 +148,7 @@ fn main() -> ExitCode {
     let opts = VerifyOptions {
         target: args.target,
         scratchpad_bytes: args.scratchpad_mib.map(|m| m << 20),
+        noise: args.noise,
     };
 
     let mut fatal = false;
@@ -129,8 +170,9 @@ fn main() -> ExitCode {
                 }
                 if args.json {
                     json_files.push(format!(
-                        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
+                        "{{\"file\":\"{}\",\"risks\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":{}}}",
                         ufc_verify::diag::json_escape(file),
+                        report.risk_count(),
                         report.error_count(),
                         report.warning_count(),
                         report.to_json()
@@ -189,6 +231,27 @@ mod tests {
         assert_eq!(a.target, Target::Ufc);
         assert_eq!(a.scratchpad_mib, Some(64));
         assert_eq!(a.files, vec!["x.trace", "y.stream"]);
+    }
+
+    #[test]
+    fn parses_noise_flags() {
+        let a = parse_args(&argv(&["--noise", "x.trace"])).unwrap_or_else(|_| panic!("parse"));
+        assert_eq!(a.noise, Some(NoiseOptions::default()));
+
+        let a = parse_args(&argv(&["--params", "C2,T3", "x.trace"]))
+            .unwrap_or_else(|_| panic!("parse"));
+        let n = a.noise.expect("--params implies --noise");
+        assert_eq!(n.ckks.unwrap().id, "C2");
+        assert_eq!(n.tfhe.unwrap().id, "T3");
+
+        assert!(matches!(
+            parse_args(&argv(&["--params", "C9", "x.trace"])),
+            Err(ArgError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv(&["--params"])),
+            Err(ArgError::Bad(_))
+        ));
     }
 
     #[test]

@@ -11,16 +11,29 @@ pub enum Severity {
     /// Invalid: the stream/trace violates a hard invariant; any
     /// simulation result derived from it is untrustworthy.
     Error,
+    /// The noise model predicts the program decrypts garbage: the
+    /// worst a static finding can get. Ranks above [`Severity::Error`]
+    /// and is fatal everywhere errors are (`ufc-lint` exits non-zero,
+    /// verified runs abort).
+    DecryptionRisk,
 }
 
 impl Severity {
-    /// Lower-case display name (`error`, `warning`, `info`).
+    /// Lower-case display name (`decryption-risk`, `error`,
+    /// `warning`, `info`).
     pub fn name(&self) -> &'static str {
         match self {
             Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
+            Severity::DecryptionRisk => "decryption-risk",
         }
+    }
+
+    /// Whether findings at this severity invalidate the artifact
+    /// (error or worse).
+    pub fn is_fatal(&self) -> bool {
+        *self >= Severity::Error
     }
 }
 
@@ -117,6 +130,11 @@ impl Report {
         self.count(Severity::Error)
     }
 
+    /// Number of decryption-risk findings.
+    pub fn risk_count(&self) -> usize {
+        self.count(Severity::DecryptionRisk)
+    }
+
     /// Number of warning-severity findings.
     pub fn warning_count(&self) -> usize {
         self.count(Severity::Warning)
@@ -130,9 +148,9 @@ impl Report {
             .count()
     }
 
-    /// Whether any error-severity finding exists.
+    /// Whether any fatal finding (error severity or worse) exists.
     pub fn has_errors(&self) -> bool {
-        self.error_count() > 0
+        self.diagnostics.iter().any(|d| d.severity.is_fatal())
     }
 
     /// Whether the report is completely clean.
@@ -185,6 +203,9 @@ impl std::fmt::Display for Report {
         for d in self.diagnostics() {
             writeln!(f, "{d}")?;
         }
+        if self.risk_count() > 0 {
+            write!(f, "{} decryption risk(s), ", self.risk_count())?;
+        }
         write!(
             f,
             "{} error(s), {} warning(s), {} info",
@@ -217,9 +238,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn severity_orders_errors_highest() {
+    fn severity_orders_risks_highest() {
+        assert!(Severity::DecryptionRisk > Severity::Error);
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+        assert!(Severity::DecryptionRisk.is_fatal());
+        assert!(Severity::Error.is_fatal());
+        assert!(!Severity::Warning.is_fatal());
+    }
+
+    #[test]
+    fn decryption_risk_counts_as_fatal() {
+        let mut r = Report::new();
+        r.push(Severity::DecryptionRisk, "noise/x", Location::Op(0), "bad");
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(r.risk_count(), 1);
+        assert_eq!(r.diagnostics()[0].severity.name(), "decryption-risk");
+        let s = r.to_string();
+        assert!(s.contains("1 decryption risk(s)"), "{s}");
     }
 
     #[test]

@@ -24,11 +24,15 @@
 //! `ufc-lint` CLI, the `--verify` pre-pass in `ufc-sim`/`ufc-core`,
 //! and post-lowering assertions in `ufc-compiler`.
 
+#![forbid(unsafe_code)]
+
 pub mod diag;
+pub mod noise_checks;
 pub mod stream_checks;
 pub mod trace_checks;
 
 pub use diag::{Diagnostic, Location, Report, Severity};
+pub use noise_checks::{NoiseOptions, NoiseSchedule};
 
 use ufc_isa::instr::InstrStream;
 use ufc_isa::serial::{self, ParseError};
@@ -66,13 +70,16 @@ impl Target {
 }
 
 /// Knobs for a verification run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VerifyOptions {
     /// Target machine for target-specific checks.
     pub target: Target,
     /// Scratchpad capacity for the liveness sweep;
     /// [`DEFAULT_SCRATCHPAD_BYTES`] when `None`.
     pub scratchpad_bytes: Option<u64>,
+    /// Run the noise/scale abstract interpreter with these knobs;
+    /// `None` skips the noise pass entirely.
+    pub noise: Option<NoiseOptions>,
 }
 
 impl VerifyOptions {
@@ -80,8 +87,14 @@ impl VerifyOptions {
     pub fn for_target(target: Target) -> Self {
         Self {
             target,
-            scratchpad_bytes: None,
+            ..Self::default()
         }
+    }
+
+    /// The same options with the noise pass enabled at its defaults.
+    pub fn with_noise(mut self) -> Self {
+        self.noise = Some(NoiseOptions::default());
+        self
     }
 
     /// The effective scratchpad capacity in bytes.
@@ -92,12 +105,20 @@ impl VerifyOptions {
 
 /// Verifies a ciphertext-granularity trace.
 pub fn verify_trace(trace: &Trace, opts: &VerifyOptions) -> Report {
-    trace_checks::check_trace(trace, opts)
+    let mut report = trace_checks::check_trace(trace, opts);
+    if let Some(noise) = &opts.noise {
+        noise_checks::check_trace_noise(trace, noise, &mut report);
+    }
+    report
 }
 
 /// Verifies a lowered instruction stream.
 pub fn verify_stream(stream: &InstrStream, opts: &VerifyOptions) -> Report {
-    stream_checks::check_stream(stream, opts)
+    let mut report = stream_checks::check_stream(stream, opts);
+    if let Some(noise) = &opts.noise {
+        noise_checks::check_stream_noise(stream, noise, &mut report);
+    }
+    report
 }
 
 /// What a serialized artifact turned out to contain.

@@ -172,6 +172,59 @@ const SEEDED: &[(&str, &str, Severity, Target)] = &[
     ),
 ];
 
+/// Seeded noise-violation fixtures, `(file, code, top severity)`.
+/// These require the noise pass (`--noise`), so they get their own
+/// table with noise-enabled options rather than riding in `SEEDED`.
+const SEEDED_NOISE: &[(&str, &str, Severity)] = &[
+    (
+        "noise_scale_overflow.trace",
+        "noise/scale-overflow",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_skipped_rescale.trace",
+        "noise/skipped-rescale",
+        Severity::Warning,
+    ),
+    (
+        "noise_redundant_rescale.trace",
+        "noise/redundant-rescale",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_bootstrap_too_late.trace",
+        "noise/bootstrap-too-late",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_missing_bootstrap.trace",
+        "noise/missing-bootstrap",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_pbs_starved.trace",
+        "noise/pbs-starved",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_pbs_starved.stream",
+        "noise/stream-pbs-starved",
+        Severity::DecryptionRisk,
+    ),
+    (
+        "noise_rescale_budget.stream",
+        "noise/stream-rescale-budget-exceeded",
+        Severity::Error,
+    ),
+];
+
+fn noise_options() -> VerifyOptions {
+    VerifyOptions {
+        noise: Some(ufc_verify::NoiseOptions::default()),
+        ..VerifyOptions::default()
+    }
+}
+
 #[test]
 fn every_seeded_fixture_triggers_its_code() {
     for &(file, code, severity, target) in SEEDED {
@@ -191,6 +244,57 @@ fn every_seeded_fixture_triggers_its_code() {
 }
 
 #[test]
+fn every_seeded_noise_fixture_triggers_its_code() {
+    for &(file, code, severity) in SEEDED_NOISE {
+        let (_, report) =
+            verify_text(&fixture(file), &noise_options()).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(
+            report.has_code(code),
+            "{file}: expected {code}, got:\n{report}"
+        );
+        let top = report
+            .diagnostics()
+            .first()
+            .unwrap_or_else(|| panic!("{file}: empty report"))
+            .severity;
+        assert_eq!(top, severity, "{file}: top severity mismatch:\n{report}");
+    }
+}
+
+#[test]
+fn noise_fixtures_are_silent_without_the_noise_pass() {
+    // The noise pass is opt-in: with `noise: None` the seeded noise
+    // fixtures must not emit any `noise/*` diagnostic (structural
+    // checks may still warn, e.g. a trace that never repacks).
+    for &(file, _, _) in SEEDED_NOISE {
+        let (_, report) = verify_text(&fixture(file), &VerifyOptions::default()).unwrap();
+        for d in report.diagnostics() {
+            assert!(
+                !d.code.starts_with("noise/"),
+                "{file}: {} fired without the noise pass",
+                d.code
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_stay_clean_under_the_noise_pass() {
+    for file in [
+        "clean.trace",
+        "clean.stream",
+        "clean_composed.trace",
+        "clean_noise_pipeline.trace",
+    ] {
+        let (_, report) = verify_text(&fixture(file), &noise_options()).unwrap();
+        assert!(
+            report.is_clean(),
+            "{file} should be clean under --noise:\n{report}"
+        );
+    }
+}
+
+#[test]
 fn seeded_fixture_codes_are_exhaustive_and_unique() {
     // One fixture per check code: a new check without a fixture (or a
     // renamed code) must show up here.
@@ -200,6 +304,16 @@ fn seeded_fixture_codes_are_exhaustive_and_unique() {
     codes.dedup();
     assert_eq!(n, codes.len(), "duplicate code in the fixture table");
     assert_eq!(n, 25, "fixture table out of sync with the check inventory");
+
+    let mut noise_codes: Vec<&str> = SEEDED_NOISE.iter().map(|&(_, c, _)| c).collect();
+    noise_codes.sort_unstable();
+    let n = noise_codes.len();
+    noise_codes.dedup();
+    assert_eq!(n, noise_codes.len(), "duplicate code in the noise table");
+    assert_eq!(
+        n, 8,
+        "noise table out of sync with the noise-check inventory"
+    );
 }
 
 #[test]
@@ -295,6 +409,25 @@ fn lint_cli_target_gates_transfer_fixtures() {
     let (code, out) = lint(&["--target", "ufc", "transfer_on_unified.stream"]);
     assert_eq!(code, 1, "stdout:\n{out}");
     assert!(out.contains("stream/transfer-on-unified"), "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_noise_flag_fails_on_decryption_risk() {
+    // Without --noise the fixture is structurally fine...
+    let (code, out) = lint(&["noise_redundant_rescale.trace"]);
+    assert_eq!(code, 0, "stdout:\n{out}");
+    // ...with it, the decryption risk makes the exit code non-zero.
+    let (code, out) = lint(&["--noise", "noise_redundant_rescale.trace"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("noise/redundant-rescale"), "stdout:\n{out}");
+    assert!(out.contains("noise/decryption-risk"), "stdout:\n{out}");
+}
+
+#[test]
+fn lint_cli_params_flag_implies_noise() {
+    let (code, out) = lint(&["--params", "C1,T1", "noise_pbs_starved.trace"]);
+    assert_eq!(code, 1, "stdout:\n{out}");
+    assert!(out.contains("noise/pbs-starved"), "stdout:\n{out}");
 }
 
 #[test]

@@ -26,6 +26,8 @@
 //! assert_eq!(trace.ckks_params, Some("C1"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod ckks_bootstrap;
 pub mod helr;

@@ -14,6 +14,8 @@
 //!   validate the report shape (experiment tag, numeric headline
 //!   speedup, non-empty tables).
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
@@ -29,12 +31,15 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("fixtures") => fixtures(),
+        Some("unsafe-surface") => unsafe_surface(),
         Some("profile-smoke") => profile_smoke(),
         Some("bench-math") => bench_math(args.iter().any(|a| a == "--quick")),
         Some("-h") | Some("--help") | None => {
-            eprintln!("usage: cargo xtask <lint|fixtures|profile-smoke|bench-math>");
-            eprintln!("  lint           fmt --check + clippy -D warnings + fixture sweep");
+            eprintln!("usage: cargo xtask <lint|fixtures|unsafe-surface|profile-smoke|bench-math>");
+            eprintln!("  lint           fmt --check + clippy -D warnings + unsafe surface");
+            eprintln!("                 + fixture sweep");
             eprintln!("  fixtures       run ufc-lint over crates/verify/tests/fixtures");
+            eprintln!("  unsafe-surface assert `unsafe` appears only in crates/math/src/simd.rs");
             eprintln!("  profile-smoke  run ufc-profile on the hybrid-kNN fixture and");
             eprintln!("                 validate its Perfetto export");
             eprintln!("  bench-math     run the math micro-benchmarks, write and validate");
@@ -91,7 +96,102 @@ fn lint() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if unsafe_surface() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
     fixtures()
+}
+
+/// Source files allowed to contain the `unsafe` keyword, relative to
+/// the workspace root. Everything else under `crates/*/src` must be
+/// unsafe-free (and is compiled under `forbid(unsafe_code)` /
+/// `deny(unsafe_code)` to match).
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/math/src/simd.rs"];
+
+/// Scans the workspace for the `unsafe` keyword outside the sanctioned
+/// surface. Line comments are stripped first so prose about safety
+/// does not trip the scan; `unsafe_code` (the lint name inside
+/// `forbid`/`deny`/`allow` attributes) is not a match because the
+/// token boundary check requires a non-identifier character after
+/// `unsafe`.
+fn unsafe_surface() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for crate_dir in std::fs::read_dir(root.join("crates"))
+        .into_iter()
+        .flatten()
+        .filter_map(std::result::Result::ok)
+    {
+        collect_rs_files(&crate_dir.path().join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if UNSAFE_ALLOWLIST.contains(&rel.as_str()) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or(line);
+            if has_unsafe_token(code) {
+                eprintln!(
+                    "xtask lint: `unsafe` outside the sanctioned surface: {rel}:{}",
+                    lineno + 1
+                );
+                violations += 1;
+            }
+        }
+    }
+    if violations == 0 {
+        println!(
+            "unsafe surface ok: {} files scanned, unsafe confined to {:?}",
+            files.len(),
+            UNSAFE_ALLOWLIST
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Whether `code` contains `unsafe` as a standalone token (not part of
+/// a longer identifier such as `unsafe_code`).
+fn has_unsafe_token(code: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0 || !rest[..pos].chars().next_back().is_some_and(ident);
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = !after.chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+/// Recursively collects `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(std::result::Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
 }
 
 fn fixtures() -> ExitCode {
@@ -120,12 +220,18 @@ fn fixtures() -> ExitCode {
         // Clean fixtures must verify clean; seeded fixtures must
         // produce at least one diagnostic. The transfer fixtures are
         // target-gated: clean by default, flagged under `--target ufc`.
+        // The noise fixtures (and the noise-clean pipeline) run under
+        // `--noise` — their violations only exist to the noise pass.
         let target_ufc = name.contains("on_unified") || name == "clean_composed.trace";
+        let noise = name.contains("noise");
         let expect_clean = name.starts_with("clean") && !target_ufc;
         let mut cmd = Command::new(&lint_bin);
         cmd.current_dir(&dir).arg("--json");
         if target_ufc {
             cmd.args(["--target", "ufc"]);
+        }
+        if noise {
+            cmd.arg("--noise");
         }
         let out = match cmd.arg(name).output() {
             Ok(out) => out,

@@ -464,6 +464,57 @@ fn main() {
         println!("| {threads} | {:.1} |", t / 1e3);
     }
 
+    // ------------------------------------------- disabled-trace cost
+    // Every NTT entry point now opens a `ufc_trace` span. With no
+    // recorder live that site must be free (one relaxed atomic load):
+    // compare the instrumented dispatch (`forward`) against the raw
+    // kernel path (`forward_with`, no span site) at the smallest
+    // benched size, where fixed per-call costs are largest relative
+    // to the transform.
+    println!("\n## Disabled-recorder tracing overhead\n");
+    println!("| N | fwd instrumented (µs) | fwd raw (µs) | overhead (%) |");
+    println!("|---|---|---|---|");
+    let overhead_table = json.table(
+        "trace_overhead",
+        &["n", "instrumented_ns", "raw_ns", "overhead_pct"],
+    );
+    let mut worst_overhead_pct = 0.0f64;
+    for &n in &sizes {
+        assert!(
+            !ufc_trace::enabled(),
+            "recorder must be off for the overhead bench"
+        );
+        let q = generate_ntt_prime(n, 60).expect("60-bit NTT prime");
+        let ctx = NttContext::new(n, q);
+        let r = reps(n).max(64);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut buf = data.clone();
+        let instrumented = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward(&mut buf);
+        });
+        let raw = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(ctx.kernel(), &mut buf);
+        });
+        // Best-of-reps jitter can make either side "win"; clamp at 0.
+        let pct = ((instrumented - raw) / raw * 100.0).max(0.0);
+        worst_overhead_pct = worst_overhead_pct.max(pct);
+        overhead_table.push(vec![
+            cell(n as u64),
+            cell(instrumented),
+            cell(raw),
+            cell(pct),
+        ]);
+        println!(
+            "| {n} | {:.2} | {:.2} | {:.2} |",
+            instrumented / 1e3,
+            raw / 1e3,
+            pct
+        );
+    }
+    println!("\nworst disabled-recorder overhead: {worst_overhead_pct:.2}% (budget: < 2%)");
+
     // ------------------------------------------------ host context
     // The lazy/seed ratio is bounded by how fast the host retires the
     // seed kernel's 128-by-64-bit `%` (hardware division): record both
@@ -511,6 +562,9 @@ fn main() {
     struct Host {
         available_parallelism: u64,
         avx2: bool,
+        ntt_kernel: String,
+        par_threads: u64,
+        trace_overhead_pct: f64,
         mul_mod_ns: f64,
         mul_shoup_lazy_ns: f64,
         simd_note: String,
@@ -536,6 +590,13 @@ fn main() {
         host: Host {
             available_parallelism: cores as u64,
             avx2,
+            // The kernel generation the dispatcher actually picks at
+            // the largest benched size (env override included).
+            ntt_kernel: NttKernel::select(*sizes.last().expect("sizes nonempty"))
+                .name()
+                .to_owned(),
+            par_threads: ufc_math::par::effective_threads() as u64,
+            trace_overhead_pct: worst_overhead_pct,
             mul_mod_ns,
             mul_shoup_lazy_ns: mul_shoup_ns,
             simd_note: "AVX2 has no 64-bit vector multiply (vpmullq is AVX-512), so each \

@@ -73,6 +73,7 @@ impl Evaluator {
     /// Encodes real slot values into a plaintext RNS polynomial at
     /// `level` (evaluation form), at the context scale.
     pub fn encode_real(&self, values: &[f64], level: usize) -> RnsPoly {
+        let _span = ufc_trace::span("ckks", "encode");
         let coeffs = self.encoder.encode_real(values);
         RnsPoly::from_signed(&self.ctx, &coeffs, level + 1).to_eval(&self.ctx)
     }
@@ -97,6 +98,7 @@ impl Evaluator {
         level: usize,
         rng: &mut R,
     ) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "encrypt");
         let n = self.ctx.n();
         let v_signed: Vec<i64> = {
             let t = ternary_poly(rng, n, 3);
@@ -136,6 +138,7 @@ impl Evaluator {
     /// Decrypts to centered coefficients (exact CRT over up to three
     /// limbs — ample for test-scale messages).
     pub fn decrypt_coeffs(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<i64> {
+        let _span = ufc_trace::span("ckks", "decrypt");
         let s = sk.rns_eval(&self.ctx, ct.limb_count());
         let mut m = ct.c1.mul(&s);
         m.add_assign(&ct.c0);
@@ -170,6 +173,7 @@ impl Evaluator {
     ///
     /// Panics if scales differ by more than 0.5 %.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "add");
         let level = a.level.min(b.level);
         let (mut a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
         assert!(
@@ -188,6 +192,7 @@ impl Evaluator {
 
     /// Homomorphic subtraction.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "sub");
         let level = a.level.min(b.level);
         let (mut a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
         self.record(TraceOp::CkksAdd {
@@ -201,6 +206,7 @@ impl Evaluator {
     /// Ciphertext × plaintext multiplication (plaintext in evaluation
     /// form at the same level, encoded at the context scale).
     pub fn mul_plain(&self, a: &Ciphertext, pt: &RnsPoly) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "mul_plain");
         assert_eq!(pt.limb_count(), a.limb_count(), "plaintext level mismatch");
         self.record(TraceOp::CkksMulPlain {
             level: a.level as u32,
@@ -229,6 +235,7 @@ impl Evaluator {
 
     /// Homomorphic ciphertext multiplication with relinearization.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "mul");
         let level = a.level.min(b.level);
         let (a, b) = (self.drop_to_level(a, level), self.drop_to_level(b, level));
         self.record(TraceOp::CkksMulCt {
@@ -247,6 +254,7 @@ impl Evaluator {
 
     /// Rescale: divide by the last limb's modulus, dropping one level.
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "rescale");
         assert!(a.level > 0, "no levels left to rescale");
         self.record(TraceOp::CkksRescale {
             level: a.level as u32,
@@ -268,6 +276,7 @@ impl Evaluator {
     ///
     /// Panics if the rotation key was not generated.
     pub fn rotate(&self, a: &Ciphertext, step: isize, keys: &KeySet) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "rotate");
         if step == 0 {
             return self.drop_to_level(a, a.level);
         }
@@ -284,6 +293,7 @@ impl Evaluator {
 
     /// Homomorphic complex conjugation.
     pub fn conjugate(&self, a: &Ciphertext, keys: &KeySet) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "conjugate");
         let k = 2 * self.ctx.n() - 1;
         self.record(TraceOp::CkksConjugate {
             level: a.level as u32,
@@ -366,6 +376,7 @@ impl Evaluator {
     /// digit is assembled directly into a flat limb-major buffer and
     /// MAC-accumulated in place — no per-digit limb vectors.
     pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey, level: usize) -> (RnsPoly, RnsPoly) {
+        let _span = ufc_trace::span_n("ckks", "key_switch", level as u64);
         let ctx = &self.ctx;
         let active = level + 1;
         let n = ctx.n();
@@ -444,6 +455,31 @@ impl Evaluator {
         x.scale_limbs_assign(&p_inv);
         x.to_eval_mut(ctx);
         x
+    }
+
+    /// Decrypts `ct` and measures the achieved precision against the
+    /// known plaintext `reference`: `-log2(max slot error)`, in bits.
+    ///
+    /// When the runtime recorder is live the result is also emitted
+    /// as the `ckks/measured_precision_bits` gauge — the empirical
+    /// side of the noise "headroom drift" metric (the static side is
+    /// `ufc-verify`'s `NoiseSchedule` lower bound).
+    pub fn measured_precision_bits(
+        &self,
+        ct: &Ciphertext,
+        sk: &SecretKey,
+        reference: &[f64],
+    ) -> f64 {
+        let got = self.decrypt_real(ct, sk);
+        let max_err = got
+            .iter()
+            .zip(reference)
+            .map(|(g, r)| (g - r).abs())
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let bits = -max_err.log2();
+        ufc_trace::gauge("ckks/measured_precision_bits", bits);
+        bits
     }
 }
 

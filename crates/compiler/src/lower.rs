@@ -90,36 +90,44 @@ impl Compiler {
         &self,
         trace: &Trace,
     ) -> Result<(InstrStream, CompileStats), CompileError> {
+        let _span = ufc_trace::span_n("compiler", "compile", trace.len() as u64);
         let mut out = InstrStream::new();
         let mut ops = Vec::with_capacity(trace.len());
         let mut spills = Vec::new();
-        for (index, op) in trace.ops.iter().enumerate() {
-            let block = self.try_lower_op(op)?;
-            ops.push(OpLowering {
-                index,
-                op: op.name().to_owned(),
-                instrs: block.len(),
-                hbm_bytes: block.total_hbm_bytes(),
-            });
-            if let Some(ev) = self.spill_event(index, op) {
-                spills.push(ev);
+        {
+            let _lower = ufc_trace::span("compiler", "lower");
+            for (index, op) in trace.ops.iter().enumerate() {
+                let block = self.try_lower_op(op)?;
+                ops.push(OpLowering {
+                    index,
+                    op: op.name().to_owned(),
+                    instrs: block.len(),
+                    hbm_bytes: block.total_hbm_bytes(),
+                });
+                if let Some(ev) = self.spill_event(index, op) {
+                    spills.push(ev);
+                }
+                out.append(block, &[]);
             }
-            out.append(block, &[]);
         }
-        let report = verify_stream(&out, &VerifyOptions::default());
+        let report = {
+            let _verify = ufc_trace::span_n("compiler", "verify_stream", out.len() as u64);
+            verify_stream(&out, &VerifyOptions::default())
+        };
         if report.has_errors() {
             return Err(CompileError::PostCondition(report));
         }
+        let noise = {
+            let _noise = ufc_trace::span_n("compiler", "noise_pass", trace.len() as u64);
+            ufc_verify::noise_checks::noise_schedule(trace, &ufc_verify::NoiseOptions::default())
+        };
         let stats = CompileStats {
             total_instrs: out.len(),
             total_hbm_bytes: out.total_hbm_bytes(),
             scratchpad_bytes: self.opts.scratchpad_bytes,
             ops,
             spills,
-            noise: ufc_verify::noise_checks::noise_schedule(
-                trace,
-                &ufc_verify::NoiseOptions::default(),
-            ),
+            noise,
         };
         Ok((out, stats))
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! ufc-profile <input> [--machine ufc|sharp|strix|composed]
 //!             [--perfetto <path>] [--json <path>] [--top N]
+//!             [--host] [--jsonl <path>]
 //! ```
 //!
 //! The input is the native text form (`ufc_isa::serial`): a `# ufc
@@ -12,17 +13,28 @@
 //! `--perfetto` additionally writes a Chrome-trace JSON file openable
 //! in `ui.perfetto.dev`, and `--json` writes the full serializable
 //! summary.
+//!
+//! `--host` additionally runs the real hybrid k-NN pipeline on the
+//! host evaluator stack with the `ufc-trace` recorder live and
+//! reports what it saw: a top-spans table, per-NTT-kernel latency
+//! histograms, and the measured-vs-static noise headroom drift. With
+//! `--host`, `--perfetto` writes a *merged* trace (simulator timeline
+//! and host spans as separate labelled processes), `--jsonl` dumps
+//! the raw host spans as JSON lines, and `--json` gains a `host`
+//! block with the folded metrics registry.
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
-use ufc_core::{profile_stream, ProfiledRun, Ufc};
+use ufc_core::{profile_host, profile_stream, HostProfile, ProfiledRun, Ufc};
 use ufc_isa::serial::{stream_from_text, trace_from_text};
 use ufc_sim::machines::{ComposedMachine, Machine, SharpMachine, StrixMachine, UfcMachine};
+use ufc_telemetry::host::SpanAgg;
+use ufc_workloads::host::HostRunConfig;
 
 fn usage() -> String {
     "usage: ufc-profile <input> [--machine ufc|sharp|strix|composed] \
-     [--perfetto <path>] [--json <path>] [--top N]"
+     [--perfetto <path>] [--json <path>] [--top N] [--host] [--jsonl <path>]"
         .to_owned()
 }
 
@@ -32,6 +44,8 @@ struct Args {
     perfetto: Option<String>,
     json: Option<String>,
     top: usize,
+    host: bool,
+    jsonl: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -40,6 +54,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut perfetto = None;
     let mut json = None;
     let mut top = 8usize;
+    let mut host = false;
+    let mut jsonl = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut flag_value = |name: &str| {
@@ -51,6 +67,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--machine" => machine = flag_value("--machine")?,
             "--perfetto" => perfetto = Some(flag_value("--perfetto")?),
             "--json" => json = Some(flag_value("--json")?),
+            "--jsonl" => jsonl = Some(flag_value("--jsonl")?),
+            "--host" => host = true,
             "--top" => {
                 top = flag_value("--top")?
                     .parse()
@@ -67,12 +85,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
         }
     }
+    if jsonl.is_some() && !host {
+        return Err(format!("--jsonl requires --host\n{}", usage()));
+    }
     Ok(Args {
         input: input.ok_or_else(usage)?,
         machine,
         perfetto,
         json,
         top,
+        host,
+        jsonl,
     })
 }
 
@@ -256,6 +279,63 @@ fn print_noise_schedule(noise: &ufc_verify::NoiseSchedule, top: usize) {
     }
 }
 
+fn span_row(a: &SpanAgg) {
+    println!(
+        "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} |",
+        a.key,
+        a.count,
+        a.total_ns as f64 / 1e3,
+        a.mean_ns / 1e3,
+        a.p99_ns as f64 / 1e3,
+        a.max_ns as f64 / 1e3
+    );
+}
+
+/// The host-recording sections: top spans, per-kernel histograms,
+/// noise headroom drift, and the remaining gauges.
+fn print_host_report(profile: &HostProfile, top: usize) {
+    let r = &profile.report;
+    println!();
+    println!(
+        "## host top spans ({} span kinds, {} thread(s), wall {:.3} ms)",
+        r.spans.len(),
+        r.threads,
+        r.wall_ns as f64 / 1e6
+    );
+    println!("| span | count | total µs | mean µs | p99 µs | max µs |");
+    println!("|---|---|---|---|---|---|");
+    for a in r.spans.iter().take(top) {
+        span_row(a);
+    }
+    if !r.kernels.is_empty() {
+        println!();
+        println!("## host kernel histograms (tagged spans)");
+        println!("| span | count | total µs | mean µs | p99 µs | max µs |");
+        println!("|---|---|---|---|---|---|");
+        for a in r.kernels.iter().take(top) {
+            span_row(a);
+        }
+    }
+    println!();
+    println!("## noise headroom");
+    match &profile.noise_drift {
+        Some(d) => {
+            println!("measured precision: {:.1} bits", d.measured_bits);
+            println!("static schedule bound: {:.1} bits", d.static_bound_bits);
+            println!("headroom drift: {:+.1} bits", d.drift_bits);
+        }
+        None => println!("n/a (no CKKS ops in the host trace)"),
+    }
+    for (name, value) in &r.gauges {
+        if name != "ckks/measured_precision_bits" {
+            println!("gauge {name}: {value:.3}");
+        }
+    }
+    if !profile.run.all_correct() {
+        println!("WARNING: host pipeline outputs disagreed with plaintext expectations");
+    }
+}
+
 fn main() -> ExitCode {
     // Validate the kernel override once, up front: inside the run the
     // library would only warn and fall back, and a profiling session
@@ -280,18 +360,62 @@ fn main() -> ExitCode {
         }
     };
     print_report(&run, args.top);
+    let host = if args.host {
+        match profile_host(&HostRunConfig::default()) {
+            Ok(p) => {
+                print_host_report(&p, args.top);
+                Some(p)
+            }
+            Err(msg) => {
+                eprintln!("ufc-profile: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     if let Some(path) = &args.perfetto {
-        if let Err(e) = std::fs::write(path, run.perfetto_json()) {
+        let trace_json = match &host {
+            Some(p) => ufc_telemetry::perfetto::merged_to_value(Some(&run.timeline), &p.host_trace)
+                .to_json(),
+            None => run.perfetto_json(),
+        };
+        if let Err(e) = std::fs::write(path, trace_json) {
             eprintln!("ufc-profile: {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!();
-        println!("perfetto trace written to {path} (open in ui.perfetto.dev)");
+        let merged = if host.is_some() {
+            "merged sim+host "
+        } else {
+            ""
+        };
+        println!("{merged}perfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
+    if let Some(path) = &args.jsonl {
+        let p = host.as_ref().expect("--jsonl implies --host");
+        if let Err(e) = std::fs::write(path, p.jsonl()) {
+            eprintln!("ufc-profile: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("host span jsonl written to {path}");
     }
     if let Some(path) = &args.json {
         let mut value = serde::Serialize::to_value(&run.summary());
         if let (serde::Value::Object(fields), Some(stats)) = (&mut value, &run.compile_stats) {
             fields.push(("compile".into(), serde::Serialize::to_value(stats)));
+        }
+        if let (serde::Value::Object(fields), Some(p)) = (&mut value, &host) {
+            let mut block = vec![("metrics".into(), serde::Serialize::to_value(&p.metrics()))];
+            if let Some(d) = &p.noise_drift {
+                block.push(("measured_bits".into(), serde::Value::F64(d.measured_bits)));
+                block.push((
+                    "static_bound_bits".into(),
+                    serde::Value::F64(d.static_bound_bits),
+                ));
+                block.push(("drift_bits".into(), serde::Value::F64(d.drift_bits)));
+            }
+            fields.push(("host".into(), serde::Value::Object(block)));
         }
         if let Err(e) = std::fs::write(path, value.to_json_pretty()) {
             eprintln!("ufc-profile: {path}: {e}");

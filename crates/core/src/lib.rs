@@ -20,11 +20,13 @@
 
 pub mod compare;
 pub mod dse;
+pub mod host_profile;
 pub mod profile;
 pub mod runner;
 
 pub use compare::{compare, ComparisonRow};
 pub use dse::{sweep_cg_networks, sweep_lanes, DsePoint};
+pub use host_profile::{profile_host, HostProfile, NoiseDrift};
 pub use profile::{profile_stream, ProfiledRun};
 pub use runner::{
     compile_with_barriers, try_compile_with_barriers, try_compile_with_barriers_stats, RunError,

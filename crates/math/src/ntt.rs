@@ -1047,11 +1047,13 @@ impl NttContext {
     /// factorization of `X^N + 1`. Dispatches on the context's kernel
     /// (see [`Self::kernel`]).
     pub fn forward(&self, a: &mut [u64]) {
+        let _span = ufc_trace::span_full("math", "ntt_forward", self.kernel.name(), self.n as u64);
         self.forward_with(self.kernel, a);
     }
 
     /// Negacyclic inverse NTT: evaluation form → coefficient form.
     pub fn inverse(&self, a: &mut [u64]) {
+        let _span = ufc_trace::span_full("math", "ntt_inverse", self.kernel.name(), self.n as u64);
         self.inverse_with(self.kernel, a);
     }
 
@@ -1377,6 +1379,8 @@ impl NttContext {
     /// Negacyclic polynomial product via NTT:
     /// `iNTT(NTT(a) ∘ NTT(b))`.
     pub fn negacyclic_mul(&self, a: &Poly, b: &Poly) -> Poly {
+        let _span =
+            ufc_trace::span_full("math", "negacyclic_mul", self.kernel.name(), self.n as u64);
         let mut out = a.coeffs().to_vec();
         self.forward(&mut out);
         let mut eb = b.coeffs().to_vec();
@@ -1392,6 +1396,8 @@ impl NttContext {
     /// (the NTT image of `b`) instead of the three temporaries the
     /// out-of-place path used to allocate.
     pub fn negacyclic_mul_assign(&self, a: &mut Poly, b: &Poly) {
+        let _span =
+            ufc_trace::span_full("math", "negacyclic_mul", self.kernel.name(), self.n as u64);
         assert_eq!(a.modulus(), self.q, "modulus mismatch");
         let mut eb = b.coeffs().to_vec();
         self.forward(&mut eb);
@@ -1408,6 +1414,12 @@ impl NttContext {
     /// Zero scratch allocations; the workhorse of cached-key external
     /// products.
     pub fn negacyclic_mul_assign_eval(&self, a: &mut Poly, b_eval: &Poly) {
+        let _span = ufc_trace::span_full(
+            "math",
+            "negacyclic_mul_eval",
+            self.kernel.name(),
+            self.n as u64,
+        );
         assert_eq!(a.modulus(), self.q, "modulus mismatch");
         let ac = a.coeffs_mut();
         self.forward(ac);

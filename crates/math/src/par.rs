@@ -61,6 +61,7 @@ where
     let threads = effective_threads().min(limbs);
     if threads <= 1 || limbs < 2 || data.len() < PAR_MIN_WORK {
         for (i, chunk) in data.chunks_mut(n).enumerate() {
+            let _limb = ufc_trace::span_n("math", "par_limb", i as u64);
             f(i, chunk);
         }
         return;
@@ -75,9 +76,18 @@ where
     std::thread::scope(|scope| {
         for share in shares {
             scope.spawn(|| {
-                for (i, chunk) in share {
-                    f(i, chunk);
+                {
+                    let _worker = ufc_trace::span_n("math", "par_worker", share.len() as u64);
+                    for (i, chunk) in share {
+                        let _limb = ufc_trace::span_n("math", "par_limb", i as u64);
+                        f(i, chunk);
+                    }
                 }
+                // Flush inside the closure: scope join only orders
+                // closure returns, not TLS destructors, so relying on
+                // the Drop-flush would race a `finish` right after
+                // the fan-out.
+                ufc_trace::flush_current_thread();
             });
         }
     });

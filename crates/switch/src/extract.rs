@@ -77,6 +77,7 @@ impl CkksToLwe {
         indices: &[usize],
         tfhe_ctx: &TfheContext,
     ) -> Vec<LweCiphertext> {
+        let _span = ufc_trace::span_n("switch", "extract", indices.len() as u64);
         ev.record_public(TraceOp::Extract {
             level: ct.level as u32,
             count: indices.len() as u32,

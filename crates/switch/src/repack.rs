@@ -72,6 +72,7 @@ impl LweToCkks {
         lwes: &[LweCiphertext],
         tfhe_ctx: &TfheContext,
     ) -> CkksCiphertext {
+        let _span = ufc_trace::span_n("switch", "repack", lwes.len() as u64);
         let slots = ev.context().slots();
         assert!(lwes.len() <= slots, "too many LWEs for the slot count");
         ev.record_public(TraceOp::Repack {

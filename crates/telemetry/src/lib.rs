@@ -18,6 +18,12 @@
 //!   [`MetricsRegistry`] of named counters (instruction counts per
 //!   kernel, HBM bytes per phase, stall totals); the registry is
 //!   reused by the scheme crates for op-count instrumentation.
+//! * [`trace`] / [`host`] — the *runtime* side: `ufc-trace`'s
+//!   process-global span recorder (re-exported here as [`trace`])
+//!   instruments the real evaluator stack, and [`host`] aggregates a
+//!   finished recording into top-span tables, per-kernel latency
+//!   histograms, registry metrics, JSONL, and (via
+//!   [`perfetto::merged_to_value`]) a merged sim+host Perfetto trace.
 //!
 //! Attaching [`ufc_sim::NullObserver`] instead of any of these leaves
 //! `simulate` byte-identical (property-tested in `ufc-sim`), so the
@@ -39,13 +45,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod host;
 pub mod jsonl;
 pub mod metrics;
 pub mod perfetto;
 pub mod timeline;
 
+/// The runtime span recorder (`ufc-trace`), re-exported so consumers
+/// above the simulator stack reach it as `ufc_telemetry::trace`.
+pub use ufc_trace as trace;
+
+pub use host::{HostReport, SpanAgg};
 pub use jsonl::JsonlSink;
-pub use metrics::MetricsRegistry;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use timeline::{
     BusyInterval, CriticalPath, InstrRecord, KernelStat, PathSegment, PhaseStat, StallSummary,
     TelemetrySummary, Timeline, WindowedUtilization,

@@ -43,6 +43,7 @@ pub fn blind_rotate(
     ct: &LweCiphertext,
     tv: &Poly,
 ) -> RlweCiphertext {
+    let _span = ufc_trace::span_n("tfhe", "blind_rotate", ctx.lwe_dim() as u64);
     let two_n = 2 * ctx.ring_dim();
     let sw = ct.mod_switch(two_n as u64);
     // ACC = tv · X^{-b̄}.
@@ -69,6 +70,7 @@ pub fn programmable_bootstrap(
     ct: &LweCiphertext,
     tv: &Poly,
 ) -> LweCiphertext {
+    let _span = ufc_trace::span_n("tfhe", "pbs", ctx.ring_dim() as u64);
     let acc = blind_rotate(ctx, keys, ct, tv);
     let extracted = acc.sample_extract(0);
     key_switch(ctx, keys, &extracted)

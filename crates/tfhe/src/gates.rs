@@ -39,6 +39,18 @@ impl Gate {
         Gate::Xnor,
     ];
 
+    /// Lower-case gate name, e.g. `"nand"` (trace span tags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::And => "and",
+            Gate::Or => "or",
+            Gate::Nand => "nand",
+            Gate::Nor => "nor",
+            Gate::Xor => "xor",
+            Gate::Xnor => "xnor",
+        }
+    }
+
     /// Plaintext truth table (for tests and trace validation).
     pub fn eval(&self, a: bool, b: bool) -> bool {
         match self {
@@ -70,7 +82,16 @@ pub fn encrypt_bool<R: Rng + ?Sized>(
 /// Decrypts a `±q/8`-encoded boolean.
 pub fn decrypt_bool(ctx: &TfheContext, keys: &TfheKeys, ct: &LweCiphertext) -> bool {
     let phase = ct.phase(&keys.lwe_sk);
-    ufc_math::modops::to_signed(phase, ctx.q()) > 0
+    let signed = ufc_math::modops::to_signed(phase, ctx.q());
+    if ufc_trace::enabled() {
+        // Distance of the phase from the q/8-scaled decision boundary,
+        // normalized to the boundary: 1.0 is a noiseless bit, 0.0 is
+        // the decryption-failure edge. The runtime analogue of the
+        // static LWE variance margin.
+        let margin = signed.unsigned_abs() as f64 / (ctx.q() as f64 / 8.0);
+        ufc_trace::gauge("tfhe/phase_margin", margin);
+    }
+    signed > 0
 }
 
 /// Homomorphic NOT: pure negation, no bootstrap.
@@ -86,6 +107,7 @@ pub fn apply_gate(
     c1: &LweCiphertext,
     c2: &LweCiphertext,
 ) -> LweCiphertext {
+    let _span = ufc_trace::span_tagged("tfhe", "gate", gate.name());
     let q8 = LweCiphertext::trivial(ctx.encode(1, 8), ctx.lwe_dim(), ctx.q());
     let q4 = LweCiphertext::trivial(ctx.encode(1, 4), ctx.lwe_dim(), ctx.q());
     // Linear part: phases land at ±q/8 or ±3q/8, safely inside the

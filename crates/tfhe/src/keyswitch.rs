@@ -16,6 +16,7 @@ use crate::lwe::LweCiphertext;
 ///
 /// Panics if `ct` is not of ring dimension.
 pub fn key_switch(ctx: &TfheContext, keys: &TfheKeys, ct: &LweCiphertext) -> LweCiphertext {
+    let _span = ufc_trace::span_n("tfhe", "key_switch", ctx.lwe_dim() as u64);
     assert_eq!(ct.dim(), ctx.ring_dim(), "input must be under the ring key");
     let g = ctx.ks_gadget();
     let mut out = LweCiphertext::trivial(ct.b, ctx.lwe_dim(), ctx.q());

@@ -94,6 +94,7 @@ impl RgswCiphertext {
     /// RGSW gadget and accumulates digit-by-row polynomial products —
     /// the NTT/EWMM-heavy kernel of functional bootstrapping.
     pub fn external_product(&self, ctx: &TfheContext, ct: &RlweCiphertext) -> RlweCiphertext {
+        let _span = ufc_trace::span_n("tfhe", "external_product", ctx.ring_dim() as u64);
         let g = ctx.gadget();
         let a_digits = g.decompose_poly(&ct.a);
         let b_digits = g.decompose_poly(&ct.b);

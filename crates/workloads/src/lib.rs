@@ -31,6 +31,7 @@
 pub mod builder;
 pub mod ckks_bootstrap;
 pub mod helr;
+pub mod host;
 pub mod knn;
 pub mod resnet;
 pub mod sorting;

@@ -1,0 +1,60 @@
+//! Tracing must be a pure observer: running the full hybrid pipeline
+//! with the recorder live yields bit-identical outputs to running it
+//! dark. Instrumentation only reads the clock and buffers spans — it
+//! must never perturb RNG consumption, operation order, or any
+//! ciphertext arithmetic.
+//!
+//! Single `#[test]`: the `ufc-trace` recorder is process-global and
+//! the cargo harness runs tests in one binary concurrently.
+
+use ufc_workloads::host::{run_threshold_knn, HostKnnRun, HostRunConfig};
+
+/// Bitwise comparison of two runs; `f64` compared via `to_bits` so a
+/// "close enough" float never masks a real divergence.
+fn assert_bit_identical(dark: &HostKnnRun, traced: &HostKnnRun) {
+    assert_eq!(dark.bits, traced.bits, "comparator bits diverged");
+    assert_eq!(dark.expected_bits, traced.expected_bits);
+    assert_eq!(
+        dark.gate_results, traced.gate_results,
+        "gate sweep diverged"
+    );
+    assert_eq!(
+        dark.measured_precision_bits.to_bits(),
+        traced.measured_precision_bits.to_bits(),
+        "decrypt-side noise diverged: {} vs {}",
+        dark.measured_precision_bits,
+        traced.measured_precision_bits
+    );
+    assert_eq!(
+        dark.trace.ops, traced.trace.ops,
+        "recorded op trace diverged"
+    );
+}
+
+#[test]
+fn recording_leaves_pipeline_outputs_bit_identical() {
+    let cfg = HostRunConfig::default();
+
+    // Dark run: recorder off, every span site is an inert guard.
+    assert!(!ufc_trace::enabled());
+    let dark = run_threshold_knn(&cfg);
+    assert!(dark.all_correct());
+
+    // Traced run: recorder live end to end.
+    let recorder = ufc_trace::record().expect("no other recording is live");
+    let traced = run_threshold_knn(&cfg);
+    let host_trace = recorder.finish();
+    assert!(traced.all_correct());
+    assert!(
+        host_trace.spans.len() > 1000,
+        "recording really happened ({} spans)",
+        host_trace.spans.len()
+    );
+
+    assert_bit_identical(&dark, &traced);
+
+    // And a second dark run still matches, so the recording left no
+    // residue in the evaluator stack either.
+    let dark2 = run_threshold_knn(&cfg);
+    assert_bit_identical(&dark, &dark2);
+}

@@ -9,10 +9,15 @@
 //! * `profile-smoke` — build `ufc-profile`, run it on the small
 //!   hybrid-kNN trace fixture, and validate the exported Perfetto
 //!   file parses as JSON with at least one slice.
+//! * `trace-smoke` — build `ufc-profile`, run it on the fixture with
+//!   the host recorder enabled (`--host`), and validate all three
+//!   runtime-tracing exports: the merged Perfetto file carries host
+//!   slices and track-name metadata, every JSONL line parses, and the
+//!   JSON summary has the host metrics block.
 //! * `bench-math [--quick]` — build the release `bench_math` harness,
 //!   run it writing `BENCH_math.json` at the workspace root, and
 //!   validate the report shape (experiment tag, numeric headline
-//!   speedup, non-empty tables).
+//!   speedup, non-empty tables, host topology block).
 
 #![forbid(unsafe_code)]
 
@@ -33,15 +38,21 @@ fn main() -> ExitCode {
         Some("fixtures") => fixtures(),
         Some("unsafe-surface") => unsafe_surface(),
         Some("profile-smoke") => profile_smoke(),
+        Some("trace-smoke") => trace_smoke(),
         Some("bench-math") => bench_math(args.iter().any(|a| a == "--quick")),
         Some("-h") | Some("--help") | None => {
-            eprintln!("usage: cargo xtask <lint|fixtures|unsafe-surface|profile-smoke|bench-math>");
+            eprintln!(
+                "usage: cargo xtask \
+                 <lint|fixtures|unsafe-surface|profile-smoke|trace-smoke|bench-math>"
+            );
             eprintln!("  lint           fmt --check + clippy -D warnings + unsafe surface");
             eprintln!("                 + fixture sweep");
             eprintln!("  fixtures       run ufc-lint over crates/verify/tests/fixtures");
             eprintln!("  unsafe-surface assert `unsafe` appears only in crates/math/src/simd.rs");
             eprintln!("  profile-smoke  run ufc-profile on the hybrid-kNN fixture and");
             eprintln!("                 validate its Perfetto export");
+            eprintln!("  trace-smoke    run ufc-profile --host on the fixture and validate");
+            eprintln!("                 the merged Perfetto, JSONL, and JSON host exports");
             eprintln!("  bench-math     run the math micro-benchmarks, write and validate");
             eprintln!("                 BENCH_math.json (pass --quick for small sizes)");
             if args.is_empty() {
@@ -344,6 +355,178 @@ fn profile_smoke() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds `ufc-profile` in release mode, runs the committed hybrid-kNN
+/// fixture with the host recorder enabled (`--host`), and validates
+/// all three runtime-tracing exports — the same contract the CI
+/// trace-smoke job enforces: the merged Perfetto trace parses and
+/// carries host-process slices plus track-name metadata, every JSONL
+/// span/gauge line parses as JSON, and the JSON summary contains the
+/// `host` metrics block.
+fn trace_smoke() -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&[
+        "build",
+        "-q",
+        "--release",
+        "-p",
+        "ufc-core",
+        "--bin",
+        "ufc-profile",
+    ]) {
+        eprintln!("xtask trace-smoke: building ufc-profile failed");
+        return ExitCode::FAILURE;
+    }
+    let fixture = root.join("crates/core/tests/fixtures/hybrid_knn_small.trace");
+    let out_dir = root.join("target/trace-smoke");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask trace-smoke: {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let perfetto = out_dir.join("hybrid_knn_small.merged.perfetto.json");
+    let jsonl = out_dir.join("hybrid_knn_small.spans.jsonl");
+    let summary = out_dir.join("hybrid_knn_small.host.summary.json");
+    let bin = root.join("target/release/ufc-profile");
+    println!(
+        "+ {} {} --host --perfetto {} --jsonl {} --json {}",
+        bin.display(),
+        fixture.display(),
+        perfetto.display(),
+        jsonl.display(),
+        summary.display()
+    );
+    let status = Command::new(&bin)
+        .arg(&fixture)
+        .arg("--host")
+        .arg("--perfetto")
+        .arg(&perfetto)
+        .arg("--jsonl")
+        .arg(&jsonl)
+        .arg("--json")
+        .arg(&summary)
+        .status();
+    if !status.map(|s| s.success()).unwrap_or(false) {
+        eprintln!("xtask trace-smoke: ufc-profile --host failed");
+        return ExitCode::FAILURE;
+    }
+
+    // 1. Merged Perfetto: must parse, and the host process
+    //    (HOST_PID) must contribute both slices and named tracks.
+    let text = match std::fs::read_to_string(&perfetto) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-smoke: {}: {e}", perfetto.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask trace-smoke: Perfetto file is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = trace
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .map(<[serde::Value]>::to_vec)
+        .unwrap_or_default();
+    let on_host = |e: &serde::Value| {
+        e.get("pid").and_then(serde::Value::as_u64) == Some(ufc_telemetry::perfetto::HOST_PID)
+    };
+    let host_slices = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(serde::Value::as_str) == Some("X") && on_host(e))
+        .count();
+    if host_slices == 0 {
+        eprintln!("xtask trace-smoke: merged Perfetto file has no host slices");
+        return ExitCode::FAILURE;
+    }
+    let host_tracks = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(serde::Value::as_str) == Some("thread_name") && on_host(e)
+        })
+        .count();
+    if host_tracks == 0 {
+        eprintln!("xtask trace-smoke: merged Perfetto file has no host thread_name metadata");
+        return ExitCode::FAILURE;
+    }
+
+    // 2. JSONL: every line parses, and both event kinds appear.
+    let lines = match std::fs::read_to_string(&jsonl) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-smoke: {}: {e}", jsonl.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut span_lines = 0usize;
+    let mut gauge_lines = 0usize;
+    for (i, line) in lines.lines().enumerate() {
+        let v: serde::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "xtask trace-smoke: JSONL line {} does not parse: {e}",
+                    i + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        match v.get("event").and_then(serde::Value::as_str) {
+            Some("span") => span_lines += 1,
+            Some("gauge") => gauge_lines += 1,
+            other => {
+                eprintln!(
+                    "xtask trace-smoke: JSONL line {} has unknown event {other:?}",
+                    i + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if span_lines == 0 || gauge_lines == 0 {
+        eprintln!(
+            "xtask trace-smoke: JSONL export incomplete \
+             ({span_lines} span lines, {gauge_lines} gauge lines)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // 3. JSON summary: the host metrics block must be present.
+    let text = match std::fs::read_to_string(&summary) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-smoke: {}: {e}", summary.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask trace-smoke: JSON summary is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(host) = report.get("host") else {
+        eprintln!("xtask trace-smoke: JSON summary has no `host` block");
+        return ExitCode::FAILURE;
+    };
+    if host
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .is_none()
+    {
+        eprintln!("xtask trace-smoke: JSON summary host block has no metrics histograms");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace-smoke ok: {host_slices} host slices / {host_tracks} host tracks, \
+         {span_lines} span + {gauge_lines} gauge JSONL lines"
+    );
+    ExitCode::SUCCESS
+}
+
 /// Builds the release `bench_math` harness, runs it writing
 /// `BENCH_math.json` at the workspace root, and validates the report
 /// shape — the same contract the CI bench-smoke job enforces.
@@ -439,6 +622,43 @@ fn bench_math(quick: bool) -> ExitCode {
         eprintln!("xtask bench-math: report host has no boolean `avx2` field");
         return ExitCode::FAILURE;
     };
+    // Host-topology contract: the report must say what it ran on —
+    // core count, the NTT kernel auto-selection landed on, and the
+    // limb-parallel worker count — so committed numbers are
+    // interpretable across machines.
+    let host = report.get("host");
+    for field in ["available_parallelism", "par_threads"] {
+        if host
+            .and_then(|h| h.get(field))
+            .and_then(serde::Value::as_u64)
+            .is_none()
+        {
+            eprintln!("xtask bench-math: report host has no numeric `{field}` field");
+            return ExitCode::FAILURE;
+        }
+    }
+    if host
+        .and_then(|h| h.get("ntt_kernel"))
+        .and_then(serde::Value::as_str)
+        .is_none()
+    {
+        eprintln!("xtask bench-math: report host has no string `ntt_kernel` field");
+        return ExitCode::FAILURE;
+    }
+    let overhead = host
+        .and_then(|h| h.get("trace_overhead_pct"))
+        .and_then(serde::Value::as_f64);
+    let Some(overhead) = overhead else {
+        eprintln!("xtask bench-math: report host has no numeric `trace_overhead_pct` field");
+        return ExitCode::FAILURE;
+    };
+    if overhead >= 2.0 {
+        eprintln!(
+            "xtask bench-math: disabled-recorder tracing overhead {overhead:.2}% \
+             breaches the 2% budget"
+        );
+        return ExitCode::FAILURE;
+    }
     if avx2 {
         let has_simd_col = radix_table
             .and_then(|t| t.get("columns"))

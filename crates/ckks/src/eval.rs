@@ -21,6 +21,26 @@ use ufc_math::plane::RnsPlane;
 use ufc_math::poly::{Form, Poly};
 use ufc_math::sample::{gaussian_poly, ternary_poly};
 
+/// The cached, evaluation-form extended-basis digits of one
+/// ciphertext's `c1` — the reusable front half of a key switch.
+///
+/// Built by [`Evaluator::hoist`]; consumed (by shared reference, any
+/// number of times) by [`Evaluator::rotate_hoisted`]. Rotating `r`
+/// ways from the same hoisting costs one decompose+ModUp+NTT total
+/// instead of `r`.
+#[derive(Debug)]
+pub struct HoistedDigits {
+    digits: Vec<RnsPoly>,
+    level: usize,
+}
+
+impl HoistedDigits {
+    /// The level the digits were built at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
 /// Homomorphic evaluator bound to a context, key set and encoder.
 ///
 /// Every public operation records a [`TraceOp`]; call
@@ -377,20 +397,27 @@ impl Evaluator {
     /// MAC-accumulated in place — no per-digit limb vectors.
     pub fn key_switch(&self, d: &RnsPoly, key: &SwitchingKey, level: usize) -> (RnsPoly, RnsPoly) {
         let _span = ufc_trace::span_n("ckks", "key_switch", level as u64);
+        let digits = self.decompose_mod_up(d, level);
+        self.mac_digits(&digits, key, level)
+    }
+
+    /// Digit-decomposes `d` and ModUps every digit to the extended
+    /// basis (active Q limbs ++ all P limbs, evaluation form) — the
+    /// expensive front half of [`Evaluator::key_switch`], shared with
+    /// [`Evaluator::hoist`].
+    fn decompose_mod_up(&self, d: &RnsPoly, level: usize) -> Vec<RnsPoly> {
         let ctx = &self.ctx;
         let active = level + 1;
         let n = ctx.n();
         let d_coeff = d.to_coeff_copy(ctx);
-        let digit_keys = key.at_level(level);
 
         // Extended basis: active Q limbs followed by all P limbs.
         let mut ext_moduli: Vec<u64> = Vec::with_capacity(active + ctx.p_moduli().len());
         ext_moduli.extend_from_slice(&ctx.q_moduli()[..active]);
         ext_moduli.extend_from_slice(ctx.p_moduli());
-        let mut acc0 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
-        let mut acc1 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
 
-        for (j, dt) in ctx.digits().iter().enumerate() {
+        let mut digits = Vec::with_capacity(ctx.digits().len());
+        for dt in ctx.digits() {
             let (lo, hi) = dt.limb_range;
             if lo >= active {
                 break;
@@ -423,11 +450,83 @@ impl Evaluator {
                 Form::Coeff,
             ));
             d_ext.to_eval_mut(ctx);
-            let (b_j, a_j) = &digit_keys[j];
-            acc0.mac_assign(&d_ext, b_j);
-            acc1.mac_assign(&d_ext, a_j);
+            digits.push(d_ext);
+        }
+        digits
+    }
+
+    /// MAC-accumulates extended-basis digits against a switching key
+    /// and ModDowns — the back half of [`Evaluator::key_switch`].
+    fn mac_digits(
+        &self,
+        digits: &[RnsPoly],
+        key: &SwitchingKey,
+        level: usize,
+    ) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        let active = level + 1;
+        let n = ctx.n();
+        let digit_keys = key.at_level(level);
+        let mut ext_moduli: Vec<u64> = Vec::with_capacity(active + ctx.p_moduli().len());
+        ext_moduli.extend_from_slice(&ctx.q_moduli()[..active]);
+        ext_moduli.extend_from_slice(ctx.p_moduli());
+        let mut acc0 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
+        let mut acc1 = RnsPoly::from_plane(RnsPlane::zero(n, &ext_moduli, Form::Eval));
+        for (d_ext, (b_j, a_j)) in digits.iter().zip(digit_keys) {
+            acc0.mac_assign(d_ext, b_j);
+            acc1.mac_assign(d_ext, a_j);
         }
         (self.mod_down(acc0, level), self.mod_down(acc1, level))
+    }
+
+    /// Precomputes the hoisted decomposition of `ct.c1` for a series
+    /// of rotations of the same ciphertext: digit decomposition,
+    /// ModUp, and the forward NTTs happen **once** here; each
+    /// subsequent [`Evaluator::rotate_hoisted`] only permutes the
+    /// cached evaluation-form digits and runs the MAC + ModDown.
+    pub fn hoist(&self, ct: &Ciphertext) -> HoistedDigits {
+        let _span = ufc_trace::span_n("ckks", "hoist", ct.level as u64);
+        HoistedDigits {
+            digits: self.decompose_mod_up(&ct.c1, ct.level),
+            level: ct.level,
+        }
+    }
+
+    /// Rotation via a precomputed [`HoistedDigits`]. Not bit-identical
+    /// to [`Evaluator::rotate`] — fast base conversion and the
+    /// automorphism commute only up to a multiple of the digit modulus,
+    /// absorbed as key-switching noise — but equal within normal
+    /// rotation noise, which is what the repack precision pins measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rotation key is missing or `hoisted` was built at
+    /// a different level than `a`.
+    pub fn rotate_hoisted(
+        &self,
+        a: &Ciphertext,
+        hoisted: &HoistedDigits,
+        step: isize,
+        keys: &KeySet,
+    ) -> Ciphertext {
+        let _span = ufc_trace::span("ckks", "rotate_hoisted");
+        assert_eq!(hoisted.level, a.level, "hoisted digits level mismatch");
+        if step == 0 {
+            return self.drop_to_level(a, a.level);
+        }
+        let k = automorph::rotation_exponent(step, self.ctx.n());
+        let key = keys
+            .rotation_key(k)
+            .unwrap_or_else(|| panic!("missing rotation key for step {step}"));
+        self.record(TraceOp::CkksRotate {
+            level: a.level as u32,
+            step: step as i32,
+        });
+        let permuted: Vec<RnsPoly> = hoisted.digits.iter().map(|d| d.automorphism(k)).collect();
+        let (k0, k1) = self.mac_digits(&permuted, key, a.level);
+        let mut c0r = a.c0.automorphism(k);
+        c0r.add_assign(&k0);
+        Ciphertext::new(c0r, k1, a.level, a.scale)
     }
 
     /// ModDown: divides an (active Q ++ P)-limb polynomial by `P` with
@@ -597,6 +696,28 @@ mod tests {
                 max_err(&dec, &expect) < 1e-2,
                 "step {step}: err {}",
                 max_err(&dec, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_rotation_matches_plain_rotation() {
+        let (ev, sk, mut keys, mut rng) = setup(64, 3, 2, 2, 16);
+        let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.125 - 2.0).collect();
+        for step in [1usize, 3, 5] {
+            keys.gen_rotation_key(ev.context(), &sk, step as isize, &mut rng);
+        }
+        let ct = ev.encrypt_real(&vals, &keys, &mut rng);
+        let hoisted = ev.hoist(&ct);
+        for step in [0isize, 1, 3, 5] {
+            let fast = ev.rotate_hoisted(&ct, &hoisted, step, &keys);
+            let slow = ev.rotate(&ct, step, &keys);
+            let df = ev.decrypt_real(&fast, &sk);
+            let ds = ev.decrypt_real(&slow, &sk);
+            assert!(
+                max_err(&df, &ds) < 1e-2,
+                "step {step}: err {}",
+                max_err(&df, &ds)
             );
         }
     }

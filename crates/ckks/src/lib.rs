@@ -38,6 +38,6 @@ pub mod rnspoly;
 pub use ciphertext::Ciphertext;
 pub use context::CkksContext;
 pub use encoding::Encoder;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, HoistedDigits};
 pub use keys::{KeySet, SecretKey};
 pub use rnspoly::RnsPoly;

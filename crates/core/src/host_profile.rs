@@ -117,7 +117,7 @@ mod tests {
             "workload/hybrid_knn",
             "ckks/encrypt",
             "ckks/rescale",
-            "switch/extract",
+            "switch/extract_batch[b8]",
             "tfhe/blind_rotate",
             "tfhe/pbs",
         ] {

@@ -27,7 +27,7 @@ const GOLDEN_SPANS: &[(&str, u64)] = &[
     ("math/ntt_forward[radix2]", 6306),
     ("math/ntt_inverse[radix2]", 1974),
     ("math/par_limb", 131),
-    ("switch/extract", 1),
+    ("switch/extract_batch[b8]", 1),
     ("tfhe/blind_rotate", 12),
     ("tfhe/external_product", 768),
     ("tfhe/gate[and]", 1),

@@ -6,13 +6,69 @@
 //! (still at modulus `q_0`), and finally modulus-switch down to the
 //! TFHE modulus. UFC runs the extraction/reduction steps on its
 //! near-memory LWE unit (§IV-B4).
+//!
+//! Two paths are kept deliberately:
+//!
+//! * [`CkksToLwe::extract`] — the reference per-index path: one full
+//!   gadget decomposition per (index, ring position) pair against the
+//!   row-major KSK.
+//! * [`CkksToLwe::extract_batch`] — the batched fast path. Every mask
+//!   entry of every sample-extracted LWE is `±c1[k]` for some ring
+//!   position `k`, so the whole batch needs only the `2N` digit tables
+//!   `decompose(−c1[k])` / `decompose(c1[k])`, computed **once**; the
+//!   digit loop then runs digit-major against a digit-major
+//!   reorganized KSK ([`DigitMajorKsk`]), accumulating in place into
+//!   preallocated LWE buffers. Because `Z_q` accumulation is exactly
+//!   associative and commutative, the result is **bit-identical** to
+//!   the per-index path (pinned by the conformance suite).
 
+use crate::batch_tag;
+use crate::error::SwitchError;
 use rand::Rng;
 use ufc_ckks::{Ciphertext as CkksCiphertext, CkksContext, Evaluator as CkksEvaluator, SecretKey};
 use ufc_isa::trace::TraceOp;
 use ufc_math::gadget::Gadget;
 use ufc_math::modops::{from_signed, mul_mod, neg_mod};
-use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
+use ufc_tfhe::{lwe::sub_scaled_parts, LweCiphertext, TfheContext, TfheKeys};
+
+/// The extraction KSK reorganized digit-major into flat slabs: the row
+/// for digit level `j` and ring position `i` starts at
+/// `(j·N + i)·(dim+1)` — contiguous in `i` for a fixed digit, which is
+/// exactly the order the batched digit loop walks.
+#[derive(Debug)]
+struct DigitMajorKsk {
+    /// Mask slab: `a[(j·n + i)·dim ..][..dim]`.
+    a: Vec<u64>,
+    /// Body slab: `b[j·n + i]`.
+    b: Vec<u64>,
+    /// LWE dimension of each row.
+    dim: usize,
+    /// Ring dimension `N` (rows per digit level).
+    n: usize,
+}
+
+impl DigitMajorKsk {
+    /// Reorganizes the row-major `ksk[i][j]` into digit-major slabs.
+    fn from_row_major(ksk: &[Vec<LweCiphertext>], levels: usize) -> Self {
+        let n = ksk.len();
+        let dim = ksk[0][0].dim();
+        let mut a = Vec::with_capacity(levels * n * dim);
+        let mut b = Vec::with_capacity(levels * n);
+        for j in 0..levels {
+            for row in ksk {
+                a.extend_from_slice(&row[j].a);
+                b.push(row[j].b);
+            }
+        }
+        Self { a, b, dim, n }
+    }
+
+    /// The `(digit level, ring position)` row as `(mask, body)`.
+    fn row(&self, j: usize, i: usize) -> (&[u64], u64) {
+        let r = j * self.n + i;
+        (&self.a[r * self.dim..(r + 1) * self.dim], self.b[r])
+    }
+}
 
 /// Precomputed extraction key: switches LWEs under the flattened CKKS
 /// ring key (dimension `N_ckks`, modulus `q_0`) to the TFHE small key.
@@ -20,6 +76,8 @@ use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
 pub struct CkksToLwe {
     /// `ksk[i][j] = LWE_{s_tfhe, q0}(ŝ_ckks_i · w_j)`.
     ksk: Vec<Vec<LweCiphertext>>,
+    /// The same key material digit-major, for the batched path.
+    ksk_digit_major: DigitMajorKsk,
     /// Decomposition gadget at modulus `q_0`.
     gadget: Gadget,
     /// CKKS level-0 modulus.
@@ -43,7 +101,7 @@ impl CkksToLwe {
         let log_base = 8u32;
         let levels = (64f64.min((q0 as f64).log2()).ceil() as usize).div_ceil(8);
         let gadget = Gadget::new(q0, log_base, levels);
-        let ksk = ckks_sk
+        let ksk: Vec<Vec<LweCiphertext>> = ckks_sk
             .signed()
             .iter()
             .map(|&si| {
@@ -55,8 +113,10 @@ impl CkksToLwe {
                     .collect()
             })
             .collect();
+        let ksk_digit_major = DigitMajorKsk::from_row_major(&ksk, gadget.levels());
         Self {
             ksk,
+            ksk_digit_major,
             gadget,
             q0,
             lwe_dim: tfhe_ctx.lwe_dim(),
@@ -64,19 +124,26 @@ impl CkksToLwe {
     }
 
     /// Extracts coefficients `indices` of the CKKS ciphertext as TFHE
-    /// LWE ciphertexts (at the TFHE modulus, under the small key).
+    /// LWE ciphertexts (at the TFHE modulus, under the small key) —
+    /// the reference per-index path, one gadget decomposition per
+    /// (index, ring position) pair.
     ///
     /// The ciphertext must carry its payload in *coefficients* (after
     /// a SlotToCoeff transform in a full application); the message
     /// scale should be `q_0 / space` for a TFHE message space of
     /// `space`.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::IndexOutOfRange`] if any index is not below the
+    /// ring dimension.
     pub fn extract(
         &self,
         ev: &CkksEvaluator,
         ct: &CkksCiphertext,
         indices: &[usize],
         tfhe_ctx: &TfheContext,
-    ) -> Vec<LweCiphertext> {
+    ) -> Result<Vec<LweCiphertext>, SwitchError> {
         let _span = ufc_trace::span_n("switch", "extract", indices.len() as u64);
         ev.record_public(TraceOp::Extract {
             level: ct.level as u32,
@@ -88,10 +155,10 @@ impl CkksToLwe {
         let c0 = c0.limb(0);
         let c1 = c1.limb(0);
         let n = c0.len();
-        indices
+        check_indices(indices, n)?;
+        Ok(indices
             .iter()
             .map(|&idx| {
-                assert!(idx < n, "coefficient index out of range");
                 // CKKS phase = c0 + c1·s; LWE convention is b − <a,s>,
                 // so b = c0_idx and a = −extract_vec(c1).
                 let mut a = vec![0u64; n];
@@ -111,7 +178,96 @@ impl CkksToLwe {
                 let switched = self.key_switch(&big);
                 switched.mod_switch(tfhe_ctx.q())
             })
-            .collect()
+            .collect())
+    }
+
+    /// Batched extraction fast path: bit-identical to calling
+    /// [`CkksToLwe::extract`] with the same indices, but the gadget
+    /// decomposition work is shared across the whole batch.
+    ///
+    /// After sample extraction, mask entry `i` of the LWE for index
+    /// `idx` is `−c1[idx−i]` (for `i ≤ idx`) or `+c1[N+idx−i]` (wrap),
+    /// so the only values ever decomposed are `−c1[k]` and `c1[k]` for
+    /// the `N` ring positions `k`. This path builds those `2N` digit
+    /// tables once, then runs the key-switch accumulation digit-major
+    /// against [`DigitMajorKsk`] with the in-place
+    /// [`sub_scaled_parts`] kernel — no per-digit ciphertext clones,
+    /// and `2N` decompositions total instead of `batch·N`.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::IndexOutOfRange`] if any index is not below the
+    /// ring dimension.
+    pub fn extract_batch(
+        &self,
+        ev: &CkksEvaluator,
+        ct: &CkksCiphertext,
+        indices: &[usize],
+        tfhe_ctx: &TfheContext,
+    ) -> Result<Vec<LweCiphertext>, SwitchError> {
+        let _span = ufc_trace::span_full(
+            "switch",
+            "extract_batch",
+            batch_tag(indices.len()),
+            indices.len() as u64,
+        );
+        ev.record_public(TraceOp::Extract {
+            level: ct.level as u32,
+            count: indices.len() as u32,
+        });
+        let ct0 = ev.drop_to_level(ct, 0);
+        let c0 = ct0.c0.to_coeff(ev.context());
+        let c1 = ct0.c1.to_coeff(ev.context());
+        let c0 = c0.limb(0);
+        let c1 = c1.limb(0);
+        let n = c0.len();
+        check_indices(indices, n)?;
+        let q0 = self.q0;
+        let levels = self.gadget.levels();
+
+        // Shared digit tables: mask entries are neg_mod(c1[k]) when the
+        // ring position precedes the index, c1[k] on the negacyclic
+        // wrap (the double negation cancels exactly in Z_q).
+        let dec_neg: Vec<Vec<i64>> = c1
+            .iter()
+            .map(|&v| self.gadget.decompose_scalar(neg_mod(v, q0)))
+            .collect();
+        let dec_pos: Vec<Vec<i64>> = c1
+            .iter()
+            .map(|&v| self.gadget.decompose_scalar(v))
+            .collect();
+
+        // Preallocated accumulators, one per requested index.
+        let mut out_a = vec![vec![0u64; self.lwe_dim]; indices.len()];
+        let mut out_b: Vec<u64> = indices.iter().map(|&idx| c0[idx]).collect();
+
+        // Digit-major accumulation: for a fixed (digit level j, ring
+        // position i) the KSK row is loaded once and applied to every
+        // batch element that has a non-zero digit there. Z_q addition
+        // is associative and commutative, so reordering the per-index
+        // (i-major) loop into this j-major loop is bit-identical.
+        for j in 0..levels {
+            for i in 0..n {
+                let (row_a, row_b) = self.ksk_digit_major.row(j, i);
+                for (bi, &idx) in indices.iter().enumerate() {
+                    let d = if i <= idx {
+                        dec_neg[idx - i][j]
+                    } else {
+                        dec_pos[n + idx - i][j]
+                    };
+                    if d == 0 {
+                        continue;
+                    }
+                    sub_scaled_parts(&mut out_a[bi], &mut out_b[bi], row_a, row_b, d, q0);
+                }
+            }
+        }
+
+        Ok(out_a
+            .into_iter()
+            .zip(out_b)
+            .map(|(a, b)| LweCiphertext { a, b, q: q0 }.mod_switch(tfhe_ctx.q()))
+            .collect())
     }
 
     /// LWE key switch at modulus `q_0` from the ring key to the small
@@ -130,6 +286,14 @@ impl CkksToLwe {
             }
         }
         out
+    }
+}
+
+/// Validates extraction indices against the ring dimension.
+fn check_indices(indices: &[usize], n: usize) -> Result<(), SwitchError> {
+    match indices.iter().find(|&&idx| idx >= n) {
+        Some(&index) => Err(SwitchError::IndexOutOfRange { index, n }),
+        None => Ok(()),
     }
 }
 
@@ -211,7 +375,7 @@ mod tests {
         let messages: Vec<u64> = (0..64).map(|i| i % 4).collect();
         let pt = encode_coefficients(ev.context(), &messages, 8);
         let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
-        let lwes = bridge.extract(&ev, &ct, &[0, 1, 5, 33], &tfhe_ctx);
+        let lwes = bridge.extract(&ev, &ct, &[0, 1, 5, 33], &tfhe_ctx).unwrap();
         assert_eq!(lwes.len(), 4);
         for (lwe, &idx) in lwes.iter().zip(&[0usize, 1, 5, 33]) {
             assert_eq!(lwe.dim(), 64);
@@ -231,7 +395,7 @@ mod tests {
         let messages: Vec<u64> = vec![1, 3, 2, 0];
         let pt = encode_coefficients(ev.context(), &messages, 8);
         let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
-        let lwes = bridge.extract(&ev, &ct, &[0, 1, 2, 3], &tfhe_ctx);
+        let lwes = bridge.extract(&ev, &ct, &[0, 1, 2, 3], &tfhe_ctx).unwrap();
         let tv = ufc_tfhe::lut_test_vector(&tfhe_ctx, |m| (m + 1) % 8, 8);
         for (lwe, &m) in lwes.iter().zip(&messages) {
             let out = ufc_tfhe::programmable_bootstrap(&tfhe_ctx, &tfhe_keys, lwe, &tv);
@@ -240,12 +404,34 @@ mod tests {
     }
 
     #[test]
+    fn extract_batch_is_bit_identical_to_per_index() {
+        let (ev, _sk, keys, tfhe_ctx, _tk, bridge, mut rng) = setup();
+        let messages: Vec<u64> = (0..64).map(|i| (i * 3) % 8).collect();
+        let pt = encode_coefficients(ev.context(), &messages, 8);
+        let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
+        let indices = [0usize, 1, 5, 13, 33, 63, 5];
+        let per_index = bridge.extract(&ev, &ct, &indices, &tfhe_ctx).unwrap();
+        let batched = bridge.extract_batch(&ev, &ct, &indices, &tfhe_ctx).unwrap();
+        assert_eq!(per_index, batched);
+    }
+
+    #[test]
+    fn out_of_range_index_is_a_typed_error() {
+        let (ev, _sk, keys, tfhe_ctx, _tk, bridge, mut rng) = setup();
+        let pt = encode_coefficients(ev.context(), &[1], 8);
+        let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
+        let want = Err(SwitchError::IndexOutOfRange { index: 64, n: 64 });
+        assert_eq!(bridge.extract(&ev, &ct, &[0, 64], &tfhe_ctx), want);
+        assert_eq!(bridge.extract_batch(&ev, &ct, &[0, 64], &tfhe_ctx), want);
+    }
+
+    #[test]
     fn extraction_records_trace() {
         let (ev, _sk, keys, tfhe_ctx, _tk, bridge, mut rng) = setup();
         let pt = encode_coefficients(ev.context(), &[1, 2], 8);
         let ct = ev.encrypt_plaintext(&pt, &keys, ev.context().max_level(), &mut rng);
         let _ = ev.take_trace();
-        let _ = bridge.extract(&ev, &ct, &[0, 1], &tfhe_ctx);
+        let _ = bridge.extract(&ev, &ct, &[0, 1], &tfhe_ctx).unwrap();
         let tr = ev.take_trace();
         assert!(tr
             .ops

@@ -3,6 +3,7 @@
 //! in between. Used functionally at test scale; the k-NN workload
 //! generator mirrors this structure analytically at paper scale.
 
+use crate::error::SwitchError;
 use crate::extract::{encode_coefficients, CkksToLwe};
 use rand::Rng;
 use ufc_ckks::{CkksContext, Evaluator as CkksEvaluator, KeySet, SecretKey};
@@ -53,13 +54,18 @@ impl HybridEnv {
     /// and compared against a threshold with one TFHE programmable
     /// bootstrap. Returns the decrypted comparator bits (for test
     /// validation) and the combined trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SwitchError`] from the batched extraction (only
+    /// possible if `values` outruns the ring dimension).
     pub fn threshold_compare<R: Rng + ?Sized>(
         &self,
         values: &[u64],
         threshold: u64,
         space: u64,
         rng: &mut R,
-    ) -> (Vec<bool>, Trace) {
+    ) -> Result<(Vec<bool>, Trace), SwitchError> {
         // CKKS stage: encrypt the (coefficient-packed) values. A full
         // k-NN would compute distances homomorphically first; the
         // workload generator models that part at paper scale.
@@ -67,9 +73,12 @@ impl HybridEnv {
         let ct =
             self.ckks
                 .encrypt_plaintext(&pt, &self.ckks_keys, self.ckks.context().max_level(), rng);
-        // Scheme switch: extract one LWE per value.
+        // Scheme switch: extract one LWE per value on the batched fast
+        // path (bit-identical to the per-index loop).
         let indices: Vec<usize> = (0..values.len()).collect();
-        let lwes = self.bridge.extract(&self.ckks, &ct, &indices, &self.tfhe);
+        let lwes = self
+            .bridge
+            .extract_batch(&self.ckks, &ct, &indices, &self.tfhe)?;
         // TFHE stage: comparator LUT f(m) = (m >= threshold).
         let tv = comparator_test_vector(&self.tfhe, threshold, space);
         let bits: Vec<bool> = lwes
@@ -79,7 +88,7 @@ impl HybridEnv {
                 out.decrypt(&self.tfhe, &self.tfhe_keys.lwe_sk, space) == 1
             })
             .collect();
-        (bits, self.ckks.take_trace())
+        Ok((bits, self.ckks.take_trace()))
     }
 }
 
@@ -100,7 +109,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(101);
         let env = HybridEnv::new_test_scale(&mut rng);
         let values = [0u64, 1, 2, 3, 2, 1];
-        let (bits, trace) = env.threshold_compare(&values, 2, 8, &mut rng);
+        let (bits, trace) = env.threshold_compare(&values, 2, 8, &mut rng).unwrap();
         let expect: Vec<bool> = values.iter().map(|&v| v >= 2).collect();
         assert_eq!(bits, expect);
         // The trace must show the scheme switch.

@@ -21,9 +21,31 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod extract;
 pub mod hybrid;
 pub mod repack;
 
+pub use error::SwitchError;
 pub use extract::CkksToLwe;
 pub use repack::LweToCkks;
+
+/// Power-of-two bucket tag for a switch batch size, as a static
+/// string usable in `ufc-trace` span tags: batches of 5–8 LWEs all
+/// report as `b8`, so host profiling can attribute extract/repack time
+/// per batch-size bucket without unbounded key cardinality.
+pub(crate) fn batch_tag(len: usize) -> &'static str {
+    match len.next_power_of_two() {
+        0 | 1 => "b1",
+        2 => "b2",
+        4 => "b4",
+        8 => "b8",
+        16 => "b16",
+        32 => "b32",
+        64 => "b64",
+        128 => "b128",
+        256 => "b256",
+        512 => "b512",
+        _ => "b1024+",
+    }
+}

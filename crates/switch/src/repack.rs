@@ -9,7 +9,18 @@
 //! `μ_j − κ_j` for integer wrap counts `κ_j`; the final sine-based
 //! modular reduction (the "bootstrapping" of the repacking algorithm)
 //! removes the integer part.
+//!
+//! The mat-vec runs baby-step/giant-step over the `n` diagonals:
+//! with `n = g·b` (`g ≈ √n`), diagonal `k·g + j` becomes
+//! `rot_{kg}(diag′_{k,j} ∘ rot_j(key))`, so only the `g − 1` baby
+//! rotations of the repacking key (done **once**, via hoisting — one
+//! decompose+ModUp for all of them) and `b − 1` giant rotations of the
+//! inner sums are needed: `O(√n)` rotation keys instead of the naive
+//! `n − 1`. [`LweToCkks::repack_naive`] keeps the n-step reference
+//! path for conformance and benchmarking.
 
+use crate::batch_tag;
+use crate::error::SwitchError;
 use rand::Rng;
 use ufc_ckks::bootstrap::eval_poly;
 use ufc_ckks::{Ciphertext as CkksCiphertext, Evaluator as CkksEvaluator, KeySet, SecretKey};
@@ -18,7 +29,7 @@ use ufc_math::modops::to_signed;
 use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
 
 /// The repacking bridge: a CKKS encryption of the TFHE small key plus
-/// the rotation steps needed by the mat-vec transform.
+/// the BSGS split of the mat-vec transform.
 #[derive(Debug)]
 pub struct LweToCkks {
     /// CKKS encryption of the TFHE key bits, one per slot (cycled to
@@ -26,35 +37,140 @@ pub struct LweToCkks {
     key_ct: CkksCiphertext,
     /// TFHE LWE dimension `n`.
     lwe_dim: usize,
+    /// Baby-step count `g ≈ √n` (rotations of the repacking key).
+    baby: usize,
+    /// Giant-step count `b = ⌈n/g⌉` (rotations of the inner sums).
+    giant: usize,
 }
 
 impl LweToCkks {
     /// Encrypts the TFHE key under CKKS (trusted setup step) and
-    /// ensures the rotation keys used by the transform exist.
+    /// generates the `O(√n)` BSGS rotation keys: baby steps `1..g`
+    /// plus giant steps `g, 2g, …` — not the naive per-diagonal
+    /// `1..n` set.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::KeyTooLarge`] if the TFHE key outruns the slot
+    /// count, [`SwitchError::SlotCountNotMultiple`] if the slots can't
+    /// cycle it evenly.
     pub fn new<R: Rng + ?Sized>(
         ev: &CkksEvaluator,
         ckks_keys: &mut KeySet,
         ckks_sk: &SecretKey,
         tfhe_keys: &TfheKeys,
         rng: &mut R,
-    ) -> Self {
-        let slots = ev.context().slots();
+    ) -> Result<Self, SwitchError> {
+        let ctx = ev.context();
+        let slots = ctx.slots();
         let n = tfhe_keys.lwe_sk.len();
-        assert!(n <= slots, "TFHE key must fit in the slot count");
+        if n > slots {
+            return Err(SwitchError::KeyTooLarge { lwe_dim: n, slots });
+        }
         // Cyclically repeat the key so every rotation of the slot
         // vector still aligns key bit (j+i) mod n with slot j.
-        assert!(
-            slots.is_multiple_of(n),
-            "slot count must be a multiple of the LWE dimension"
-        );
+        if !slots.is_multiple_of(n) {
+            return Err(SwitchError::SlotCountNotMultiple { slots, lwe_dim: n });
+        }
         let key_vals: Vec<f64> = (0..slots).map(|j| tfhe_keys.lwe_sk[j % n] as f64).collect();
         let key_ct = ev.encrypt_real(&key_vals, ckks_keys, rng);
-        // Rotation keys for steps 1..n (diagonal method).
-        let ctx = ev.context().clone();
-        for step in 1..n {
-            ckks_keys.gen_rotation_key(&ctx, ckks_sk, step as isize, rng);
+        let baby = (n as f64).sqrt().ceil() as usize;
+        let giant = n.div_ceil(baby);
+        for step in 1..baby {
+            ckks_keys.gen_rotation_key(ctx, ckks_sk, step as isize, rng);
         }
-        Self { key_ct, lwe_dim: n }
+        for k in 1..giant {
+            ckks_keys.gen_rotation_key(ctx, ckks_sk, (k * baby) as isize, rng);
+        }
+        Ok(Self {
+            key_ct,
+            lwe_dim: n,
+            baby,
+            giant,
+        })
+    }
+
+    /// The BSGS split `(baby steps g, giant steps b)` with `g·b ≥ n`.
+    pub fn bsgs_split(&self) -> (usize, usize) {
+        (self.baby, self.giant)
+    }
+
+    /// Generates the full naive per-diagonal rotation-key set
+    /// (`1..n`), needed only to run [`LweToCkks::repack_naive`] — the
+    /// conformance/benchmark reference. The fast path never needs
+    /// these.
+    pub fn gen_naive_rotation_keys<R: Rng + ?Sized>(
+        &self,
+        ev: &CkksEvaluator,
+        ckks_keys: &mut KeySet,
+        ckks_sk: &SecretKey,
+        rng: &mut R,
+    ) {
+        for step in 1..self.lwe_dim {
+            ckks_keys.gen_rotation_key(ev.context(), ckks_sk, step as isize, rng);
+        }
+    }
+
+    /// Diagonal `s` of the transform matrix `−A/q_t`, cycled over the
+    /// slot count. Slot `t` of diagonal `s` is `−a_{t,(t+s) mod n}/q_t`
+    /// (zero past the supplied LWEs).
+    fn diagonal(
+        &self,
+        lwes: &[LweCiphertext],
+        tfhe_ctx: &TfheContext,
+        s: usize,
+        slots: usize,
+    ) -> Vec<f64> {
+        let qt = tfhe_ctx.q() as f64;
+        let n = self.lwe_dim;
+        (0..slots)
+            .map(|t| {
+                lwes.get(t)
+                    .map(|lwe| {
+                        let a = lwe.a[(t + s) % n];
+                        -(to_signed(a, tfhe_ctx.q()) as f64) / qt
+                    })
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    }
+
+    /// Shape checks shared by both repack paths.
+    fn check_inputs(&self, lwes: &[LweCiphertext], slots: usize) -> Result<(), SwitchError> {
+        if lwes.len() > slots {
+            return Err(SwitchError::TooManyLwes {
+                count: lwes.len(),
+                slots,
+            });
+        }
+        if let Some(bad) = lwes.iter().find(|lwe| lwe.dim() != self.lwe_dim) {
+            return Err(SwitchError::LweDimensionMismatch {
+                got: bad.dim(),
+                expected: self.lwe_dim,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds the plaintext `b_j/q_t` after the mat-vec and rescale.
+    fn add_body(
+        &self,
+        ev: &CkksEvaluator,
+        matvec: &CkksCiphertext,
+        lwes: &[LweCiphertext],
+        tfhe_ctx: &TfheContext,
+        slots: usize,
+    ) -> CkksCiphertext {
+        let qt = tfhe_ctx.q() as f64;
+        let b_vals: Vec<f64> = (0..slots)
+            .map(|j| {
+                lwes.get(j)
+                    .map(|lwe| to_signed(lwe.b, tfhe_ctx.q()) as f64 / qt)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let b_pt = ev.encode_real_at(&b_vals, matvec.level, matvec.scale);
+        ev.add_plain(matvec, &b_pt)
     }
 
     /// Repacks `lwes` (all under the TFHE small key) into a CKKS
@@ -62,39 +178,121 @@ impl LweToCkks {
     /// units, with integer wrap `κ_j`). Call
     /// [`LweToCkks::mod_reduce`] afterwards to strip the wraps.
     ///
-    /// # Panics
+    /// BSGS fast path: the baby rotations of the repacking key are
+    /// hoisted (decompose+ModUp once), diagonal `kg+j` is pre-rotated
+    /// in plaintext by `−kg` and folded into giant group `k`, and only
+    /// `b − 1` ciphertext rotations of the inner sums follow.
     ///
-    /// Panics if more LWEs than slots are supplied.
+    /// # Errors
+    ///
+    /// [`SwitchError::TooManyLwes`] /
+    /// [`SwitchError::LweDimensionMismatch`] on shape mismatch,
+    /// [`SwitchError::EmptyTransform`] if no diagonal is non-zero.
     pub fn repack(
         &self,
         ev: &CkksEvaluator,
         ckks_keys: &KeySet,
         lwes: &[LweCiphertext],
         tfhe_ctx: &TfheContext,
-    ) -> CkksCiphertext {
-        let _span = ufc_trace::span_n("switch", "repack", lwes.len() as u64);
+    ) -> Result<CkksCiphertext, SwitchError> {
+        let _span =
+            ufc_trace::span_full("switch", "repack", batch_tag(lwes.len()), lwes.len() as u64);
         let slots = ev.context().slots();
-        assert!(lwes.len() <= slots, "too many LWEs for the slot count");
+        self.check_inputs(lwes, slots)?;
         ev.record_public(TraceOp::Repack {
             count: lwes.len() as u32,
             level: self.key_ct.level as u32,
         });
-        let qt = tfhe_ctx.q() as f64;
+        let n = self.lwe_dim;
+        let (g, b) = (self.baby, self.giant);
+
+        // Baby rotations of the repacking key, all from one hoisting.
+        // Index 0 is the unrotated key itself (no clone: mul_plain
+        // borrows).
+        let hoisted = ev.hoist(&self.key_ct);
+        let baby_rots: Vec<CkksCiphertext> = (1..g)
+            .map(|j| ev.rotate_hoisted(&self.key_ct, &hoisted, j as isize, ckks_keys))
+            .collect();
+
+        let mut acc: Option<CkksCiphertext> = None;
+        for k in 0..b {
+            // Inner sum Σ_j diag′_{k,j} ∘ rot_j(key), where diag′ is
+            // diagonal kg+j left-rotated by −kg in plaintext:
+            // diag′[t] = diag_{kg+j}[(t − kg) mod slots].
+            let mut inner: Option<CkksCiphertext> = None;
+            for j in 0..g {
+                let s = k * g + j;
+                if s >= n {
+                    break;
+                }
+                let diag = self.diagonal(lwes, tfhe_ctx, s, slots);
+                let shifted: Vec<f64> = (0..slots)
+                    .map(|t| diag[(t + slots - (k * g) % slots) % slots])
+                    .collect();
+                if shifted.iter().all(|&d| d == 0.0) {
+                    continue;
+                }
+                let rotated = if j == 0 {
+                    &self.key_ct
+                } else {
+                    &baby_rots[j - 1]
+                };
+                let pt = ev.encode_real(&shifted, rotated.level);
+                let term = ev.mul_plain(rotated, &pt);
+                inner = Some(match inner {
+                    Some(acc) => ev.add(&acc, &term),
+                    None => term,
+                });
+            }
+            let Some(inner) = inner else { continue };
+            let term = if k == 0 {
+                inner
+            } else {
+                ev.rotate(&inner, (k * g) as isize, ckks_keys)
+            };
+            acc = Some(match acc {
+                Some(a) => ev.add(&a, &term),
+                None => term,
+            });
+        }
+        let matvec = ev.rescale(&acc.ok_or(SwitchError::EmptyTransform)?);
+        Ok(self.add_body(ev, &matvec, lwes, tfhe_ctx, slots))
+    }
+
+    /// The naive n-step diagonal reference path: one ciphertext
+    /// rotation and one encode per non-zero diagonal. Needs the full
+    /// `1..n` rotation-key set
+    /// ([`LweToCkks::gen_naive_rotation_keys`]). Kept for conformance
+    /// pinning and the old-vs-new benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LweToCkks::repack`].
+    pub fn repack_naive(
+        &self,
+        ev: &CkksEvaluator,
+        ckks_keys: &KeySet,
+        lwes: &[LweCiphertext],
+        tfhe_ctx: &TfheContext,
+    ) -> Result<CkksCiphertext, SwitchError> {
+        let _span = ufc_trace::span_full(
+            "switch",
+            "repack_naive",
+            batch_tag(lwes.len()),
+            lwes.len() as u64,
+        );
+        let slots = ev.context().slots();
+        self.check_inputs(lwes, slots)?;
+        ev.record_public(TraceOp::Repack {
+            count: lwes.len() as u32,
+            level: self.key_ct.level as u32,
+        });
         let n = self.lwe_dim;
         // Diagonal method over rotation steps 0..n:
         //   out_j = Σ_i (−a_{j,(j+i) mod n}/q_t) · s_{(j+i) mod n}.
         let mut acc: Option<CkksCiphertext> = None;
         for shift in 0..n {
-            let diag: Vec<f64> = (0..slots)
-                .map(|j| {
-                    lwes.get(j)
-                        .map(|lwe| {
-                            let a = lwe.a[(j + shift) % n];
-                            -(to_signed(a, tfhe_ctx.q()) as f64) / qt
-                        })
-                        .unwrap_or(0.0)
-                })
-                .collect();
+            let diag = self.diagonal(lwes, tfhe_ctx, shift, slots);
             if diag.iter().all(|&d| d == 0.0) {
                 continue;
             }
@@ -110,17 +308,8 @@ impl LweToCkks {
                 None => term,
             });
         }
-        let matvec = ev.rescale(&acc.expect("at least one non-zero diagonal"));
-        // Add the plaintext b_j/q_t.
-        let b_vals: Vec<f64> = (0..slots)
-            .map(|j| {
-                lwes.get(j)
-                    .map(|lwe| to_signed(lwe.b, tfhe_ctx.q()) as f64 / qt)
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        let b_pt = ev.encode_real_at(&b_vals, matvec.level, matvec.scale);
-        ev.add_plain(&matvec, &b_pt)
+        let matvec = ev.rescale(&acc.ok_or(SwitchError::EmptyTransform)?);
+        Ok(self.add_body(ev, &matvec, lwes, tfhe_ctx, slots))
     }
 
     /// The sine-based modular reduction finishing the repack: maps
@@ -185,7 +374,7 @@ mod tests {
         let tfhe_ctx = TfheContext::new(16, 64, 7, 3, 6, 4);
         let tfhe_keys = TfheKeys::generate(&tfhe_ctx, &mut rng);
         let ev = CkksEvaluator::new(ckks_ctx);
-        let bridge = LweToCkks::new(&ev, &mut keys, &sk, &tfhe_keys, &mut rng);
+        let bridge = LweToCkks::new(&ev, &mut keys, &sk, &tfhe_keys, &mut rng).unwrap();
         (ev, sk, keys, tfhe_ctx, tfhe_keys, bridge, rng)
     }
 
@@ -197,7 +386,7 @@ mod tests {
             .iter()
             .map(|&m| small_mask_lwe(&tfhe_ctx, &tfhe_keys, m, 16, &mut rng))
             .collect();
-        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx).unwrap();
         let dec = ev.decrypt_real(&packed, &sk);
         for (j, &m) in messages.iter().enumerate() {
             // With reduced-range masks the wrap count is zero, so the
@@ -224,7 +413,7 @@ mod tests {
             .iter()
             .map(|&m| small_mask_lwe(&tfhe_ctx, &tfhe_keys, m, 16, &mut rng))
             .collect();
-        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let packed = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx).unwrap();
         let reduced = bridge.mod_reduce(&ev, &keys, &packed);
         let dec = ev.decrypt_real(&reduced, &sk);
         for (j, &m) in messages.iter().enumerate() {
@@ -243,11 +432,89 @@ mod tests {
     }
 
     #[test]
+    fn bsgs_matches_naive_within_tolerance() {
+        let (ev, sk, mut keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        bridge.gen_naive_rotation_keys(&ev, &mut keys, &sk, &mut rng);
+        let messages = [3u64, 0, 7, 12, 1, 15, 9, 4];
+        let lwes: Vec<LweCiphertext> = messages
+            .iter()
+            .map(|&m| small_mask_lwe(&tfhe_ctx, &tfhe_keys, m, 16, &mut rng))
+            .collect();
+        let fast = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx).unwrap();
+        let slow = bridge.repack_naive(&ev, &keys, &lwes, &tfhe_ctx).unwrap();
+        let df = ev.decrypt_real(&fast, &sk);
+        let ds = ev.decrypt_real(&slow, &sk);
+        for (j, (f, s)) in df.iter().zip(&ds).enumerate() {
+            assert!((f - s).abs() < 0.02, "slot {j}: bsgs {f} naive {s}");
+        }
+    }
+
+    #[test]
+    fn bsgs_needs_only_sqrt_rotation_keys() {
+        let ckks_ctx = CkksContext::new(32, 9, 3, 3, 36, 34);
+        let mut rng = StdRng::seed_from_u64(92);
+        let sk = SecretKey::generate(&ckks_ctx, &mut rng);
+        let mut keys = KeySet::generate(&ckks_ctx, &sk, &mut rng);
+        let tfhe_ctx = TfheContext::new(16, 64, 7, 3, 6, 4);
+        let tfhe_keys = TfheKeys::generate(&tfhe_ctx, &mut rng);
+        let ev = CkksEvaluator::new(ckks_ctx);
+        let before = keys.rotation_key_count();
+        let bridge = LweToCkks::new(&ev, &mut keys, &sk, &tfhe_keys, &mut rng).unwrap();
+        let added = keys.rotation_key_count() - before;
+        let n = tfhe_ctx.lwe_dim();
+        let (g, b) = bridge.bsgs_split();
+        assert!(g * b >= n, "BSGS split must cover all diagonals");
+        let sqrt_bound = 2 * (n as f64).sqrt().ceil() as usize;
+        assert!(
+            added <= sqrt_bound,
+            "BSGS generated {added} rotation keys, bound {sqrt_bound}"
+        );
+        assert!(
+            added < n - 1,
+            "BSGS must need fewer keys than the naive {} for n={n}",
+            n - 1
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
+        let slots = ev.context().slots();
+        let too_many: Vec<LweCiphertext> = (0..slots + 1)
+            .map(|_| small_mask_lwe(&tfhe_ctx, &tfhe_keys, 0, 16, &mut rng))
+            .collect();
+        assert_eq!(
+            bridge.repack(&ev, &keys, &too_many, &tfhe_ctx).unwrap_err(),
+            SwitchError::TooManyLwes {
+                count: slots + 1,
+                slots
+            }
+        );
+        let wrong_dim = LweCiphertext::trivial(0, 8, tfhe_ctx.q());
+        assert_eq!(
+            bridge
+                .repack(&ev, &keys, &[wrong_dim], &tfhe_ctx)
+                .unwrap_err(),
+            SwitchError::LweDimensionMismatch {
+                got: 8,
+                expected: 16
+            }
+        );
+        let trivial = LweCiphertext::trivial(0, 16, tfhe_ctx.q());
+        assert_eq!(
+            bridge
+                .repack(&ev, &keys, &[trivial], &tfhe_ctx)
+                .unwrap_err(),
+            SwitchError::EmptyTransform
+        );
+    }
+
+    #[test]
     fn repack_records_trace() {
         let (ev, _sk, keys, tfhe_ctx, tfhe_keys, bridge, mut rng) = setup();
         let lwes = vec![small_mask_lwe(&tfhe_ctx, &tfhe_keys, 1, 16, &mut rng)];
         let _ = ev.take_trace();
-        let _ = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx);
+        let _ = bridge.repack(&ev, &keys, &lwes, &tfhe_ctx).unwrap();
         let tr = ev.take_trace();
         assert!(tr
             .ops

@@ -28,7 +28,7 @@ pub fn key_switch(ctx: &TfheContext, keys: &TfheKeys, ct: &LweCiphertext) -> Lwe
             if d == 0 {
                 continue;
             }
-            out = out.sub(&keys.ksk[i][j].scale(d));
+            out.sub_scaled_assign(&keys.ksk[i][j], d);
         }
     }
     out

@@ -41,6 +41,6 @@ pub use bootstrap::{lut_test_vector, programmable_bootstrap};
 pub use circuits::EncryptedUint;
 pub use context::{MulBackend, TfheContext, TfheEvaluator};
 pub use keys::TfheKeys;
-pub use lwe::LweCiphertext;
+pub use lwe::{sub_scaled_parts, LweCiphertext};
 pub use rgsw::RgswCiphertext;
 pub use rlwe::RlweCiphertext;

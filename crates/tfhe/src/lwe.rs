@@ -103,6 +103,48 @@ impl LweCiphertext {
         }
     }
 
+    /// In-place homomorphic addition: `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or modulus mismatch.
+    pub fn add_assign(&mut self, rhs: &Self) {
+        assert_eq!(self.q, rhs.q, "modulus mismatch");
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        for (x, &y) in self.a.iter_mut().zip(&rhs.a) {
+            *x = add_mod(*x, y, self.q);
+        }
+        self.b = add_mod(self.b, rhs.b, self.q);
+    }
+
+    /// In-place homomorphic subtraction: `self -= rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or modulus mismatch.
+    pub fn sub_assign(&mut self, rhs: &Self) {
+        assert_eq!(self.q, rhs.q, "modulus mismatch");
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        for (x, &y) in self.a.iter_mut().zip(&rhs.a) {
+            *x = sub_mod(*x, y, self.q);
+        }
+        self.b = sub_mod(self.b, rhs.b, self.q);
+    }
+
+    /// In-place scaled subtraction: `self -= k·rhs`, bit-identical to
+    /// `self.sub(&rhs.scale(k))` without the two intermediate
+    /// ciphertext allocations. This is the digit-accumulation kernel
+    /// of every LWE key switch (gadget digit × KSK row).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or modulus mismatch.
+    pub fn sub_scaled_assign(&mut self, rhs: &Self, k: i64) {
+        assert_eq!(self.q, rhs.q, "modulus mismatch");
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        sub_scaled_parts(&mut self.a, &mut self.b, &rhs.a, rhs.b, k, self.q);
+    }
+
     /// Scalar multiplication by a small signed constant.
     pub fn scale(&self, k: i64) -> Self {
         let ku = from_signed(k, self.q);
@@ -111,6 +153,12 @@ impl LweCiphertext {
             b: mul_mod(self.b, ku, self.q),
             q: self.q,
         }
+    }
+
+    /// Splits the ciphertext into its `(a, b)` parts for raw-slice
+    /// accumulation via [`sub_scaled_parts`].
+    pub fn parts_mut(&mut self) -> (&mut [u64], &mut u64) {
+        (&mut self.a, &mut self.b)
     }
 
     /// Switches the modulus to `new_q` with rounding (used before
@@ -127,6 +175,26 @@ impl LweCiphertext {
             q: new_q,
         }
     }
+}
+
+/// Raw-slice scaled-subtraction kernel: `(a, b) -= k·(rhs_a, rhs_b)
+/// (mod q)`, elementwise `sub_mod(x, mul_mod(y, from_signed(k, q), q),
+/// q)` — the exact composition of [`LweCiphertext::scale`] followed by
+/// [`LweCiphertext::sub`], so accumulating through this kernel is
+/// bit-identical to the allocating form. Shared between the LWE key
+/// switch and the scheme-switch bridge's digit-major KSK, whose key
+/// material lives in flat slabs rather than `LweCiphertext` values.
+///
+/// # Panics
+///
+/// Panics if `a` and `rhs_a` differ in length.
+pub fn sub_scaled_parts(a: &mut [u64], b: &mut u64, rhs_a: &[u64], rhs_b: u64, k: i64, q: u64) {
+    assert_eq!(a.len(), rhs_a.len(), "dimension mismatch");
+    let ku = from_signed(k, q);
+    for (x, &y) in a.iter_mut().zip(rhs_a) {
+        *x = sub_mod(*x, mul_mod(y, ku, q), q);
+    }
+    *b = sub_mod(*b, mul_mod(rhs_b, ku, q), q);
 }
 
 #[cfg(test)]
@@ -168,6 +236,24 @@ mod tests {
         let c = LweCiphertext::encrypt(&ctx, &s, ctx.encode(1, 8), &mut rng);
         assert_eq!(c.scale(3).decrypt(&ctx, &s, 8), 3);
         assert_eq!(c.scale(-1).decrypt(&ctx, &s, 8), 7);
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_forms() {
+        let (ctx, s, mut rng) = setup();
+        let c1 = LweCiphertext::encrypt(&ctx, &s, ctx.encode(2, 8), &mut rng);
+        let c2 = LweCiphertext::encrypt(&ctx, &s, ctx.encode(3, 8), &mut rng);
+        let mut acc = c1.clone();
+        acc.add_assign(&c2);
+        assert_eq!(acc, c1.add(&c2));
+        let mut acc = c1.clone();
+        acc.sub_assign(&c2);
+        assert_eq!(acc, c1.sub(&c2));
+        for k in [-3i64, -1, 0, 2, 5] {
+            let mut acc = c1.clone();
+            acc.sub_scaled_assign(&c2, k);
+            assert_eq!(acc, c1.sub(&c2.scale(k)), "k={k}");
+        }
     }
 
     #[test]

@@ -116,6 +116,7 @@ pub fn run_threshold_knn(cfg: &HostRunConfig) -> HostKnnRun {
     let (bits, trace) = {
         let _cmp = ufc_trace::span_n("workload", "threshold_compare", cfg.values.len() as u64);
         env.threshold_compare(&cfg.values, cfg.threshold, cfg.space, &mut rng)
+            .expect("candidate count fits the test-scale ring")
     };
     let expected_bits: Vec<bool> = cfg.values.iter().map(|&v| v >= cfg.threshold).collect();
 

@@ -17,7 +17,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let env = HybridEnv::new_test_scale(&mut rng);
     let distances = [0u64, 3, 1, 2, 3, 0];
-    let (bits, trace) = env.threshold_compare(&distances, 2, 8, &mut rng);
+    let (bits, trace) = env
+        .threshold_compare(&distances, 2, 8, &mut rng)
+        .expect("test-scale batch fits the ring");
     println!("distances {distances:?} >= 2 ? -> {bits:?}");
     println!(
         "(hybrid trace: {} ops, scheme mix {:?})\n",

@@ -13,7 +13,7 @@ fn hybrid_comparator_is_correct() {
     let mut rng = StdRng::seed_from_u64(21);
     let env = HybridEnv::new_test_scale(&mut rng);
     let values = [3u64, 0, 2, 1];
-    let (bits, trace) = env.threshold_compare(&values, 2, 8, &mut rng);
+    let (bits, trace) = env.threshold_compare(&values, 2, 8, &mut rng).unwrap();
     assert_eq!(bits, vec![true, false, true, false]);
     assert!(!trace.is_empty());
 }

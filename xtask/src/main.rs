@@ -18,6 +18,11 @@
 //!   run it writing `BENCH_math.json` at the workspace root, and
 //!   validate the report shape (experiment tag, numeric headline
 //!   speedup, non-empty tables, host topology block).
+//! * `bench-switch [--quick]` — build the release `bench_switch`
+//!   harness, run it writing `BENCH_switch.json` at the workspace
+//!   root, and validate the report shape (experiment tag, `extract`
+//!   and `repack` tables each carrying the batch-size axis, host
+//!   topology block, O(√n) rotation-key headline).
 
 #![forbid(unsafe_code)]
 
@@ -40,10 +45,11 @@ fn main() -> ExitCode {
         Some("profile-smoke") => profile_smoke(),
         Some("trace-smoke") => trace_smoke(),
         Some("bench-math") => bench_math(args.iter().any(|a| a == "--quick")),
+        Some("bench-switch") => bench_switch(args.iter().any(|a| a == "--quick")),
         Some("-h") | Some("--help") | None => {
             eprintln!(
                 "usage: cargo xtask \
-                 <lint|fixtures|unsafe-surface|profile-smoke|trace-smoke|bench-math>"
+                 <lint|fixtures|unsafe-surface|profile-smoke|trace-smoke|bench-math|bench-switch>"
             );
             eprintln!("  lint           fmt --check + clippy -D warnings + unsafe surface");
             eprintln!("                 + fixture sweep");
@@ -55,6 +61,8 @@ fn main() -> ExitCode {
             eprintln!("                 the merged Perfetto, JSONL, and JSON host exports");
             eprintln!("  bench-math     run the math micro-benchmarks, write and validate");
             eprintln!("                 BENCH_math.json (pass --quick for small sizes)");
+            eprintln!("  bench-switch   run the scheme-switch boundary benchmarks, write and");
+            eprintln!("                 validate BENCH_switch.json (pass --quick for CI smoke)");
             if args.is_empty() {
                 ExitCode::from(2)
             } else {
@@ -685,6 +693,159 @@ fn bench_math(quick: bool) -> ExitCode {
     println!(
         "bench-math ok: {} tables ({radix_rows} ntt_radix rows), headline speedup \
          {speedup:.2}x in {}",
+        tables.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Builds the release `bench_switch` harness, runs it writing
+/// `BENCH_switch.json` at the workspace root, and validates the report
+/// shape — the same contract the CI bench-switch smoke job enforces.
+fn bench_switch(quick: bool) -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&[
+        "build",
+        "-q",
+        "--release",
+        "-p",
+        "ufc-bench",
+        "--bin",
+        "bench_switch",
+    ]) {
+        eprintln!("xtask bench-switch: building bench_switch failed");
+        return ExitCode::FAILURE;
+    }
+    let out = root.join("BENCH_switch.json");
+    let bin = root.join("target/release/bench_switch");
+    let mut cmd = Command::new(&bin);
+    cmd.arg("--out").arg(&out);
+    if quick {
+        cmd.arg("--quick");
+    }
+    println!(
+        "+ {} --out {}{}",
+        bin.display(),
+        out.display(),
+        if quick { " --quick" } else { "" }
+    );
+    if !cmd.status().map(|s| s.success()).unwrap_or(false) {
+        eprintln!("xtask bench-switch: bench_switch failed");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench-switch: {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask bench-switch: report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.get("experiment").and_then(serde::Value::as_str) != Some("bench_switch") {
+        eprintln!("xtask bench-switch: report is missing `experiment: \"bench_switch\"`");
+        return ExitCode::FAILURE;
+    }
+    // Both boundary directions must report, and every row must carry
+    // the batch-size axis — a report without it cannot answer the
+    // question the fast path exists for (how throughput scales with
+    // the number of switched ciphertexts).
+    let tables = report
+        .get("tables")
+        .and_then(serde::Value::as_array)
+        .map(<[serde::Value]>::to_vec)
+        .unwrap_or_default();
+    for name in ["extract", "repack"] {
+        let table = tables
+            .iter()
+            .find(|t| t.get("name").and_then(serde::Value::as_str) == Some(name));
+        let Some(table) = table else {
+            eprintln!("xtask bench-switch: report has no `{name}` table");
+            return ExitCode::FAILURE;
+        };
+        let has_batch_col = table
+            .get("columns")
+            .and_then(serde::Value::as_array)
+            .is_some_and(|cols| cols.iter().any(|c| c.as_str() == Some("batch")));
+        if !has_batch_col {
+            eprintln!("xtask bench-switch: `{name}` table has no `batch` column");
+            return ExitCode::FAILURE;
+        }
+        let rows = table
+            .get("rows")
+            .and_then(serde::Value::as_array)
+            .map(<[serde::Value]>::len)
+            .unwrap_or(0);
+        if rows == 0 {
+            eprintln!("xtask bench-switch: report has no populated `{name}` table");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Host-topology contract, same as bench-math: committed numbers
+    // must say what they ran on.
+    let host = report.get("host");
+    for field in ["available_parallelism", "par_threads"] {
+        if host
+            .and_then(|h| h.get(field))
+            .and_then(serde::Value::as_u64)
+            .is_none()
+        {
+            eprintln!("xtask bench-switch: report host has no numeric `{field}` field");
+            return ExitCode::FAILURE;
+        }
+    }
+    if host
+        .and_then(|h| h.get("ntt_kernel"))
+        .and_then(serde::Value::as_str)
+        .is_none()
+    {
+        eprintln!("xtask bench-switch: report host has no string `ntt_kernel` field");
+        return ExitCode::FAILURE;
+    }
+    // Headline: the BSGS key-count claim is structural (independent of
+    // runner noise), so it gates even --quick runs.
+    let headline = report.get("headline");
+    let bsgs_keys = headline
+        .and_then(|h| h.get("bsgs_rotation_keys"))
+        .and_then(serde::Value::as_u64);
+    let naive_keys = headline
+        .and_then(|h| h.get("naive_rotation_keys"))
+        .and_then(serde::Value::as_u64);
+    let (Some(bsgs_keys), Some(naive_keys)) = (bsgs_keys, naive_keys) else {
+        eprintln!("xtask bench-switch: report headline has no rotation-key counts");
+        return ExitCode::FAILURE;
+    };
+    if bsgs_keys >= naive_keys {
+        eprintln!(
+            "xtask bench-switch: BSGS holds {bsgs_keys} rotation keys, not fewer than \
+             the naive path's {naive_keys}"
+        );
+        return ExitCode::FAILURE;
+    }
+    let speedup = headline
+        .and_then(|h| h.get("extract_speedup"))
+        .and_then(serde::Value::as_f64);
+    let Some(speedup) = speedup else {
+        eprintln!("xtask bench-switch: report headline has no numeric `extract_speedup`");
+        return ExitCode::FAILURE;
+    };
+    // Timing claims only gate full runs: --quick on a shared CI runner
+    // is smoke (does the harness run end to end), not a perf contract.
+    if !quick && speedup < 1.0 {
+        eprintln!(
+            "xtask bench-switch: batched extraction headline speedup {speedup:.2}x \
+             is below the per-index path on a full run"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-switch ok: {} tables, extract headline {speedup:.2}x, rotation keys \
+         {bsgs_keys} BSGS vs {naive_keys} naive in {}",
         tables.len(),
         out.display()
     );

@@ -573,12 +573,22 @@ impl Compiler {
         let mut last = prep;
         // n blind-rotation iterations; each is Decomp → NTT → MAC →
         // accumulate → iNTT (+ the monomial multiply, folded into the
-        // evaluation-form EWMM per §IV-C3).
+        // evaluation-form EWMM per §IV-C3). The iterations form a
+        // serial chain, so `pbs_iter_chunk > 1` may fold `k` of them
+        // into one quintet with k-scaled shapes and key traffic:
+        // total work and chain latency are preserved up to
+        // lane-rounding, at 1/k the instruction count (the knob deep
+        // gate circuits rely on).
         let g2 = 2 * p.glwe_levels;
-        for _ in 0..p.blind_rotations() {
+        let chunk = self.opts.pbs_iter_chunk.max(1);
+        let iters = p.blind_rotations();
+        let mut done = 0u32;
+        while done < iters {
+            let k = chunk.min(iters - done);
+            done += k;
             let dec = s.push_packed(
                 Kernel::Decomp,
-                PolyShape::new(n, batch * g2),
+                PolyShape::new(n, batch * g2 * k),
                 w,
                 vec![last],
                 0,
@@ -587,7 +597,7 @@ impl Compiler {
             );
             let ntt = s.push_packed(
                 Kernel::Ntt,
-                PolyShape::new(n, batch * g2),
+                PolyShape::new(n, batch * g2 * k),
                 w,
                 vec![dec],
                 0,
@@ -596,16 +606,16 @@ impl Compiler {
             );
             let mac = s.push_packed(
                 Kernel::Ewmm,
-                PolyShape::new(n, batch * g2 * 2),
+                PolyShape::new(n, batch * g2 * 2 * k),
                 w,
                 vec![ntt],
-                iter_bsk,
+                iter_bsk * k as u64,
                 ph,
                 pack,
             );
             let acc = s.push_packed(
                 Kernel::Ewma,
-                PolyShape::new(n, batch * 2),
+                PolyShape::new(n, batch * 2 * k),
                 w,
                 vec![mac],
                 0,
@@ -614,7 +624,7 @@ impl Compiler {
             );
             let intt = s.push_packed(
                 Kernel::Intt,
-                PolyShape::new(n, batch * 2),
+                PolyShape::new(n, batch * 2 * k),
                 w,
                 vec![acc],
                 0,
@@ -626,7 +636,7 @@ impl Compiler {
             last = if self.opts.packing == Packing::ColpPlp {
                 s.push_packed(
                     Kernel::Rotate,
-                    PolyShape::new(n, batch * 2),
+                    PolyShape::new(n, batch * 2 * k),
                     w,
                     vec![intt],
                     0,
@@ -792,6 +802,48 @@ mod tests {
             .filter(|i| i.kernel == Kernel::Ewmm && i.hbm_bytes > 0)
             .count();
         assert_eq!(macs, 3);
+    }
+
+    #[test]
+    fn pbs_iter_chunk_preserves_work_and_traffic() {
+        let exact = compiler(Packing::TvlpPlp);
+        let coarse = Compiler::new(
+            ckks_params("C2"),
+            tfhe_params("T1"),
+            CompileOptions {
+                pbs_iter_chunk: 8,
+                ..CompileOptions::default()
+            },
+        );
+        let op = TraceOp::TfhePbs { batch: 4 };
+        let se = exact.lower_op(&op);
+        let sc = coarse.lower_op(&op);
+        // T1 has lwe_dim = 500: 8-chunking cuts 500 quintets to 63.
+        let t1 = tfhe_params("T1").unwrap();
+        assert_eq!(
+            sc.kernel_histogram()[&Kernel::Ntt],
+            (t1.lwe_dim as usize).div_ceil(8)
+        );
+        assert!(sc.len() < se.len() / 6);
+        // Total polynomial work and key traffic are invariant.
+        let elems = |s: &InstrStream| -> u64 { s.instrs().iter().map(|i| i.shape.elems()).sum() };
+        assert_eq!(elems(&se), elems(&sc));
+        assert_eq!(se.total_hbm_bytes(), sc.total_hbm_bytes());
+    }
+
+    #[test]
+    fn pbs_iter_chunk_one_is_identical() {
+        let exact = compiler(Packing::TvlpPlp);
+        let chunk1 = Compiler::new(
+            ckks_params("C2"),
+            tfhe_params("T1"),
+            CompileOptions {
+                pbs_iter_chunk: 1,
+                ..CompileOptions::default()
+            },
+        );
+        let op = TraceOp::TfhePbs { batch: 16 };
+        assert_eq!(exact.lower_op(&op).instrs(), chunk1.lower_op(&op).instrs());
     }
 
     #[test]

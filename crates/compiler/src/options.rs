@@ -46,6 +46,16 @@ pub struct CompileOptions {
     /// Scratchpad capacity the spill model checks working sets
     /// against (Table II: 256 MB on-chip SRAM).
     pub scratchpad_bytes: u64,
+    /// Blind-rotation iteration coarsening for very deep logic
+    /// traces: each `TfhePbs` lowers its `lwe_dim` iterations in
+    /// chunks of this many per Decomp→NTT→EWMM→EWMA→iNTT quintet
+    /// (shapes and key traffic scaled by the chunk size). `1` (the
+    /// default) is the exact per-iteration lowering. The iterations
+    /// of one bootstrap form a serial dependency chain, so chunking
+    /// preserves total work and chain latency up to lane-rounding;
+    /// it exists to keep multi-thousand-level gate circuits (e.g.
+    /// homomorphic SHA-256) at a tractable instruction count.
+    pub pbs_iter_chunk: u32,
 }
 
 impl Default for CompileOptions {
@@ -55,6 +65,7 @@ impl Default for CompileOptions {
             total_lanes: 16_384,
             max_batch: 64,
             scratchpad_bytes: 256 << 20,
+            pbs_iter_chunk: 1,
         }
     }
 }
@@ -68,6 +79,7 @@ mod tests {
         let o = CompileOptions::default();
         assert_eq!(o.packing, Packing::TvlpPlp);
         assert_eq!(o.total_lanes, 16_384);
+        assert_eq!(o.pbs_iter_chunk, 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod host;
 pub mod jsonl;
 pub mod metrics;
 pub mod perfetto;
+pub mod streaming;
 pub mod timeline;
 
 /// The runtime span recorder (`ufc-trace`), re-exported so consumers
@@ -58,6 +59,7 @@ pub use ufc_trace as trace;
 pub use host::{HostReport, SpanAgg};
 pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use streaming::StreamingStats;
 pub use timeline::{
     BusyInterval, CriticalPath, InstrRecord, KernelStat, PathSegment, PhaseStat, StallSummary,
     TelemetrySummary, Timeline, WindowedUtilization,

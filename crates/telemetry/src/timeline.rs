@@ -328,7 +328,7 @@ fn accumulate(items: impl Iterator<Item = (String, u64)>) -> Vec<(String, u64)> 
 }
 
 /// Largest first, name as tie-break (deterministic goldens).
-fn sort_breakdown(v: &mut [(String, u64)]) {
+pub(crate) fn sort_breakdown(v: &mut [(String, u64)]) {
     v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 }
 
@@ -381,7 +381,7 @@ pub struct CriticalPath {
 }
 
 /// Aggregate stall accounting.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
 pub struct StallSummary {
     /// Total cycles instructions spent waiting on producers.
     pub dep_stall: u64,

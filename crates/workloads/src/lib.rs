@@ -12,7 +12,11 @@
 //! * **Bootstrapping** — the CKKS bootstrapping benchmark
 //!   ([`ckks_bootstrap`]);
 //! * **TFHE PBS throughput** and **ZAMA NN-20/NN-50** ([`tfhe_apps`]);
-//! * **hybrid k-NN** with scheme switching ([`knn`]).
+//! * **hybrid k-NN** with scheme switching ([`knn`]);
+//! * **homomorphic SHA-256** — a self-checking deep boolean circuit
+//!   with ripple vs. parallel-prefix adder variants ([`sha256`],
+//!   built on the [`gate_circuit`] wire arena; beyond the paper's
+//!   workload set).
 //!
 //! The generators build traces analytically from the published
 //! algorithm structures (op sequence + level schedule); functional
@@ -30,10 +34,12 @@
 
 pub mod builder;
 pub mod ckks_bootstrap;
+pub mod gate_circuit;
 pub mod helr;
 pub mod host;
 pub mod knn;
 pub mod resnet;
+pub mod sha256;
 pub mod sorting;
 pub mod tfhe_apps;
 

@@ -1,0 +1,476 @@
+//! The SHA-256 compression function as a wire-arena gate circuit.
+//!
+//! Everything FIPS 180-4 computes with rotations and shifts is free
+//! here — ROTR/SHR are index renumbering over LSB-first bit vectors,
+//! NOT is an operand flag — so the bootstrapped-gate cost is exactly
+//! the boolean algebra: Ch (3 gates/bit), Maj (4), Σ/σ (2), and the
+//! additions, where the [`AdderKind`] choice sets the experiment:
+//!
+//! * **ripple**: each 2-operand add is 5 gates/bit with an O(w)
+//!   carry chain — the circuit is deep and thin;
+//! * **prefix**: multi-operand sums first collapse through carry-save
+//!   adders (5 gates/bit, depth 2 per layer), then one Sklansky
+//!   parallel-prefix adder of depth ~2 + 2·log₂w — the circuit is
+//!   shallow and wide.
+//!
+//! Round constants and (optionally) the initial state are public, so
+//! the arena folds them through gates at build time: adding a
+//! constant word costs measurably fewer gates than adding two
+//! encrypted words.
+
+use crate::gate_circuit::{Bit, GateCircuit, WireArena};
+
+use super::{reference, AdderKind, ShaParams};
+
+/// A `w`-bit word as LSB-first circuit bits.
+type Word = Vec<Bit>;
+
+struct Builder {
+    arena: WireArena,
+    p: ShaParams,
+    adder: AdderKind,
+}
+
+impl Builder {
+    fn w(&self) -> usize {
+        self.p.word_bits as usize
+    }
+
+    fn const_word(&self, v: u32) -> Word {
+        (0..self.w())
+            .map(|i| Bit::Const((v >> i) & 1 == 1))
+            .collect()
+    }
+
+    fn input_word(&mut self) -> Word {
+        (0..self.w()).map(|_| self.arena.input()).collect()
+    }
+
+    /// Free rotate right: bit `i` of the result is bit `(i + r) mod w`.
+    fn rotr(&self, x: &Word, r: u32) -> Word {
+        let w = self.w();
+        (0..w).map(|i| x[(i + r as usize) % w]).collect()
+    }
+
+    /// Free shift right: high bits fill with constants and fold away.
+    fn shr(&self, x: &Word, r: u32) -> Word {
+        let w = self.w();
+        (0..w)
+            .map(|i| {
+                if i + (r as usize) < w {
+                    x[i + r as usize]
+                } else {
+                    Bit::Const(false)
+                }
+            })
+            .collect()
+    }
+
+    fn xor3(&mut self, a: &Word, b: &Word, c: &Word) -> Word {
+        (0..self.w())
+            .map(|i| {
+                let ab = self.arena.xor(a[i], b[i]);
+                self.arena.xor(ab, c[i])
+            })
+            .collect()
+    }
+
+    /// Σ(x) = ROTR^r0 ⊕ ROTR^r1 ⊕ ROTR^r2 — two gates per bit.
+    fn big_sigma(&mut self, x: &Word, rots: [u32; 3]) -> Word {
+        let (a, b, c) = (
+            self.rotr(x, rots[0]),
+            self.rotr(x, rots[1]),
+            self.rotr(x, rots[2]),
+        );
+        self.xor3(&a, &b, &c)
+    }
+
+    /// σ(x) = ROTR^r0 ⊕ ROTR^r1 ⊕ SHR^s.
+    fn small_sigma(&mut self, x: &Word, rots: [u32; 2], shift: u32) -> Word {
+        let (a, b, c) = (
+            self.rotr(x, rots[0]),
+            self.rotr(x, rots[1]),
+            self.shr(x, shift),
+        );
+        self.xor3(&a, &b, &c)
+    }
+
+    /// Ch(e, f, g) = (e ∧ f) ⊕ (¬e ∧ g) — three gates per bit, the
+    /// NOT is free.
+    fn ch(&mut self, e: &Word, f: &Word, g: &Word) -> Word {
+        (0..self.w())
+            .map(|i| {
+                let ef = self.arena.and(e[i], f[i]);
+                let eg = self.arena.and(!e[i], g[i]);
+                self.arena.xor(ef, eg)
+            })
+            .collect()
+    }
+
+    /// Maj(a, b, c) = (a ∧ b) ⊕ ((a ⊕ b) ∧ c) — four gates per bit.
+    fn maj(&mut self, a: &Word, b: &Word, c: &Word) -> Word {
+        (0..self.w())
+            .map(|i| {
+                let t = self.arena.xor(a[i], b[i]);
+                let tc = self.arena.and(t, c[i]);
+                let ab = self.arena.and(a[i], b[i]);
+                self.arena.xor(tc, ab)
+            })
+            .collect()
+    }
+
+    /// Ripple-carry addition mod 2^w: the carry out of the top bit is
+    /// dropped, so its generate gates are never built.
+    fn ripple_add(&mut self, a: &Word, b: &Word) -> Word {
+        let w = self.w();
+        let mut carry = Bit::Const(false);
+        let mut sum = Vec::with_capacity(w);
+        for i in 0..w {
+            let x = self.arena.xor(a[i], b[i]);
+            sum.push(self.arena.xor(x, carry));
+            if i < w - 1 {
+                let g = self.arena.and(a[i], b[i]);
+                let t = self.arena.and(x, carry);
+                carry = self.arena.or(g, t);
+            }
+        }
+        sum
+    }
+
+    /// Sklansky parallel-prefix addition mod 2^w: generate/propagate,
+    /// log₂w combine stages, sum. Dead combines (the dropped carry
+    /// out, and propagate terms past the last stage) are skipped so
+    /// the gate count reflects live logic only.
+    fn sklansky_add(&mut self, a: &Word, b: &Word) -> Word {
+        let w = self.w();
+        let mut g: Vec<Bit> = (0..w).map(|i| self.arena.and(a[i], b[i])).collect();
+        let p_orig: Vec<Bit> = (0..w).map(|i| self.arena.xor(a[i], b[i])).collect();
+        let mut p = p_orig.clone();
+        let mut d = 0usize;
+        while (1 << d) < w {
+            let last_stage = (1 << (d + 1)) >= w;
+            for i in 0..w - 1 {
+                // g[w-1] is the dropped carry out; its chain is dead.
+                if (i >> d) & 1 == 1 {
+                    let j = ((i >> d) << d) - 1;
+                    let t = self.arena.and(p[i], g[j]);
+                    g[i] = self.arena.or(g[i], t);
+                    if !last_stage {
+                        p[i] = self.arena.and(p[i], p[j]);
+                    }
+                }
+            }
+            d += 1;
+        }
+        let mut sum = Vec::with_capacity(w);
+        sum.push(p_orig[0]);
+        for i in 1..w {
+            sum.push(self.arena.xor(p_orig[i], g[i - 1]));
+        }
+        sum
+    }
+
+    /// Carry-save adder: three addends to (sum, carry) in depth 2.
+    fn csa(&mut self, a: &Word, b: &Word, c: &Word) -> (Word, Word) {
+        let w = self.w();
+        let mut sum = Vec::with_capacity(w);
+        let mut carry = Vec::with_capacity(w);
+        carry.push(Bit::Const(false));
+        for i in 0..w {
+            let x = self.arena.xor(a[i], b[i]);
+            sum.push(self.arena.xor(x, c[i]));
+            if i < w - 1 {
+                let g = self.arena.and(a[i], b[i]);
+                let t = self.arena.and(x, c[i]);
+                carry.push(self.arena.or(g, t));
+            }
+        }
+        (sum, carry)
+    }
+
+    fn add2(&mut self, a: &Word, b: &Word) -> Word {
+        match self.adder {
+            AdderKind::Ripple => self.ripple_add(a, b),
+            AdderKind::Prefix => self.sklansky_add(a, b),
+        }
+    }
+
+    /// Multi-operand addition mod 2^w. Ripple folds left; prefix
+    /// reduces through carry-save layers to two addends first, so a
+    /// 5-operand sum costs ~3 CSA layers of depth 2 plus one
+    /// logarithmic adder instead of four carry chains.
+    fn add_many(&mut self, words: &[Word]) -> Word {
+        assert!(!words.is_empty());
+        match self.adder {
+            AdderKind::Ripple => {
+                let mut acc = words[0].clone();
+                for w in &words[1..] {
+                    acc = self.ripple_add(&acc, w);
+                }
+                acc
+            }
+            AdderKind::Prefix => {
+                let mut ws: Vec<Word> = words.to_vec();
+                while ws.len() > 2 {
+                    let mut next = Vec::with_capacity(ws.len().div_ceil(3) * 2);
+                    for group in ws.chunks(3) {
+                        match group {
+                            [a, b, c] => {
+                                let (s, k) = self.csa(a, b, c);
+                                next.push(s);
+                                next.push(k);
+                            }
+                            rest => next.extend_from_slice(rest),
+                        }
+                    }
+                    ws = next;
+                }
+                if ws.len() == 1 {
+                    ws.pop().expect("nonempty")
+                } else {
+                    self.sklansky_add(&ws[0], &ws[1])
+                }
+            }
+        }
+    }
+}
+
+/// Builds one compression-function circuit.
+///
+/// Inputs, in arena order (each word LSB-first):
+/// * with `iv: None` — the 8 chaining-state words (encrypted, so the
+///   same circuit chains across blocks), then the 16 message words;
+/// * with `iv: Some(state)` — the state is a public constant that
+///   folds into the logic; only the 16 message words are inputs.
+///
+/// Outputs: the 8 updated state words, flattened LSB-first.
+pub fn compression_circuit(p: &ShaParams, adder: AdderKind, iv: Option<[u32; 8]>) -> GateCircuit {
+    let mut b = Builder {
+        arena: WireArena::new(),
+        p: *p,
+        adder,
+    };
+    let state: Vec<Word> = match iv {
+        Some(words) => words.iter().map(|&v| b.const_word(v & p.mask())).collect(),
+        None => (0..8).map(|_| b.input_word()).collect(),
+    };
+    let mut w: Vec<Word> = (0..16.min(p.rounds as usize))
+        .map(|_| b.input_word())
+        .collect();
+    // Message inputs beyond the round count still exist (a block is
+    // always 16 words) but feed nothing.
+    for _ in w.len()..16 {
+        let _ = b.input_word();
+    }
+    let (s0_rots, s0_shift) = p.small_sigma0();
+    let (s1_rots, s1_shift) = p.small_sigma1();
+    for t in 16..p.rounds as usize {
+        let s0 = b.small_sigma(&w[t - 15], s0_rots, s0_shift);
+        let s1 = b.small_sigma(&w[t - 2], s1_rots, s1_shift);
+        let wt = b.add_many(&[w[t - 16].clone(), s0, w[t - 7].clone(), s1]);
+        w.push(wt);
+    }
+
+    let [mut a, mut bb, mut c, mut d, mut e, mut f, mut g, mut h] =
+        <[Word; 8]>::try_from(state).expect("eight state words");
+    for (t, wt) in w.iter().enumerate().take(p.rounds as usize) {
+        let sig1 = b.big_sigma(&e, p.big_sigma1());
+        let ch = b.ch(&e, &f, &g);
+        let k = b.const_word(p.k(t));
+        let t1 = b.add_many(&[h.clone(), sig1, ch, k, wt.clone()]);
+        let sig0 = b.big_sigma(&a, p.big_sigma0());
+        let maj = b.maj(&a, &bb, &c);
+        let t2 = b.add2(&sig0, &maj);
+        h = g;
+        g = f;
+        f = e;
+        e = b.add2(&d, &t1);
+        d = c;
+        c = bb;
+        bb = a;
+        a = b.add2(&t1, &t2);
+    }
+
+    let working = [a, bb, c, d, e, f, g, h];
+    let mut outputs = Vec::with_capacity(8 * p.word_bits as usize);
+    match iv {
+        Some(words) => {
+            for (i, wk) in working.iter().enumerate() {
+                let cw = b.const_word(words[i] & p.mask());
+                let out = b.add2(&cw, wk);
+                outputs.extend(out);
+            }
+        }
+        None => {
+            // Re-read the state inputs (nodes 0..8w in arena order).
+            for (i, wk) in working.iter().enumerate() {
+                let sin: Word = (0..p.word_bits)
+                    .map(|bit| Bit::Wire {
+                        node: i as u32 * p.word_bits + bit,
+                        invert: false,
+                    })
+                    .collect();
+                let out = b.add2(&sin, wk);
+                outputs.extend(out);
+            }
+        }
+    }
+
+    let name = format!("sha256[w{},r{},{}]", p.word_bits, p.rounds, adder.label());
+    b.arena.finish(name, outputs)
+}
+
+/// A `u32` as LSB-first bools (low `w` bits).
+pub fn word_bits_lsb(p: &ShaParams, v: u32) -> Vec<bool> {
+    (0..p.word_bits).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// The chaining-state input bits of a `iv: None` circuit.
+pub fn state_input_bits(p: &ShaParams, state: &[u32; 8]) -> Vec<bool> {
+    state.iter().flat_map(|&v| word_bits_lsb(p, v)).collect()
+}
+
+/// The message input bits for one padded block (16 big-endian words,
+/// LSB-first bits).
+pub fn block_input_bits(p: &ShaParams, block: &[u8]) -> Vec<bool> {
+    reference::block_words(p, block)
+        .iter()
+        .flat_map(|&v| word_bits_lsb(p, v))
+        .collect()
+}
+
+/// Decodes the 8 output state words from circuit output bits.
+///
+/// # Panics
+///
+/// Panics unless `bits` holds exactly `8w` values.
+pub fn state_from_bits(p: &ShaParams, bits: &[bool]) -> [u32; 8] {
+    assert_eq!(bits.len(), 8 * p.word_bits as usize);
+    let mut state = [0u32; 8];
+    for (i, word) in bits.chunks(p.word_bits as usize).enumerate() {
+        state[i] = word
+            .iter()
+            .enumerate()
+            .fold(0u32, |acc, (bit, &v)| acc | ((v as u32) << bit));
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the circuit in plaintext over `msg` and compares with the
+    /// reference digest.
+    fn circuit_digest(p: &ShaParams, adder: AdderKind, msg: &[u8]) -> Vec<u8> {
+        let circuit = compression_circuit(p, adder, None);
+        let padded = reference::pad(p, msg);
+        let mut state = p.h0();
+        for block in padded.chunks(p.block_bytes()) {
+            let mut inputs = state_input_bits(p, &state);
+            inputs.extend(block_input_bits(p, block));
+            let out = circuit.eval(&inputs);
+            state = state_from_bits(p, &out);
+        }
+        reference::state_bytes(p, &state)
+    }
+
+    #[test]
+    fn full_width_both_adders_match_reference() {
+        let p = ShaParams::FULL;
+        for adder in AdderKind::ALL {
+            for msg in [
+                &b"abc"[..],
+                b"",
+                b"The quick brown fox jumps over the lazy dog",
+            ] {
+                assert_eq!(
+                    circuit_digest(&p, adder, msg),
+                    reference::digest(&p, msg),
+                    "{} on {msg:?}",
+                    adder.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_configs_both_adders_match_reference() {
+        for (wbits, rounds) in [(8, 1), (8, 4), (16, 17), (32, 20)] {
+            let p = ShaParams::new(wbits, rounds);
+            for adder in AdderKind::ALL {
+                for msg in [&b""[..], b"a", b"abc", &[0xffu8; 33]] {
+                    assert_eq!(
+                        circuit_digest(&p, adder, msg),
+                        reference::digest(&p, msg),
+                        "w={wbits} r={rounds} {}",
+                        adder.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iv_folding_matches_state_input_circuit() {
+        let p = ShaParams::new(8, 4);
+        for adder in AdderKind::ALL {
+            let folded = compression_circuit(&p, adder, Some(p.h0()));
+            let chained = compression_circuit(&p, adder, None);
+            let block = reference::pad(&p, b"xy");
+            let inputs = block_input_bits(&p, &block);
+            let mut chained_inputs = state_input_bits(&p, &p.h0());
+            chained_inputs.extend(inputs.iter().copied());
+            assert_eq!(
+                state_from_bits(&p, &folded.eval(&inputs)),
+                state_from_bits(&p, &chained.eval(&chained_inputs)),
+            );
+            // Folding a public IV must save gates.
+            assert!(
+                folded.gate_count() < chained.gate_count(),
+                "{}: {} !< {}",
+                adder.label(),
+                folded.gate_count(),
+                chained.gate_count()
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_is_shallower_and_wider_than_ripple() {
+        // Only at w ≥ 16: at w = 8 chained ripple adds overlap their
+        // carry chains into a wavefront as shallow as the prefix
+        // tree, so the depth advantage only appears once the carry
+        // chain (O(w)) clearly exceeds the prefix depth (O(log w)) —
+        // exactly the tradeoff the bench experiment measures.
+        for p in [
+            ShaParams::new(16, 8),
+            ShaParams::new(32, 2),
+            ShaParams::FULL,
+        ] {
+            let ripple = compression_circuit(&p, AdderKind::Ripple, None);
+            let prefix = compression_circuit(&p, AdderKind::Prefix, None);
+            assert!(
+                prefix.depth() < ripple.depth(),
+                "depth {} !< {}",
+                prefix.depth(),
+                ripple.depth()
+            );
+            let rs = ripple.stats();
+            let ps = prefix.stats();
+            assert!(ps.mean_width > rs.mean_width);
+        }
+    }
+
+    #[test]
+    fn full_block_is_tens_of_thousands_of_gates() {
+        let stats = compression_circuit(&ShaParams::FULL, AdderKind::Ripple, None).stats();
+        assert!(
+            stats.gates > 20_000,
+            "full SHA-256 block should be tens of thousands of gates, got {}",
+            stats.gates
+        );
+        assert_eq!(stats.inputs, 8 * 32 + 16 * 32);
+        assert_eq!(stats.outputs, 8 * 32);
+    }
+}

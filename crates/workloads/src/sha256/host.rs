@@ -1,0 +1,115 @@
+//! Host-side homomorphic SHA-256 on the real `ufc-tfhe` evaluator.
+//!
+//! Runs the full pipeline — pad, encrypt the chaining state and each
+//! message block bit-by-bit, evaluate the compression circuit gate by
+//! bootstrapped gate, chain ciphertext state across blocks, decrypt —
+//! and checks the digest bit-for-bit against the plaintext reference.
+//! Stage boundaries are `ufc-trace` spans (category `workload`), so
+//! `ufc-profile --host`-style tooling attributes the wall time to
+//! keygen / encrypt / gate evaluation / decrypt.
+//!
+//! Reduced configurations ([`ShaParams::new`]) keep this tractable in
+//! CI; the full-width single-block run sits behind an `#[ignore]`d
+//! test and the scheduled CI job.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ufc_tfhe::gates::{decrypt_bool, encrypt_bool};
+use ufc_tfhe::{LweCiphertext, TfheContext, TfheKeys};
+
+use super::{circuit, reference, AdderKind, ShaParams};
+
+/// Result of one homomorphic digest run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostDigest {
+    /// Digest decrypted from the homomorphic run.
+    pub digest: Vec<u8>,
+    /// Plaintext reference digest of the same message and config.
+    pub reference: Vec<u8>,
+    /// Blocks processed (after padding).
+    pub blocks: usize,
+    /// Bootstrapped gates evaluated across all blocks.
+    pub gates: usize,
+}
+
+impl HostDigest {
+    /// Whether the homomorphic digest matches the oracle.
+    pub fn matches(&self) -> bool {
+        self.digest == self.reference
+    }
+}
+
+/// The test-scale TFHE context the gate suites use (`n = 64`,
+/// `N = 256`): small enough for host evaluation, sound enough that
+/// every bootstrapped gate decrypts correctly.
+pub fn test_context() -> TfheContext {
+    TfheContext::new(64, 256, 7, 3, 6, 4)
+}
+
+/// Homomorphic digest with caller-provided context/keys (lets tests
+/// amortize keygen across cases).
+pub fn hom_digest_with(
+    ctx: &TfheContext,
+    keys: &TfheKeys,
+    rng: &mut StdRng,
+    p: &ShaParams,
+    adder: AdderKind,
+    msg: &[u8],
+) -> HostDigest {
+    let _span = ufc_trace::span_tagged("workload", "sha256_host", adder.label());
+    let circuit = {
+        let _s = ufc_trace::span("workload", "sha256_build_circuit");
+        circuit::compression_circuit(p, adder, None)
+    };
+    let padded = reference::pad(p, msg);
+    let blocks = padded.len() / p.block_bytes();
+
+    let mut state_cts: Vec<LweCiphertext> = {
+        let _s = ufc_trace::span("workload", "sha256_encrypt");
+        circuit::state_input_bits(p, &p.h0())
+            .into_iter()
+            .map(|bit| encrypt_bool(ctx, keys, bit, rng))
+            .collect()
+    };
+
+    for block in padded.chunks(p.block_bytes()) {
+        let _s = ufc_trace::span_n("workload", "sha256_block", circuit.gate_count() as u64);
+        let mut inputs = state_cts;
+        {
+            let _e = ufc_trace::span("workload", "sha256_encrypt");
+            inputs.extend(
+                circuit::block_input_bits(p, block)
+                    .into_iter()
+                    .map(|bit| encrypt_bool(ctx, keys, bit, rng)),
+            );
+        }
+        state_cts = circuit.eval_encrypted(ctx, keys, &inputs);
+    }
+
+    let digest = {
+        let _s = ufc_trace::span("workload", "sha256_decrypt");
+        let bits: Vec<bool> = state_cts
+            .iter()
+            .map(|ct| decrypt_bool(ctx, keys, ct))
+            .collect();
+        reference::state_bytes(p, &circuit::state_from_bits(p, &bits))
+    };
+
+    HostDigest {
+        digest,
+        reference: reference::digest(p, msg),
+        blocks,
+        gates: circuit.gate_count() * blocks,
+    }
+}
+
+/// Convenience wrapper: seeded RNG, test-scale context, fresh keys.
+pub fn hom_digest(p: &ShaParams, adder: AdderKind, msg: &[u8], seed: u64) -> HostDigest {
+    let ctx = test_context();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = {
+        let _s = ufc_trace::span("workload", "sha256_keygen");
+        TfheKeys::generate(&ctx, &mut rng)
+    };
+    hom_digest_with(&ctx, &keys, &mut rng, p, adder, msg)
+}

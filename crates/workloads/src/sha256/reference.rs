@@ -1,0 +1,211 @@
+//! Plaintext reference model — the oracle every homomorphic and
+//! trace-level SHA-256 run is checked against.
+//!
+//! At [`ShaParams::FULL`] this is exact FIPS 180-4 SHA-256 (pinned
+//! against the NIST vectors in the test suite); reduced
+//! configurations keep the identical structure over `w`-bit words so
+//! the gate circuit in [`super::circuit`] always has a bit-exact
+//! plaintext twin.
+
+use super::ShaParams;
+
+/// `w`-bit rotate right.
+fn rotr(p: &ShaParams, x: u32, r: u32) -> u32 {
+    if r == 0 {
+        return x & p.mask();
+    }
+    ((x >> r) | (x << (p.word_bits - r))) & p.mask()
+}
+
+fn big_sigma(p: &ShaParams, x: u32, rots: [u32; 3]) -> u32 {
+    rotr(p, x, rots[0]) ^ rotr(p, x, rots[1]) ^ rotr(p, x, rots[2])
+}
+
+fn small_sigma(p: &ShaParams, x: u32, rots: [u32; 2], shift: u32) -> u32 {
+    rotr(p, x, rots[0]) ^ rotr(p, x, rots[1]) ^ ((x & p.mask()) >> shift)
+}
+
+fn add(p: &ShaParams, a: u32, b: u32) -> u32 {
+    a.wrapping_add(b) & p.mask()
+}
+
+/// FIPS 180-4 §5.1.1 padding, generalized to `2w`-byte blocks with a
+/// two-word length field: append `0x80`, zero-fill to the length
+/// boundary, append the message **bit** length big-endian.
+///
+/// # Panics
+///
+/// Panics if the bit length does not fit the `2w`-bit length field
+/// (only reachable for reduced widths).
+pub fn pad(p: &ShaParams, msg: &[u8]) -> Vec<u8> {
+    let block = p.block_bytes();
+    let len_bytes = p.len_bytes();
+    let bit_len = msg.len() as u128 * 8;
+    assert!(
+        bit_len < 1u128 << (2 * p.word_bits),
+        "message too long for the {}-bit length field",
+        2 * p.word_bits
+    );
+    let mut out = msg.to_vec();
+    out.push(0x80);
+    while out.len() % block != block - len_bytes {
+        out.push(0);
+    }
+    for i in (0..len_bytes).rev() {
+        out.push((bit_len >> (8 * i)) as u8);
+    }
+    debug_assert_eq!(out.len() % block, 0);
+    out
+}
+
+/// The 16 big-endian message words of one padded block.
+///
+/// # Panics
+///
+/// Panics if `block` is not exactly [`ShaParams::block_bytes`] long.
+pub fn block_words(p: &ShaParams, block: &[u8]) -> [u32; 16] {
+    assert_eq!(block.len(), p.block_bytes(), "exactly one block");
+    let bytes = p.word_bits as usize / 8;
+    let mut words = [0u32; 16];
+    for (i, chunk) in block.chunks(bytes).enumerate() {
+        words[i] = chunk.iter().fold(0u32, |acc, &b| (acc << 8) | b as u32);
+    }
+    words
+}
+
+/// One compression over a padded block (§6.2.2, truncated to
+/// `p.rounds` rounds).
+pub fn compress(p: &ShaParams, state: &mut [u32; 8], block: &[u8]) {
+    let words = block_words(p, block);
+    let mut w = [0u32; 64];
+    let (s0_rots, s0_shift) = p.small_sigma0();
+    let (s1_rots, s1_shift) = p.small_sigma1();
+    for t in 0..p.rounds as usize {
+        w[t] = if t < 16 {
+            words[t]
+        } else {
+            let s0 = small_sigma(p, w[t - 15], s0_rots, s0_shift);
+            let s1 = small_sigma(p, w[t - 2], s1_rots, s1_shift);
+            add(p, add(p, add(p, w[t - 16], s0), w[t - 7]), s1)
+        };
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for (t, &wt) in w.iter().enumerate().take(p.rounds as usize) {
+        let ch = (e & f) ^ (!e & g & p.mask());
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t1 = add(
+            p,
+            add(
+                p,
+                add(p, add(p, h, big_sigma(p, e, p.big_sigma1())), ch),
+                p.k(t),
+            ),
+            wt,
+        );
+        let t2 = add(p, big_sigma(p, a, p.big_sigma0()), maj);
+        h = g;
+        g = f;
+        f = e;
+        e = add(p, d, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = add(p, t1, t2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = add(p, *s, v);
+    }
+}
+
+/// The digest of `msg`: pad, compress every block from the truncated
+/// initial state, serialize the 8 state words big-endian.
+pub fn digest(p: &ShaParams, msg: &[u8]) -> Vec<u8> {
+    let padded = pad(p, msg);
+    let mut state = p.h0();
+    for block in padded.chunks(p.block_bytes()) {
+        compress(p, &mut state, block);
+    }
+    state_bytes(p, &state)
+}
+
+/// Serializes a state as the digest byte string (big-endian words).
+pub fn state_bytes(p: &ShaParams, state: &[u32; 8]) -> Vec<u8> {
+    let bytes = p.word_bits as usize / 8;
+    let mut out = Vec::with_capacity(p.digest_bytes());
+    for &word in state {
+        for i in (0..bytes).rev() {
+            out.push((word >> (8 * i)) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-4 / NIST CAVP known-answer vectors.
+    #[test]
+    fn nist_vector_abc() {
+        let d = digest(&ShaParams::FULL, b"abc");
+        assert_eq!(
+            hex(&d),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        let d = digest(&ShaParams::FULL, b"");
+        assert_eq!(
+            hex(&d),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_vector_two_blocks() {
+        let d = digest(
+            &ShaParams::FULL,
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        );
+        assert_eq!(
+            hex(&d),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn nist_vector_million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        let d = digest(&ShaParams::FULL, &msg);
+        assert_eq!(
+            hex(&d),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        let p = ShaParams::FULL;
+        // 55 bytes: fits one block with the 9 padding bytes exactly.
+        assert_eq!(pad(&p, &[0u8; 55]).len(), 64);
+        // 56 bytes: the 0x80 no longer fits before the length field.
+        assert_eq!(pad(&p, &[0u8; 56]).len(), 128);
+        assert_eq!(pad(&p, &[0u8; 64]).len(), 128);
+        assert_eq!(pad(&p, &[]).len(), 64);
+    }
+
+    #[test]
+    fn reduced_width_digest_is_stable() {
+        // Pinned so reduced-config oracles can't drift silently: the
+        // circuit tests, host path and bench all compare against this
+        // model.
+        let p = ShaParams::new(8, 4);
+        assert_eq!(hex(&digest(&p, b"abc")), "629da76b0ac42c9e");
+    }
+}

@@ -76,16 +76,16 @@ mod tests {
 
 /// Gate-bootstrapping throughput test: `count` two-input gates, each
 /// one linear combination + one sign bootstrap + key switch (the
-/// workload Strix's gates/s numbers measure).
+/// workload Strix's gates/s numbers measure). Emitted through the
+/// shared [`crate::gate_circuit::emit_gate_level`] helper — the same
+/// batched triple the levelized SHA-256 circuit uses.
 pub fn gate_throughput(params: &'static str, count: u32) -> Trace {
     let mut tr = Trace::new(format!("gates/{params}")).with_tfhe(params);
     let batch = 64u32;
     let mut remaining = count;
     while remaining > 0 {
         let b = remaining.min(batch);
-        tr.push(TraceOp::TfheLinear { count: 2 * b });
-        tr.push(TraceOp::TfhePbs { batch: b });
-        tr.push(TraceOp::TfheKeySwitch { batch: b });
+        crate::gate_circuit::emit_gate_level(&mut tr, b);
         remaining -= b;
     }
     tr

@@ -1,0 +1,83 @@
+//! Regression pins for the SHA-256 circuit generator itself: exact
+//! full-width circuit shapes, trace emission shape, and a generous
+//! wall-clock budget for one-block trace generation.
+//!
+//! The wire arena is designed to build six-figure circuits by index
+//! bookkeeping alone (no per-gate cloning); an accidental
+//! clone-heavy or quadratic allocation path in the builders would
+//! blow the time budget long before it breaks correctness. The shape
+//! pins also guard the constant-folding rules: a folding regression
+//! shows up as a gate-count drift here before it shows up as noise in
+//! the bench tables.
+
+use std::time::{Duration, Instant};
+use ufc_isa::trace::TraceOp;
+use ufc_workloads::sha256::{self, AdderKind, ShaParams};
+
+// Exact full-width one-block shapes (gates, ASAP depth). The ripple
+// circuit is the gate-count floor, the prefix circuit the depth
+// floor; both are deterministic functions of the generator.
+const RIPPLE_FULL: (usize, u32) = (115_276, 3853);
+const PREFIX_FULL: (usize, u32) = (162_220, 1994);
+
+#[test]
+fn full_width_circuit_shapes_are_pinned() {
+    for (adder, (gates, depth)) in [
+        (AdderKind::Ripple, RIPPLE_FULL),
+        (AdderKind::Prefix, PREFIX_FULL),
+    ] {
+        let c = sha256::compression_circuit(&ShaParams::FULL, adder, None);
+        assert_eq!(
+            (c.gate_count(), c.depth()),
+            (gates, depth),
+            "{} circuit shape drifted; update the pin if the generator \
+             change is intentional",
+            adder.label()
+        );
+        // 8 state words + 16 message words in, 8 state words out.
+        assert_eq!(c.input_count(), 24 * 32);
+        assert_eq!(c.outputs().len(), 8 * 32);
+        // Every ASAP level is populated and they sum to the circuit.
+        let levels = c.levels();
+        assert_eq!(levels.len(), c.depth() as usize);
+        assert!(levels.iter().all(|&w| w > 0));
+        assert_eq!(levels.iter().map(|&w| w as usize).sum::<usize>(), gates);
+    }
+}
+
+#[test]
+fn trace_emission_is_three_ops_per_level() {
+    let tr = sha256::generate("T1", &ShaParams::FULL, AdderKind::Prefix, 1);
+    let c = sha256::compression_circuit(&ShaParams::FULL, AdderKind::Prefix, None);
+    // One Linear/Pbs/KeySwitch triple per populated level.
+    assert_eq!(tr.len(), 3 * c.depth() as usize);
+    let pbs_total: u64 = tr
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            TraceOp::TfhePbs { batch } => Some(*batch as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(pbs_total, PREFIX_FULL.0 as u64);
+}
+
+#[test]
+fn one_block_generation_stays_in_budget() {
+    // Wide margin over the observed cost (well under a second in
+    // debug for both variants together): this only catches
+    // order-of-magnitude regressions such as per-gate Vec clones in
+    // the arena or adder builders.
+    let budget = Duration::from_secs(30);
+    let start = Instant::now();
+    for adder in AdderKind::ALL {
+        let tr = sha256::generate("T1", &ShaParams::FULL, adder, 1);
+        assert!(!tr.ops.is_empty());
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < budget,
+        "one-block trace generation took {elapsed:?} (budget {budget:?}); \
+         a clone-heavy path crept into the circuit builders"
+    );
+}

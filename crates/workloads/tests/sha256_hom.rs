@@ -1,0 +1,94 @@
+//! End-to-end homomorphic SHA-256 on the real TFHE evaluator:
+//! encrypt → bootstrapped gate circuit → decrypt, checked bit-for-bit
+//! against the plaintext reference on NIST-vector messages and seeded
+//! random messages.
+//!
+//! Every test here is `#[ignore]`d: a single reduced-round block is
+//! hundreds of bootstrapped gates (~5 ms each in release, ~40× that
+//! in debug), so the suite runs in the release-mode `sha256-smoke` CI
+//! job (`cargo test -p ufc-workloads --release -- --ignored sha256`)
+//! rather than the per-PR debug tier. The full-width single-block
+//! digest — six-figure gate counts — additionally sits behind the
+//! scheduled `sha256-full` job.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+use ufc_tfhe::{TfheContext, TfheKeys};
+use ufc_workloads::sha256::{host, AdderKind, ShaParams};
+
+/// One shared key set: keygen dominates the short runs otherwise.
+fn env() -> &'static (TfheContext, TfheKeys) {
+    static ENV: OnceLock<(TfheContext, TfheKeys)> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let ctx = host::test_context();
+        let mut rng = StdRng::seed_from_u64(0x5AA5_1DEA);
+        let keys = TfheKeys::generate(&ctx, &mut rng);
+        (ctx, keys)
+    })
+}
+
+fn check(p: &ShaParams, adder: AdderKind, msg: &[u8], seed: u64) {
+    let (ctx, keys) = env();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = host::hom_digest_with(ctx, keys, &mut rng, p, adder, msg);
+    assert!(
+        out.matches(),
+        "homomorphic digest diverged from the reference: w={} r={} {} msg_len={} \
+         (got {:02x?}, want {:02x?})",
+        p.word_bits,
+        p.rounds,
+        adder.label(),
+        msg.len(),
+        out.digest,
+        out.reference
+    );
+    assert!(out.gates > 0);
+}
+
+#[test]
+#[ignore = "hundreds of host bootstraps; release-mode sha256-smoke CI job"]
+fn hom_reduced_one_round_nist_messages() {
+    let p = ShaParams::new(8, 1);
+    for adder in AdderKind::ALL {
+        // "abc" pads to one 16-byte block; the empty message checks
+        // the all-padding block.
+        check(&p, adder, b"abc", 1);
+        check(&p, adder, b"", 2);
+    }
+}
+
+#[test]
+#[ignore = "hundreds of host bootstraps; release-mode sha256-smoke CI job"]
+fn hom_reduced_two_rounds_multi_block() {
+    let p = ShaParams::new(8, 2);
+    // 14 bytes forces a second (length-only) block at w = 8.
+    check(&p, AdderKind::Ripple, b"abcdbcdecdefde", 3);
+    check(&p, AdderKind::Prefix, b"abcdbcdecdefde", 4);
+}
+
+#[test]
+#[ignore = "hundreds of host bootstraps; release-mode sha256-smoke CI job"]
+fn hom_reduced_seeded_random_messages() {
+    let p = ShaParams::new(8, 1);
+    let mut msg_rng = StdRng::seed_from_u64(0xFEED_5EED);
+    for (i, adder) in [AdderKind::Ripple, AdderKind::Prefix, AdderKind::Ripple]
+        .into_iter()
+        .enumerate()
+    {
+        let len = msg_rng.gen_range(0usize..=40);
+        let msg: Vec<u8> = (0..len).map(|_| msg_rng.gen_range(0u8..=255)).collect();
+        check(&p, adder, &msg, 100 + i as u64);
+    }
+}
+
+#[test]
+#[ignore = "full-width 64-round block (>100k bootstraps); scheduled sha256-full CI job"]
+fn hom_full_width_single_block() {
+    let p = ShaParams::new(32, 64);
+    assert_eq!(p, ShaParams::FULL);
+    // "abc" is the canonical FIPS 180-4 single-block vector; the
+    // reference side of `check` pins the digest to
+    // ba7816bf…f20015ad via the oracle equality.
+    check(&p, AdderKind::Prefix, b"abc", 7);
+}

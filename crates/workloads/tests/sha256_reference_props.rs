@@ -1,0 +1,145 @@
+//! Property tests for the SHA-256 oracle stack: the plaintext
+//! reference model against the FIPS 180-4 known-answer vectors, and
+//! the gate circuit against the reference model over random messages
+//! and every padding boundary.
+//!
+//! These run entirely in plaintext (the circuit's `eval`), so the
+//! full-width 64-round circuit — >100k gates — is cheap enough to
+//! sweep under proptest in the tier-1 suite.
+
+use proptest::prelude::*;
+use ufc_workloads::sha256::{circuit, reference, AdderKind, ShaParams};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Digest of `msg` computed by chaining the gate circuit over the
+/// padded blocks in plaintext — the same chaining the host evaluator
+/// does over ciphertexts.
+fn circuit_digest(p: &ShaParams, adder: AdderKind, msg: &[u8]) -> Vec<u8> {
+    let c = circuit::compression_circuit(p, adder, None);
+    let padded = reference::pad(p, msg);
+    let mut state_bits = circuit::state_input_bits(p, &p.h0());
+    for block in padded.chunks(p.block_bytes()) {
+        let mut inputs = state_bits;
+        inputs.extend(circuit::block_input_bits(p, block));
+        state_bits = c.eval(&inputs);
+    }
+    reference::state_bytes(p, &circuit::state_from_bits(p, &state_bits))
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors, checked against the
+// *circuit* (the reference model itself pins them in its unit tests),
+// under both adder families.
+#[test]
+fn circuit_matches_nist_vectors() {
+    let cases: [(&[u8], &str); 3] = [
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+    ];
+    for adder in AdderKind::ALL {
+        for (msg, want) in cases {
+            assert_eq!(
+                hex(&circuit_digest(&ShaParams::FULL, adder, msg)),
+                want,
+                "{} adder diverged on {:?}",
+                adder.label(),
+                String::from_utf8_lossy(msg)
+            );
+        }
+    }
+}
+
+// The three padding boundaries of the full-width block: 55 bytes (the
+// last length that fits one block), 56 (first spill into a second
+// block), 64 (exactly one block of message).
+#[test]
+fn circuit_matches_reference_at_padding_boundaries() {
+    let p = ShaParams::FULL;
+    for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+        let msg: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        for adder in AdderKind::ALL {
+            assert_eq!(
+                circuit_digest(&p, adder, &msg),
+                reference::digest(&p, &msg),
+                "len {len}, {} adder",
+                adder.label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random messages spanning 0–3 full-width blocks (a 128-byte
+    // message pads to 3 × 64 bytes).
+    #[test]
+    fn prop_full_width_circuit_matches_reference(
+        msg in proptest::collection::vec(any::<u8>(), 0..129),
+        ripple in any::<bool>(),
+    ) {
+        let adder = if ripple { AdderKind::Ripple } else { AdderKind::Prefix };
+        prop_assert_eq!(
+            circuit_digest(&ShaParams::FULL, adder, &msg),
+            reference::digest(&ShaParams::FULL, &msg)
+        );
+    }
+
+    // The reduced host-scale configurations stay oracle-exact too
+    // (16-byte blocks, so the same length range crosses many more
+    // block boundaries).
+    #[test]
+    fn prop_reduced_circuit_matches_reference(
+        msg in proptest::collection::vec(any::<u8>(), 0..49),
+        rounds in 1u32..=8,
+        ripple in any::<bool>(),
+    ) {
+        let p = ShaParams::new(8, rounds);
+        let adder = if ripple { AdderKind::Ripple } else { AdderKind::Prefix };
+        prop_assert_eq!(
+            circuit_digest(&p, adder, &msg),
+            reference::digest(&p, &msg)
+        );
+    }
+
+    // Structural padding invariants at every width.
+    #[test]
+    fn prop_padding_invariants(
+        len in 0usize..=200,
+        width_idx in 0usize..3,
+    ) {
+        let p = ShaParams::new([8u32, 16, 32][width_idx], 1);
+        let msg = vec![0xA5u8; len];
+        let padded = reference::pad(&p, &msg);
+        let block = p.block_bytes();
+        prop_assert_eq!(padded.len() % block, 0);
+        prop_assert!(padded.len() > len);
+        prop_assert_eq!(&padded[..len], &msg[..]);
+        prop_assert_eq!(padded[len], 0x80);
+        // Big-endian bit length in the trailing length field.
+        let lf = &padded[padded.len() - p.len_bytes()..];
+        let bit_len = lf.iter().fold(0u128, |acc, &b| (acc << 8) | b as u128);
+        prop_assert_eq!(bit_len, len as u128 * 8);
+    }
+
+    // Digest size and determinism.
+    #[test]
+    fn prop_digest_shape(msg in proptest::collection::vec(any::<u8>(), 0..81)) {
+        let p = ShaParams::FULL;
+        let d = reference::digest(&p, &msg);
+        prop_assert_eq!(d.len(), p.digest_bytes());
+        prop_assert_eq!(&d, &reference::digest(&p, &msg));
+    }
+}

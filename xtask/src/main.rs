@@ -23,6 +23,15 @@
 //!   root, and validate the report shape (experiment tag, `extract`
 //!   and `repack` tables each carrying the batch-size axis, host
 //!   topology block, O(√n) rotation-key headline).
+//! * `bench-sha256 [--quick]` — build the release `bench_sha256`
+//!   harness, run it writing `BENCH_sha256.json` at the workspace
+//!   root, and validate the report: `circuit`/`sim`/`host` tables,
+//!   host topology block, and the headline claims — the prefix
+//!   adder's critical path strictly shorter than ripple's, its PLP
+//!   utilization strictly higher, and the homomorphic digests
+//!   matching the plaintext reference. The structural claims are
+//!   deterministic simulator outputs, so they gate `--quick` runs
+//!   too.
 
 #![forbid(unsafe_code)]
 
@@ -46,10 +55,12 @@ fn main() -> ExitCode {
         Some("trace-smoke") => trace_smoke(),
         Some("bench-math") => bench_math(args.iter().any(|a| a == "--quick")),
         Some("bench-switch") => bench_switch(args.iter().any(|a| a == "--quick")),
+        Some("bench-sha256") => bench_sha256(args.iter().any(|a| a == "--quick")),
         Some("-h") | Some("--help") | None => {
             eprintln!(
                 "usage: cargo xtask \
-                 <lint|fixtures|unsafe-surface|profile-smoke|trace-smoke|bench-math|bench-switch>"
+                 <lint|fixtures|unsafe-surface|profile-smoke|trace-smoke|bench-math|\
+                 bench-switch|bench-sha256>"
             );
             eprintln!("  lint           fmt --check + clippy -D warnings + unsafe surface");
             eprintln!("                 + fixture sweep");
@@ -63,6 +74,8 @@ fn main() -> ExitCode {
             eprintln!("                 BENCH_math.json (pass --quick for small sizes)");
             eprintln!("  bench-switch   run the scheme-switch boundary benchmarks, write and");
             eprintln!("                 validate BENCH_switch.json (pass --quick for CI smoke)");
+            eprintln!("  bench-sha256   run the homomorphic SHA-256 benchmarks, write and");
+            eprintln!("                 validate BENCH_sha256.json (pass --quick for CI smoke)");
             if args.is_empty() {
                 ExitCode::from(2)
             } else {
@@ -846,6 +859,176 @@ fn bench_switch(quick: bool) -> ExitCode {
     println!(
         "bench-switch ok: {} tables, extract headline {speedup:.2}x, rotation keys \
          {bsgs_keys} BSGS vs {naive_keys} naive in {}",
+        tables.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Builds the release `bench_sha256` harness, runs it writing
+/// `BENCH_sha256.json` at the workspace root, and validates the
+/// report — including the experiment's acceptance claims: the
+/// parallel-prefix circuit must have a strictly shorter bootstrap
+/// critical path AND strictly higher PLP utilization than
+/// ripple-carry on the same block, and every homomorphic digest must
+/// have matched the plaintext reference. All three claims come from
+/// deterministic pipelines (circuit generator, compiler, scheduler,
+/// seeded host run), so they gate `--quick` smoke runs too.
+fn bench_sha256(quick: bool) -> ExitCode {
+    let root = workspace_root();
+    if !cargo(&[
+        "build",
+        "-q",
+        "--release",
+        "-p",
+        "ufc-bench",
+        "--bin",
+        "bench_sha256",
+    ]) {
+        eprintln!("xtask bench-sha256: building bench_sha256 failed");
+        return ExitCode::FAILURE;
+    }
+    let out = root.join("BENCH_sha256.json");
+    let bin = root.join("target/release/bench_sha256");
+    let mut cmd = Command::new(&bin);
+    cmd.arg("--out").arg(&out);
+    if quick {
+        cmd.arg("--quick");
+    }
+    println!(
+        "+ {} --out {}{}",
+        bin.display(),
+        out.display(),
+        if quick { " --quick" } else { "" }
+    );
+    if !cmd.status().map(|s| s.success()).unwrap_or(false) {
+        eprintln!("xtask bench-sha256: bench_sha256 failed");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&out) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench-sha256: {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: serde::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask bench-sha256: report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.get("experiment").and_then(serde::Value::as_str) != Some("bench_sha256") {
+        eprintln!("xtask bench-sha256: report is missing `experiment: \"bench_sha256\"`");
+        return ExitCode::FAILURE;
+    }
+    // Every layer must report, and every row must carry the adder
+    // axis — a table that cannot say which adder produced it cannot
+    // answer the depth-vs-gates question the workload exists to
+    // measure.
+    let tables = report
+        .get("tables")
+        .and_then(serde::Value::as_array)
+        .map(<[serde::Value]>::to_vec)
+        .unwrap_or_default();
+    for name in ["circuit", "sim", "host"] {
+        let table = tables
+            .iter()
+            .find(|t| t.get("name").and_then(serde::Value::as_str) == Some(name));
+        let Some(table) = table else {
+            eprintln!("xtask bench-sha256: report has no `{name}` table");
+            return ExitCode::FAILURE;
+        };
+        let has_adder_col = table
+            .get("columns")
+            .and_then(serde::Value::as_array)
+            .is_some_and(|cols| cols.iter().any(|c| c.as_str() == Some("adder")));
+        if !has_adder_col {
+            eprintln!("xtask bench-sha256: `{name}` table has no `adder` column");
+            return ExitCode::FAILURE;
+        }
+        let rows = table
+            .get("rows")
+            .and_then(serde::Value::as_array)
+            .map(<[serde::Value]>::len)
+            .unwrap_or(0);
+        if rows < 2 {
+            eprintln!(
+                "xtask bench-sha256: `{name}` table has {rows} rows, needs both adder variants"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // Host-topology contract, same as the other bench reports.
+    let host = report.get("host");
+    for field in ["available_parallelism", "par_threads"] {
+        if host
+            .and_then(|h| h.get(field))
+            .and_then(serde::Value::as_u64)
+            .is_none()
+        {
+            eprintln!("xtask bench-sha256: report host has no numeric `{field}` field");
+            return ExitCode::FAILURE;
+        }
+    }
+    if host
+        .and_then(|h| h.get("ntt_kernel"))
+        .and_then(serde::Value::as_str)
+        .is_none()
+    {
+        eprintln!("xtask bench-sha256: report host has no string `ntt_kernel` field");
+        return ExitCode::FAILURE;
+    }
+    // The acceptance claims. All deterministic, so no --quick waiver.
+    let headline = report.get("headline");
+    let field_u64 = |name: &str| {
+        headline
+            .and_then(|h| h.get(name))
+            .and_then(serde::Value::as_u64)
+    };
+    let field_f64 = |name: &str| {
+        headline
+            .and_then(|h| h.get(name))
+            .and_then(serde::Value::as_f64)
+    };
+    let (Some(ripple_depth), Some(prefix_depth)) =
+        (field_u64("ripple_depth"), field_u64("prefix_depth"))
+    else {
+        eprintln!("xtask bench-sha256: report headline has no depth pair");
+        return ExitCode::FAILURE;
+    };
+    if prefix_depth >= ripple_depth {
+        eprintln!(
+            "xtask bench-sha256: prefix critical path ({prefix_depth} levels) is not \
+             strictly shorter than ripple's ({ripple_depth})"
+        );
+        return ExitCode::FAILURE;
+    }
+    let (Some(ripple_util), Some(prefix_util)) =
+        (field_f64("ripple_plp_util"), field_f64("prefix_plp_util"))
+    else {
+        eprintln!("xtask bench-sha256: report headline has no PLP utilization pair");
+        return ExitCode::FAILURE;
+    };
+    if prefix_util <= ripple_util {
+        eprintln!(
+            "xtask bench-sha256: prefix PLP utilization ({prefix_util:.4}) is not \
+             strictly higher than ripple's ({ripple_util:.4})"
+        );
+        return ExitCode::FAILURE;
+    }
+    if headline
+        .and_then(|h| h.get("hom_ok"))
+        .and_then(serde::Value::as_bool)
+        != Some(true)
+    {
+        eprintln!("xtask bench-sha256: homomorphic digests did not match the reference");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench-sha256 ok: {} tables, critical path {prefix_depth} vs {ripple_depth} levels, \
+         PLP util {prefix_util:.3} vs {ripple_util:.3}, digests match in {}",
         tables.len(),
         out.display()
     );

@@ -1,17 +1,23 @@
 //! Micro-benchmarks for the `ufc-math` data plane: Shoup/Harvey NTT
-//! kernels vs the pre-refactor reference kernels, the radix-2 vs
-//! cache-blocked radix-4 kernel generations, negacyclic
-//! multiplication, TFHE external products and limb-parallel RNS
-//! transforms.
+//! kernels vs the pre-refactor reference kernels, the radix-2 /
+//! cache-blocked radix-4 / SIMD / IFMA kernel generations, per-op
+//! dispatched element-wise kernels, negacyclic multiplication, TFHE
+//! external products, limb-parallel RNS transforms and op-level
+//! work stealing.
 //!
 //! ```text
 //! bench_math [--quick] [--out <path>]
 //! ```
 //!
 //! Emits `BENCH_math.json` (or `--out`) with one table per kernel
-//! family and a `headline` object recording the single-thread
-//! negacyclic-multiply speedup at the largest ring dimension. `--quick`
-//! restricts sizes and repetitions for CI smoke runs.
+//! family — including `ew_kernels` (scalar vs dispatched backend per
+//! element-wise op at a 59-bit and a 50-bit prime), `ew_dispatch`
+//! (the dispatch table itself: backend + static/measured provenance
+//! per op), `ntt_ifma` (SIMD vs IFMA generation at a 49-bit prime)
+//! and `op_scaling` (work-stealing over independent plane ops) — and
+//! a `headline` object recording the single-thread
+//! negacyclic-multiply speedup at the largest ring dimension.
+//! `--quick` restricts sizes and repetitions for CI smoke runs.
 
 #![forbid(unsafe_code)]
 
@@ -247,97 +253,223 @@ fn main() {
         );
     }
 
-    // ------------------------------------------- element-wise kernels
-    // The RNS plane's add/sub/hadamard/mac/scale now run on the SIMD
-    // lane layer; measure them against the scalar loops they replaced.
-    println!("\n## Element-wise plane kernels (scalar loop vs SIMD lanes)\n");
-    println!("| kernel | scalar (µs) | simd (µs) | speedup |");
-    println!("|---|---|---|---|");
-    let ew_table = json.table(
-        "ew_kernels",
-        &["kernel", "n", "scalar_ns", "simd_ns", "speedup"],
+    // --------------------------------------- IFMA kernel generation
+    // The fifth generation only exists below 2^50, so it gets its own
+    // sweep at a 49-bit prime instead of a column in the 60-bit radix
+    // table. On hosts without AVX-512 IFMA the portable mirror lanes
+    // run — bit-identical, but the timing is then a fallback
+    // measurement, flagged by host.ifma in the report.
+    let ifma_hw = ufc_math::simd::ifma_available();
+    println!(
+        "\n## IFMA kernel generation at a 49-bit prime (AVX-512 IFMA {})\n",
+        if ifma_hw {
+            "active"
+        } else {
+            "absent: portable lanes"
+        }
     );
+    println!(
+        "| N | fwd simd (µs) | fwd ifma (µs) | speedup | inv simd (µs) | inv ifma (µs) | speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let ifma_table = json.table(
+        "ntt_ifma",
+        &[
+            "n",
+            "forward_simd_ns",
+            "forward_ifma_ns",
+            "forward_speedup",
+            "inverse_simd_ns",
+            "inverse_ifma_ns",
+            "inverse_speedup",
+        ],
+    );
+    for &n in &sizes {
+        let q = generate_ntt_prime(n, 49).expect("49-bit NTT prime");
+        let ctx = NttContext::try_new_with_kernel(n, q, NttKernel::Ifma)
+            .expect("49-bit prime fits the IFMA window");
+        let r = reps(n);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut buf = data.clone();
+        let fwd_simd = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(NttKernel::Simd, &mut buf);
+        });
+        let eval = buf.clone();
+        let fwd_ifma = time_ns(r, || {
+            buf.copy_from_slice(&data);
+            ctx.forward_with(NttKernel::Ifma, &mut buf);
+        });
+        assert_eq!(buf, eval, "ifma forward diverged from simd");
+        let inv_simd = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_with(NttKernel::Simd, &mut buf);
+        });
+        assert_eq!(buf, data, "simd inverse failed to round-trip");
+        let inv_ifma = time_ns(r, || {
+            buf.copy_from_slice(&eval);
+            ctx.inverse_with(NttKernel::Ifma, &mut buf);
+        });
+        assert_eq!(buf, data, "ifma inverse diverged from simd");
+        ifma_table.push(vec![
+            cell(n as u64),
+            cell(fwd_simd),
+            cell(fwd_ifma),
+            cell(fwd_simd / fwd_ifma),
+            cell(inv_simd),
+            cell(inv_ifma),
+            cell(inv_simd / inv_ifma),
+        ]);
+        println!(
+            "| {n} | {:.1} | {:.1} | {:.2}x | {:.1} | {:.1} | {:.2}x |",
+            fwd_simd / 1e3,
+            fwd_ifma / 1e3,
+            fwd_simd / fwd_ifma,
+            inv_simd / 1e3,
+            inv_ifma / 1e3,
+            inv_simd / inv_ifma
+        );
+    }
+
+    // ------------------------------------------- element-wise kernels
+    // The RNS plane's add/sub/hadamard/mac/scale go through the
+    // per-op dispatch layer; measure the *dispatched* entry points
+    // against the scalar loops they replaced, at one prime per vector
+    // window: 59 bits exercises the AVX2 limb-split window (too wide
+    // for IFMA), 50 bits brings the IFMA 52-bit Barrett window in.
+    // Because dispatch falls back to the portable unroll whenever a
+    // vector backend would lose on this host, every row's speedup is
+    // expected at >= 1.0 — the xtask validator gates on it.
+    println!("\n## Element-wise plane kernels (scalar loop vs dispatched backend)\n");
+    let mut ew_rows = Vec::new();
+    let mut ew_dispatch_rows = Vec::new();
     {
         use ufc_math::modops::{add_mod, mul_mod, shoup_precompute, sub_mod, Barrett};
-        use ufc_math::simd;
+        use ufc_math::simd::{self, EwOp};
         let n = if opts.quick { 1 << 13 } else { 1 << 15 };
-        let q = generate_ntt_prime(1 << 10, 59).expect("59-bit NTT prime");
-        let br = Barrett::new(q);
-        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
-        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
-        let c: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
-        let s = rng.gen_range(1..q);
-        let ss = shoup_precompute(s, q);
-        let r = reps(n);
-        let mut buf = a.clone();
-        // (name, scalar loop, simd call) per kernel; each rep re-seeds
-        // the destination so both sides do identical memory traffic.
-        let mut rows: Vec<(&str, f64, f64)> = Vec::new();
-        macro_rules! ew {
-            ($name:expr, $scalar:expr, $simd:expr) => {{
-                let scalar = time_ns(r, || {
-                    buf.copy_from_slice(&a);
-                    $scalar(&mut buf);
-                });
-                let scalar_out = buf.clone();
-                let simd_t = time_ns(r, || {
-                    buf.copy_from_slice(&a);
-                    $simd(&mut buf);
-                });
-                assert_eq!(buf, scalar_out, "{} kernels diverged", $name);
-                rows.push(($name, scalar, simd_t));
-            }};
-        }
-        ew!(
-            "add",
-            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
-                *xi = add_mod(*xi, bi, q);
-            },
-            |x: &mut Vec<u64>| simd::add_mod_slice(x, &b, q)
-        );
-        ew!(
-            "sub",
-            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
-                *xi = sub_mod(*xi, bi, q);
-            },
-            |x: &mut Vec<u64>| simd::sub_mod_slice(x, &b, q)
-        );
-        ew!(
-            "hadamard",
-            |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
-                *xi = br.mul(*xi, bi);
-            },
-            |x: &mut Vec<u64>| simd::mul_mod_slice(x, &b, q)
-        );
-        ew!(
-            "mac",
-            |x: &mut Vec<u64>| for ((xi, &bi), &ci) in x.iter_mut().zip(&b).zip(&c) {
-                *xi = add_mod(*xi, mul_mod(bi, ci, q), q);
-            },
-            |x: &mut Vec<u64>| simd::mac_mod_slice(x, &b, &c, q)
-        );
-        ew!(
-            "scale",
-            |x: &mut Vec<u64>| for xi in x.iter_mut() {
-                *xi = br.mul(*xi, s);
-            },
-            |x: &mut Vec<u64>| simd::scale_shoup_slice(x, s, ss, q)
-        );
-        for (name, scalar, simd_t) in rows {
-            let speedup = scalar / simd_t;
-            ew_table.push(vec![
-                cell(name),
-                cell(n as u64),
-                cell(scalar),
-                cell(simd_t),
-                cell(speedup),
-            ]);
-            println!(
-                "| {name} | {:.1} | {:.1} | {speedup:.2}x |",
-                scalar / 1e3,
-                simd_t / 1e3
+        for bits in [59u32, 50] {
+            let q = generate_ntt_prime(1 << 10, bits).expect("NTT prime");
+            let br = Barrett::new(q);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let c: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let s = rng.gen_range(1..q);
+            let ss = shoup_precompute(s, q);
+            let r = reps(n);
+            let mut buf = a.clone();
+            println!("### {bits}-bit prime (q = {q})\n");
+            println!("| kernel | scalar (µs) | dispatched (µs) | speedup | backend | source |");
+            println!("|---|---|---|---|---|---|");
+            // (op, scalar loop, simd call) per kernel; each rep
+            // re-seeds the destination so both sides do identical
+            // memory traffic.
+            let mut rows: Vec<(EwOp, f64, f64)> = Vec::new();
+            macro_rules! ew {
+                ($op:expr, $scalar:expr, $simd:expr) => {{
+                    let scalar = time_ns(r, || {
+                        buf.copy_from_slice(&a);
+                        $scalar(&mut buf);
+                    });
+                    let scalar_out = buf.clone();
+                    let simd_t = time_ns(r, || {
+                        buf.copy_from_slice(&a);
+                        $simd(&mut buf);
+                    });
+                    assert_eq!(buf, scalar_out, "{} kernels diverged", $op.name());
+                    rows.push(($op, scalar, simd_t));
+                }};
+            }
+            ew!(
+                EwOp::Add,
+                |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                    *xi = add_mod(*xi, bi, q);
+                },
+                |x: &mut Vec<u64>| simd::add_mod_slice(x, &b, q)
             );
+            ew!(
+                EwOp::Sub,
+                |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                    *xi = sub_mod(*xi, bi, q);
+                },
+                |x: &mut Vec<u64>| simd::sub_mod_slice(x, &b, q)
+            );
+            ew!(
+                EwOp::Mul,
+                |x: &mut Vec<u64>| for (xi, &bi) in x.iter_mut().zip(&b) {
+                    *xi = br.mul(*xi, bi);
+                },
+                |x: &mut Vec<u64>| simd::mul_mod_slice(x, &b, q)
+            );
+            ew!(
+                EwOp::Mac,
+                |x: &mut Vec<u64>| for ((xi, &bi), &ci) in x.iter_mut().zip(&b).zip(&c) {
+                    *xi = add_mod(*xi, mul_mod(bi, ci, q), q);
+                },
+                |x: &mut Vec<u64>| simd::mac_mod_slice(x, &b, &c, q)
+            );
+            ew!(
+                EwOp::Scale,
+                |x: &mut Vec<u64>| for xi in x.iter_mut() {
+                    *xi = br.mul(*xi, s);
+                },
+                |x: &mut Vec<u64>| simd::scale_shoup_slice(x, s, ss, q)
+            );
+            for (op, scalar, simd_t) in rows {
+                let speedup = scalar / simd_t;
+                let route = simd::ew_route(op, q);
+                let name = match op {
+                    EwOp::Mul => "hadamard",
+                    other => other.name(),
+                };
+                ew_rows.push(vec![
+                    cell(name),
+                    cell(bits as u64),
+                    cell(n as u64),
+                    cell(scalar),
+                    cell(simd_t),
+                    cell(speedup),
+                    cell(route.backend.name()),
+                    cell(route.source.name()),
+                ]);
+                println!(
+                    "| {name} | {:.1} | {:.1} | {speedup:.2}x | {} | {} |",
+                    scalar / 1e3,
+                    simd_t / 1e3,
+                    route.backend.name(),
+                    route.source.name()
+                );
+            }
+            println!();
+            for route in simd::ew_dispatch_table(q) {
+                ew_dispatch_rows.push(vec![
+                    cell(bits as u64),
+                    cell(q),
+                    cell(route.op.name()),
+                    cell(route.backend.name()),
+                    cell(route.source.name()),
+                ]);
+            }
         }
+    }
+    let ew_table = json.table(
+        "ew_kernels",
+        &[
+            "kernel",
+            "bits",
+            "n",
+            "scalar_ns",
+            "simd_ns",
+            "speedup",
+            "backend",
+            "source",
+        ],
+    );
+    for row in ew_rows {
+        ew_table.push(row);
+    }
+    let ew_dispatch_table = json.table("ew_dispatch", &["bits", "q", "op", "backend", "source"]);
+    for row in ew_dispatch_rows {
+        ew_dispatch_table.push(row);
     }
 
     // ------------------------------------------- negacyclic multiply
@@ -464,6 +596,80 @@ fn main() {
         println!("| {threads} | {:.1} |", t / 1e3);
     }
 
+    // --------------------------------------- op-level work stealing
+    // One tier above limb fan-out: a trace of *independent*
+    // element-wise plane ops (the shape of one evaluator level over
+    // disjoint ciphertexts), distributed over the self-scheduling
+    // par_ops queue. Workers pull the next op when they finish their
+    // current one, so skewed per-op costs cannot strand work behind a
+    // static partition. Results are asserted bit-identical between
+    // the 1-thread and N-thread runs — scheduling must never leak
+    // into values.
+    let op_count = if opts.quick { 8 } else { 24 };
+    let op_moduli = generate_ntt_primes(plane_n, 50, 2);
+    let build_ops = |count: usize| -> Vec<(RnsPlane, RnsPlane, RnsPlane)> {
+        (0..count)
+            .map(|i| {
+                let mk = |salt: u64| {
+                    let polys: Vec<Poly> = op_moduli
+                        .iter()
+                        .enumerate()
+                        .map(|(l, &q)| {
+                            Poly::pseudorandom(plane_n, q, salt + 131 * i as u64 + l as u64)
+                        })
+                        .collect();
+                    RnsPlane::from_polys(&polys, ufc_math::poly::Form::Eval)
+                };
+                (mk(1), mk(2), mk(3))
+            })
+            .collect()
+    };
+    println!("\n## Op-level work stealing ({op_count} independent plane ops, N = {plane_n})\n");
+    println!("| threads | wall (µs) | speedup |");
+    println!("|---|---|---|");
+    let op_scale_table = json.table("op_scaling", &["threads", "ops", "wall_ns", "speedup"]);
+    let op_threads = [1usize, par::effective_threads().max(2)];
+    let mut op_serial_result: Option<Vec<RnsPlane>> = None;
+    let mut op_serial_ns = 0.0f64;
+    for &threads in &op_threads {
+        let mut wall = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..(if opts.quick { 2 } else { 6 }) {
+            let mut ops = build_ops(op_count);
+            let prev = par::set_max_threads(threads);
+            let t = Instant::now();
+            par::par_ops_on(&mut ops, |i, (acc, a, b)| {
+                acc.hadamard_assign(a);
+                acc.mac_assign(a, b);
+                if i % 2 == 0 {
+                    acc.add_assign(b);
+                }
+            });
+            wall = wall.min(t.elapsed().as_nanos() as f64);
+            par::set_max_threads(prev);
+            result = Some(ops.into_iter().map(|(acc, _, _)| acc).collect::<Vec<_>>());
+        }
+        let result = result.expect("at least one timed rep");
+        match &op_serial_result {
+            None => {
+                op_serial_result = Some(result);
+                op_serial_ns = wall;
+            }
+            Some(first) => assert_eq!(
+                first, &result,
+                "op-level work stealing produced thread-count-dependent results"
+            ),
+        }
+        let speedup = op_serial_ns / wall;
+        op_scale_table.push(vec![
+            cell(threads as u64),
+            cell(op_count as u64),
+            cell(wall),
+            cell(speedup),
+        ]);
+        println!("| {threads} | {:.1} | {speedup:.2}x |", wall / 1e3);
+    }
+
     // ------------------------------------------- disabled-trace cost
     // Every NTT entry point now opens a `ufc_trace` span. With no
     // recorder live that site must be free (one relaxed atomic load):
@@ -562,6 +768,7 @@ fn main() {
     struct Host {
         available_parallelism: u64,
         avx2: bool,
+        ifma: bool,
         ntt_kernel: String,
         par_threads: u64,
         trace_overhead_pct: f64,
@@ -590,20 +797,31 @@ fn main() {
         host: Host {
             available_parallelism: cores as u64,
             avx2,
+            ifma: ifma_hw,
             // The kernel generation the dispatcher actually picks at
-            // the largest benched size (env override included).
-            ntt_kernel: NttKernel::select(*sizes.last().expect("sizes nonempty"))
-                .name()
-                .to_owned(),
+            // the largest benched size and its 60-bit prime (env
+            // override included).
+            ntt_kernel: {
+                let top = *sizes.last().expect("sizes nonempty");
+                let q = generate_ntt_prime(top, 60).expect("60-bit NTT prime");
+                NttKernel::select_for(top, q)
+                    .unwrap_or_else(|e| usage_error(&e.to_string()))
+                    .name()
+                    .to_owned()
+            },
             par_threads: ufc_math::par::effective_threads() as u64,
             trace_overhead_pct: worst_overhead_pct,
             mul_mod_ns,
             mul_shoup_lazy_ns: mul_shoup_ns,
-            simd_note: "AVX2 has no 64-bit vector multiply (vpmullq is AVX-512), so each \
-                        64x64 lane product is synthesized from 32-bit vpmuludq partials; \
-                        kernels dominated by variable-by-variable products (hadamard, mac) \
-                        can trail scalar Barrett on such hosts, while add/sub/scale and the \
-                        Shoup butterflies vectorize cleanly."
+            simd_note: "Element-wise ops are routed per (op, modulus) by a dispatch table: \
+                        add/sub/scale take AVX2 statically; hadamard/mac take AVX-512 IFMA \
+                        (vpmadd52, 52-bit Barrett) for moduli below 2^50, else the AVX2 \
+                        limb-split multiply (q < 2^61) only when a one-shot calibration race \
+                        says it beats scalar Barrett on this host — hosts with a fast scalar \
+                        mulx route wide-modulus hadamard back to the portable unroll. The \
+                        dispatch floor makes speedup >= 1.0 an invariant; the >= 1.3x \
+                        hadamard/mac rows come from the IFMA window. UFC_SIMD_DISABLE \
+                        overrides routing for A/B runs."
                 .to_owned(),
         },
         headline: Headline {

@@ -295,7 +295,13 @@ fn main() {
         quick: opts.quick,
         host: Host {
             available_parallelism: cores as u64,
-            ntt_kernel: NttKernel::select(256).name().to_owned(),
+            ntt_kernel: NttKernel::select_for(
+                256,
+                ufc_math::prime::generate_ntt_prime(256, 31).expect("31-bit NTT prime"),
+            )
+            .unwrap_or_else(|e| usage_error(&e.to_string()))
+            .name()
+            .to_owned(),
             par_threads: ufc_math::par::effective_threads() as u64,
         },
         headline: Headline {

@@ -259,7 +259,9 @@ fn main() {
         quick: opts.quick,
         host: Host {
             available_parallelism: cores as u64,
-            ntt_kernel: NttKernel::select(ring_n).name().to_owned(),
+            // The kernel the CKKS tables actually dispatch to (env
+            // override and modulus width included).
+            ntt_kernel: ev.context().ntt_q(0).kernel().name().to_owned(),
             par_threads: ufc_math::par::effective_threads() as u64,
         },
         headline: Headline {

@@ -259,9 +259,37 @@ impl CkksContext {
     /// (`Q` and `P` limbs alike). All kernels are bit-identical, so
     /// this changes scheduling only; it exists for the cross-kernel
     /// conformance/precision suites and A/B timing.
-    pub fn set_ntt_kernel(&mut self, kernel: NttKernel) {
+    ///
+    /// Fails with [`ufc_math::ntt::NttError::IfmaPrimeTooWide`] —
+    /// without touching any table — when `kernel` is
+    /// [`NttKernel::Ifma`] and some chain modulus is at or above
+    /// 2⁵⁰: CKKS chains routinely carry ~60-bit limbs, which the
+    /// 52-bit product window cannot represent.
+    pub fn try_set_ntt_kernel(&mut self, kernel: NttKernel) -> Result<(), ufc_math::ntt::NttError> {
+        // Validate the whole chain before mutating so a failure does
+        // not leave the tables half-switched.
+        for table in &self.ntt {
+            if !kernel.supports_modulus(table.modulus()) {
+                return Err(ufc_math::ntt::NttError::IfmaPrimeTooWide { q: table.modulus() });
+            }
+        }
         for table in &mut self.ntt {
-            Arc::make_mut(table).set_kernel(kernel);
+            Arc::make_mut(table)
+                .try_set_kernel(kernel)
+                .expect("chain-wide width check already passed");
+        }
+        Ok(())
+    }
+
+    /// Panicking [`Self::try_set_ntt_kernel`], for tests and benches
+    /// whose moduli are known to fit the requested generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when some chain modulus is too wide for `kernel`.
+    pub fn set_ntt_kernel(&mut self, kernel: NttKernel) {
+        if let Err(e) = self.try_set_ntt_kernel(kernel) {
+            panic!("set_ntt_kernel: {e}");
         }
     }
 

@@ -89,8 +89,17 @@ fn pipeline(kernel: NttKernel) -> PipelineOut {
 
 #[test]
 fn precision_pinned_and_bit_identical_across_kernels() {
+    // The 36-bit limbs here sit inside the IFMA window, so the fifth
+    // generation joins the sweep — on hosts without AVX-512 IFMA it
+    // runs the bit-identical portable mirror lanes, which is exactly
+    // the leg non-IFMA CI needs pinned.
     let reference = pipeline(NttKernel::Reference);
-    for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
+    for kernel in [
+        NttKernel::Radix2,
+        NttKernel::Radix4,
+        NttKernel::Simd,
+        NttKernel::Ifma,
+    ] {
         let out = pipeline(kernel);
         assert_eq!(
             out.roundtrip, reference.roundtrip,

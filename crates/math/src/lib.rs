@@ -9,12 +9,14 @@
 //!   reductions,
 //! * NTT-friendly prime generation and primitive-root search
 //!   ([`prime`]),
-//! * the classical iterative number-theoretic transform with four
+//! * the classical iterative number-theoretic transform with five
 //!   coexisting kernel generations — seed reference, Shoup/Harvey
-//!   radix-2, cache-blocked radix-4, and 4-wide SIMD lanes ([`simd`],
-//!   AVX2 with a bit-identical portable fallback) — behind a
-//!   per-dimension runtime dispatch ([`ntt`], [`ntt::NttKernel`],
-//!   `UFC_NTT_KERNEL`), and the **constant-geometry (Pease) NTT**
+//!   radix-2, cache-blocked radix-4, 4-wide SIMD lanes ([`simd`],
+//!   AVX2 with a bit-identical portable fallback), and an AVX-512
+//!   IFMA generation (52-bit `vpmadd52` Barrett, moduli below 2⁵⁰) —
+//!   behind a per-dimension runtime dispatch ([`ntt`],
+//!   [`ntt::NttKernel`], `UFC_NTT_KERNEL`), and the
+//!   **constant-geometry (Pease) NTT**
 //!   that UFC's interconnect co-design is built around ([`cgntt`]),
 //!   plus the double-precision FFT datapath of the Strix baseline
 //!   ([`fft`], §VII-D),
@@ -31,9 +33,9 @@
 //!
 //! Everything is pure, deterministic (given an RNG) and extensively
 //! property-tested. `unsafe` is confined to exactly one module — the
-//! AVX2 intrinsics backend of [`simd`], gated behind runtime feature
-//! detection — and every other module is compiled with
-//! `deny(unsafe_code)`.
+//! AVX2 / AVX-512 IFMA intrinsics backends of [`simd`], gated behind
+//! runtime feature detection — and every other module is compiled
+//! with `deny(unsafe_code)`.
 //!
 //! ## Example
 //!

@@ -269,6 +269,77 @@ pub fn pow2_64_mod(q: u64) -> u64 {
     ((1u128 << 64) % q as u128) as u64
 }
 
+/// Bit width of the product halves produced by the AVX-512 IFMA
+/// `vpmadd52lo/hi` instructions: each lane multiplies two 52-bit
+/// operands and accumulates either the low or the high 52 bits of the
+/// 104-bit product.
+pub const IFMA_PRODUCT_BITS: u32 = 52;
+
+/// Mask selecting the low 52 bits of a lane.
+pub const M52: u64 = (1u64 << IFMA_PRODUCT_BITS) - 1;
+
+/// Largest modulus bit width the 52-bit (IFMA) kernel generation
+/// supports.
+///
+/// The Harvey lazy stages keep values below `4q` and the element-wise
+/// Barrett path below `4q` as well; both must fit the 52-bit lane
+/// domain, so `4q < 2^52`, i.e. `q < 2^50`. (The instruction's operand
+/// width is 52 bits; the two-bit gap is the lazy-reduction headroom.)
+pub const IFMA_MAX_MODULUS_BITS: u32 = 50;
+
+/// Whether modulus `q` fits the 52-bit (IFMA) kernel generation.
+#[inline]
+pub fn ifma_modulus_ok(q: u64) -> bool {
+    (2..(1u64 << IFMA_MAX_MODULUS_BITS)).contains(&q)
+}
+
+/// Precomputes the 52-bit Shoup companion word `floor(w · 2^52 / q)` of
+/// a constant `w < q < 2^50`, for use with [`mul_shoup52_lazy`].
+///
+/// This is the twiddle representation of the IFMA kernel generation:
+/// `vpmadd52hi` yields `floor(a · w52 / 2^52)` in one instruction, so
+/// the quotient estimate that costs a 128-bit high product on 64-bit
+/// lanes is a single fused multiply here.
+#[inline]
+pub fn shoup52_precompute(w: u64, q: u64) -> u64 {
+    debug_assert!(w < q, "constant must be reduced");
+    debug_assert!(ifma_modulus_ok(q), "modulus must fit 50 bits");
+    (((w as u128) << IFMA_PRODUCT_BITS) / q as u128) as u64
+}
+
+/// 52-bit Shoup multiplication by a precomputed constant, *lazy*
+/// variant: returns `a · w mod q` as a representative in `[0, 2q)`.
+///
+/// Accepts any `a < 2^52` (in particular the `< 4q` Harvey stage
+/// values), mirroring [`mul_shoup_lazy`] with the radix lowered from
+/// `2^64` to `2^52`. The subtraction is computed in 64-bit wrapping
+/// arithmetic and masked to 52 bits, which matches what the IFMA lanes
+/// do (`vpmadd52lo` returns products mod `2^52`): the true value
+/// `a·w − hi·q` lies in `[0, 2q) ⊂ [0, 2^52)`, so reducing both
+/// products mod `2^52` before subtracting cannot change it.
+///
+/// Bound proof, as for the 64-bit variant: `w52 = (w·2^52 − r₀)/q` with
+/// `0 ≤ r₀ < q`, so `hi = floor(a·w52 / 2^52)` undershoots `a·w/q` by
+/// less than 2, giving `0 ≤ a·w − hi·q < 2q`.
+#[inline]
+pub fn mul_shoup52_lazy(a: u64, w: u64, w52: u64, q: u64) -> u64 {
+    debug_assert!(a <= M52, "lazy operand must fit 52 bits");
+    let hi = ((a as u128 * w52 as u128) >> IFMA_PRODUCT_BITS) as u64;
+    a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q)) & M52
+}
+
+/// 52-bit Shoup multiplication by a precomputed constant, fully
+/// reduced: `a · w mod q` in `[0, q)` for any `a < 2^52`.
+#[inline]
+pub fn mul_shoup52(a: u64, w: u64, w52: u64, q: u64) -> u64 {
+    let r = mul_shoup52_lazy(a, w, w52, q);
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
 /// Maps a signed integer into `[0, q)`.
 #[inline]
 pub fn from_signed(v: i64, q: u64) -> u64 {
@@ -396,6 +467,32 @@ mod tests {
         for q in [2u64, 3, 11, P, Q, (1 << 62) - 57] {
             assert_eq!(pow2_64_mod(q) as u128, (1u128 << 64) % q as u128, "q={q}");
         }
+    }
+
+    #[test]
+    fn shoup52_lazy_is_congruent_and_bounded() {
+        // 50-bit NTT-friendly prime (the IFMA ceiling) and a small one.
+        for q in [1_125_899_906_826_241u64, 65_537, 12_289] {
+            assert!(ifma_modulus_ok(q));
+            let w = 0x1234_5678_9abc_def0 % q;
+            let w52 = shoup52_precompute(w, q);
+            for a in [0u64, 1, q - 1, 2 * q - 1, 4 * q - 1, M52] {
+                let r = mul_shoup52_lazy(a, w, w52, q);
+                assert!(r < 2 * q, "lazy result must stay below 2q");
+                assert_eq!(r % q, mul_mod(a % q, w, q));
+                assert_eq!(mul_shoup52(a, w, w52, q), mul_mod(a % q, w, q));
+            }
+        }
+    }
+
+    #[test]
+    fn ifma_modulus_ok_boundaries() {
+        assert!(ifma_modulus_ok(2));
+        assert!(ifma_modulus_ok((1 << 50) - 1));
+        assert!(!ifma_modulus_ok(1 << 50));
+        assert!(!ifma_modulus_ok(u64::MAX));
+        assert!(!ifma_modulus_ok(0));
+        assert!(!ifma_modulus_ok(1));
     }
 
     #[test]

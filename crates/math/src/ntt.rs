@@ -21,7 +21,7 @@
 //!
 //! # Kernel generations and dispatch
 //!
-//! Four kernel generations coexist, all bit-identical on reduced
+//! Five kernel generations coexist, all bit-identical on reduced
 //! inputs (pinned by `crates/math/tests/kernel_conformance.rs`):
 //!
 //! * [`NttKernel::Reference`] — the seed kernel: fully reduced
@@ -44,21 +44,37 @@
 //!   portable 4-lane unroll everywhere else). Same lazy-reduction
 //!   invariants, same canonical outputs — the software analogue of
 //!   UFC's arrays of hardware butterfly lanes.
+//! * [`NttKernel::Ifma`] — the same schedule on the 8-wide AVX-512
+//!   IFMA lane kernels (`vpmadd52lo/hi`), with twiddles carried as
+//!   radix-2⁵² Shoup companions ([`crate::modops::shoup52_precompute`]).
+//!   Restricted to `q < 2^50` so every lazy value stays below the
+//!   52-bit product window; SHARP's narrow-word argument (PAPERS.md)
+//!   is the same trade. An always-compiled portable mirror evaluates
+//!   the identical per-lane formulas, so IFMA legs are bit-identical
+//!   whether or not the host has the hardware.
 //!
 //! Each [`NttContext`] picks a kernel at construction:
 //! the `UFC_NTT_KERNEL` environment variable (`auto` / `reference` /
-//! `radix2` / `radix4` / `simd`) wins if set and well-formed,
-//! otherwise the heuristic [`NttKernel::auto_for`] applies (SIMD
-//! whenever the host has AVX2, else radix-4 at `N ≥ 2^13` and radix-2
-//! below). A malformed value no longer panics library consumers:
-//! [`NttKernel::select`] warns once on stderr and falls back to the
-//! heuristic, while CLIs validate the variable at startup via
-//! [`NttKernel::from_env`] and fail fast. Tests and benches can
-//! override per context via [`NttContext::set_kernel`] or call a
-//! specific kernel directly via [`NttContext::forward_with`].
+//! `radix2` / `radix4` / `simd` / `ifma`) wins if set and well-formed,
+//! otherwise the heuristic [`NttKernel::auto_for`] applies (IFMA when
+//! the host has AVX-512 IFMA and the modulus fits, then SIMD whenever
+//! the host has AVX2, else radix-4 at `N ≥ 2^13` and radix-2 below).
+//! A malformed value no longer panics library consumers:
+//! [`NttKernel::select_for`] warns once on stderr and falls back to
+//! the heuristic, while CLIs validate the variable at startup via
+//! [`NttKernel::from_env`] and fail fast. Forcing `ifma` is strict,
+//! not best-effort: a host without AVX-512 IFMA gets
+//! [`NttError::IfmaUnavailable`] (unless `UFC_IFMA_PORTABLE=1`
+//! explicitly opts into the portable mirror lanes, the CI-runner
+//! escape hatch) and a modulus at or above 2⁵⁰ bits gets
+//! [`NttError::IfmaPrimeTooWide`] — never a silent fallback. Tests
+//! and benches can override per context via
+//! [`NttContext::try_set_kernel`] or call a specific kernel directly
+//! via [`NttContext::forward_with`].
 
 use crate::modops::{
-    add_mod, inv_mod, mul_mod, mul_shoup_lazy, pow_mod, shoup_precompute, sub_mod, Barrett,
+    add_mod, ifma_modulus_ok, inv_mod, mul_mod, mul_shoup_lazy, pow_mod, shoup52_precompute,
+    shoup_precompute, sub_mod, Barrett, IFMA_MAX_MODULUS_BITS,
 };
 use crate::poly::Poly;
 use crate::prime::{is_prime, primitive_root_of_unity};
@@ -66,8 +82,17 @@ use crate::simd;
 
 /// Environment variable that overrides NTT kernel selection for every
 /// subsequently built [`NttContext`]: `auto`, `reference`, `radix2`,
-/// `radix4` or `simd` (case-insensitive).
+/// `radix4`, `simd` or `ifma` (case-insensitive).
 pub const KERNEL_ENV: &str = "UFC_NTT_KERNEL";
+
+/// Environment variable that lets a forced `UFC_NTT_KERNEL=ifma` run
+/// on the portable mirror lanes when the host lacks AVX-512 IFMA
+/// (`1`/`true` to opt in). Without it, forcing `ifma` on such a host
+/// is a typed [`NttError::IfmaUnavailable`] — the CI kernel matrix
+/// sets this variable so GitHub runners exercise the generation's
+/// arithmetic bit-identically, while still making accidental
+/// hardware-less forcing loud everywhere else.
+pub const IFMA_PORTABLE_ENV: &str = "UFC_IFMA_PORTABLE";
 
 /// Elements per cache block of the radix-4 schedule: `2^12` × 8 bytes
 /// = 32 KiB, sized to a typical L1 data cache.
@@ -97,16 +122,22 @@ pub enum NttKernel {
     /// kernels of [`crate::simd`] (AVX2 when available, bit-identical
     /// portable unroll otherwise).
     Simd,
+    /// The same schedule on the 8-wide AVX-512 IFMA lane kernels
+    /// (`vpmadd52lo/hi` with radix-2⁵² Shoup twiddles). Requires
+    /// `q < 2^50`; runs on a bit-identical portable mirror when the
+    /// hardware is absent.
+    Ifma,
 }
 
 impl NttKernel {
     /// Every kernel, in oracle-to-fastest order — the iteration set of
     /// the conformance suite and the CI kernel matrix.
-    pub const ALL: [NttKernel; 4] = [
+    pub const ALL: [NttKernel; 5] = [
         NttKernel::Reference,
         NttKernel::Radix2,
         NttKernel::Radix4,
         NttKernel::Simd,
+        NttKernel::Ifma,
     ];
 
     /// The canonical lowercase name (what `UFC_NTT_KERNEL` accepts).
@@ -116,29 +147,44 @@ impl NttKernel {
             NttKernel::Radix2 => "radix2",
             NttKernel::Radix4 => "radix4",
             NttKernel::Simd => "simd",
+            NttKernel::Ifma => "ifma",
         }
     }
 
     /// Parses a kernel name (case-insensitive). `None` for unknown
     /// names — note `auto` is *not* a kernel; it is handled by
-    /// [`NttKernel::select`].
+    /// [`NttKernel::select_for`].
     pub fn parse(s: &str) -> Option<NttKernel> {
         match s.to_ascii_lowercase().as_str() {
             "reference" => Some(NttKernel::Reference),
             "radix2" => Some(NttKernel::Radix2),
             "radix4" => Some(NttKernel::Radix4),
             "simd" => Some(NttKernel::Simd),
+            "ifma" => Some(NttKernel::Ifma),
             _ => None,
         }
     }
 
-    /// The heuristic default: the SIMD lane kernel whenever the host
-    /// supports AVX2 (it wins at every dimension — same schedule as
+    /// Whether this kernel can run a transform over modulus `q` at
+    /// all: every generation except [`NttKernel::Ifma`] accepts the
+    /// full `[2, 2^62)` range; IFMA needs `q < 2^50` so lazy values
+    /// fit the 52-bit product window. The conformance suites and the
+    /// bench kernel table iterate `ALL.filter(supports_modulus)`.
+    pub fn supports_modulus(self, q: u64) -> bool {
+        self != NttKernel::Ifma || ifma_modulus_ok(q)
+    }
+
+    /// The heuristic default: IFMA when the host has AVX-512 IFMA and
+    /// the modulus fits its 50-bit ceiling (8 lanes and single-cycle
+    /// 52-bit multiplies beat everything else), then the SIMD lane
+    /// kernel whenever the host supports AVX2 (same schedule as
     /// radix-4, wider butterflies), otherwise cache-blocked radix-4
     /// once the working set outgrows one block (`n ≥ 2^13`) and
     /// radix-2 below.
-    pub fn auto_for(n: usize) -> NttKernel {
-        if simd::avx2_available() {
+    pub fn auto_for(n: usize, q: u64) -> NttKernel {
+        if simd::ifma_available() && ifma_modulus_ok(q) {
+            NttKernel::Ifma
+        } else if simd::avx2_available() {
             NttKernel::Simd
         } else if n >= RADIX4_MIN_DIM {
             NttKernel::Radix4
@@ -173,8 +219,8 @@ impl NttKernel {
     /// (or `auto`/empty).
     ///
     /// CLIs call this once at startup and fail fast on `Err`; library
-    /// paths go through [`NttKernel::select`], which degrades to the
-    /// heuristic with a one-shot warning instead of panicking deep
+    /// paths go through [`NttKernel::select_for`], which degrades to
+    /// the heuristic with a one-shot warning instead of panicking deep
     /// inside table construction.
     ///
     /// # Errors
@@ -188,30 +234,59 @@ impl NttKernel {
         }
     }
 
-    /// Kernel selection for ring dimension `n`: the `UFC_NTT_KERNEL`
-    /// environment variable if set (and not `auto`), otherwise
-    /// [`NttKernel::auto_for`].
+    /// Kernel selection for ring dimension `n` over modulus `q`: the
+    /// `UFC_NTT_KERNEL` environment variable if set (and not `auto`),
+    /// otherwise [`NttKernel::auto_for`].
     ///
-    /// A malformed variable does **not** panic here: contexts are
-    /// built deep inside scheme and simulator code, where aborting on
-    /// a typo'd environment would take the whole consumer down. The
+    /// A malformed variable does **not** panic or error here: contexts
+    /// are built deep inside scheme and simulator code, where aborting
+    /// on a typo'd environment would take the whole consumer down. The
     /// malformed value is reported once on stderr and selection falls
     /// back to the heuristic. Binaries that want the hard failure
     /// (bench runners, the CI kernel matrix via `xtask`) validate with
     /// [`NttKernel::from_env`] before building anything.
-    pub fn select(n: usize) -> NttKernel {
+    ///
+    /// A *well-formed* but unsatisfiable `ifma` override is different:
+    /// silently falling back would hand a CI leg or a bench run a
+    /// kernel it did not ask for, so it is a typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// With `UFC_NTT_KERNEL=ifma` set: [`NttError::IfmaPrimeTooWide`]
+    /// when `q ≥ 2^50`, and [`NttError::IfmaUnavailable`] when the
+    /// host lacks AVX-512 IFMA and `UFC_IFMA_PORTABLE` does not opt
+    /// into the portable mirror lanes.
+    pub fn select_for(n: usize, q: u64) -> Result<NttKernel, NttError> {
         match Self::from_env() {
-            Ok(Some(k)) => k,
-            Ok(None) => Self::auto_for(n),
+            Ok(Some(NttKernel::Ifma)) => {
+                if !ifma_modulus_ok(q) {
+                    return Err(NttError::IfmaPrimeTooWide { q });
+                }
+                if !simd::ifma_available() && !ifma_portable_requested() {
+                    return Err(NttError::IfmaUnavailable);
+                }
+                Ok(NttKernel::Ifma)
+            }
+            Ok(Some(k)) => Ok(k),
+            Ok(None) => Ok(Self::auto_for(n, q)),
             Err(e) => {
                 static WARNED: std::sync::Once = std::sync::Once::new();
                 WARNED.call_once(|| {
                     eprintln!("warning: {e}; falling back to automatic kernel selection");
                 });
-                Self::auto_for(n)
+                Ok(Self::auto_for(n, q))
             }
         }
     }
+}
+
+/// Whether `UFC_IFMA_PORTABLE` opts a forced `ifma` kernel into the
+/// portable mirror lanes on hardware without AVX-512 IFMA.
+fn ifma_portable_requested() -> bool {
+    matches!(
+        std::env::var(IFMA_PORTABLE_ENV).ok().as_deref(),
+        Some("1") | Some("true")
+    )
 }
 
 /// An unrecognized `UFC_NTT_KERNEL` value, reported by
@@ -226,7 +301,7 @@ impl std::fmt::Display for KernelEnvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{KERNEL_ENV} must be one of auto|reference|radix2|radix4|simd, got `{}`",
+            "{KERNEL_ENV} must be one of auto|reference|radix2|radix4|simd|ifma, got `{}`",
             self.value
         )
     }
@@ -269,6 +344,20 @@ pub enum NttError {
         /// The modulus it was checked against.
         q: u64,
     },
+    /// The IFMA kernel was requested for a modulus at or above 2⁵⁰,
+    /// where lazy values no longer fit the 52-bit product window.
+    /// Raised by a forced `UFC_NTT_KERNEL=ifma` and by
+    /// [`NttContext::try_set_kernel`] alike — width is a hard
+    /// correctness bound, never subject to a portable escape.
+    IfmaPrimeTooWide {
+        /// The rejected modulus.
+        q: u64,
+    },
+    /// `UFC_NTT_KERNEL=ifma` was forced on a host without AVX-512
+    /// IFMA, and `UFC_IFMA_PORTABLE` did not opt into the portable
+    /// mirror lanes. Silent fallback here would hand CI legs and
+    /// bench runs a kernel they did not ask for.
+    IfmaUnavailable,
 }
 
 impl std::fmt::Display for NttError {
@@ -289,6 +378,14 @@ impl std::fmt::Display for NttError {
             NttError::PsiNotPrimitive { psi, q } => {
                 write!(f, "{psi} is not a primitive 2N-th root of unity mod {q}")
             }
+            NttError::IfmaPrimeTooWide { q } => write!(
+                f,
+                "modulus {q} is too wide for the IFMA kernel (requires q < 2^{IFMA_MAX_MODULUS_BITS})"
+            ),
+            NttError::IfmaUnavailable => write!(
+                f,
+                "UFC_NTT_KERNEL=ifma requires AVX-512 IFMA hardware; set {IFMA_PORTABLE_ENV}=1 to run the portable mirror lanes"
+            ),
         }
     }
 }
@@ -320,6 +417,9 @@ pub struct NttContext {
     psi_pows: Vec<u64>,
     /// Shoup companions of `psi_pows`.
     psi_shoup: Vec<u64>,
+    /// Radix-2⁵² Shoup companions of `psi_pows` for the IFMA kernel —
+    /// built eagerly iff `q < 2^50`, empty otherwise.
+    psi_shoup52: Vec<u64>,
     /// ψ^{-i} for i in 0..N.
     psi_inv_pows: Vec<u64>,
     /// ω = ψ² powers: ω^i for i in 0..N.
@@ -334,10 +434,15 @@ pub struct NttContext {
     omega_stage: Vec<u64>,
     /// Shoup companions of `omega_stage`.
     omega_stage_shoup: Vec<u64>,
+    /// Radix-2⁵² companions of `omega_stage` (IFMA; empty when
+    /// `q ≥ 2^50`).
+    omega_stage_shoup52: Vec<u64>,
     /// Stage-major twiddles for the lazy inverse stages.
     omega_inv_stage: Vec<u64>,
     /// Shoup companions of `omega_inv_stage`.
     omega_inv_stage_shoup: Vec<u64>,
+    /// Radix-2⁵² companions of `omega_inv_stage` (IFMA).
+    omega_inv_stage_shoup52: Vec<u64>,
     /// N^{-1} mod q.
     n_inv: u64,
     /// Shoup companion of `n_inv`.
@@ -346,6 +451,8 @@ pub struct NttContext {
     psi_inv_n_pows: Vec<u64>,
     /// Shoup companions of `psi_inv_n_pows`.
     psi_inv_n_shoup: Vec<u64>,
+    /// Radix-2⁵² companions of `psi_inv_n_pows` (IFMA).
+    psi_inv_n_shoup52: Vec<u64>,
     /// Barrett reducer for the element-wise (hadamard) kernel.
     barrett: Barrett,
     /// Which butterfly kernel `forward`/`inverse` execute.
@@ -395,6 +502,43 @@ impl NttContext {
         Self::try_with_psi(n, q, psi)
     }
 
+    /// [`Self::try_new`] with the kernel pinned explicitly, never
+    /// consulting `UFC_NTT_KERNEL`. This is the construction seam for
+    /// conformance suites and benches that must behave identically
+    /// under every leg of the CI kernel matrix — including legs whose
+    /// forced kernel could not legally run over this modulus.
+    ///
+    /// Like [`Self::try_set_kernel`], an explicit [`NttKernel::Ifma`]
+    /// does not require the hardware (the portable mirror lanes are
+    /// bit-identical), but the 50-bit width bound is always enforced.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Self::try_new`] parameter error, or
+    /// [`NttError::IfmaPrimeTooWide`] when `kernel` cannot run over
+    /// `q`.
+    pub fn try_new_with_kernel(n: usize, q: u64, kernel: NttKernel) -> Result<Self, NttError> {
+        if !kernel.supports_modulus(q) {
+            return Err(NttError::IfmaPrimeTooWide { q });
+        }
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NttError::DimNotPowerOfTwo { n });
+        }
+        if !(2..1u64 << 62).contains(&q) {
+            return Err(NttError::ModulusOutOfRange { q });
+        }
+        if !is_prime(q) {
+            return Err(NttError::ModulusNotPrime { q });
+        }
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(NttError::NotNttFriendly { n, q });
+        }
+        let psi = primitive_root_of_unity(2 * n as u64, q);
+        let mut ctx = Self::build_with_psi(n, q, psi)?;
+        ctx.kernel = kernel;
+        Ok(ctx)
+    }
+
     /// Builds tables using a caller-chosen 2N-th root `psi`.
     ///
     /// Used by the automorphism-via-NTT trick (§IV-C2), which swaps ψ
@@ -415,8 +559,20 @@ impl NttContext {
     ///
     /// # Errors
     ///
-    /// [`NttError`] describing the first failing check.
+    /// [`NttError`] describing the first failing check, including the
+    /// strict `UFC_NTT_KERNEL=ifma` selection errors of
+    /// [`NttKernel::select_for`].
     pub fn try_with_psi(n: usize, q: u64, psi: u64) -> Result<Self, NttError> {
+        let mut ctx = Self::build_with_psi(n, q, psi)?;
+        ctx.kernel = NttKernel::select_for(n, q)?;
+        Ok(ctx)
+    }
+
+    /// Table construction shared by the ambient-selection and
+    /// pinned-kernel constructors. Never consults the environment;
+    /// the kernel field is left at [`NttKernel::Reference`] for the
+    /// caller to overwrite.
+    fn build_with_psi(n: usize, q: u64, psi: u64) -> Result<Self, NttError> {
         if n == 0 || !n.is_power_of_two() {
             return Err(NttError::DimNotPowerOfTwo { n });
         }
@@ -476,25 +632,47 @@ impl NttContext {
         let omega_inv_stage_shoup = shoup_of(&omega_inv_stage);
         let psi_inv_n_pows: Vec<u64> = psi_inv_pows.iter().map(|&p| mul_mod(p, n_inv, q)).collect();
         let psi_inv_n_shoup = shoup_of(&psi_inv_n_pows);
+        // Radix-2⁵² companions whenever the modulus fits the IFMA
+        // window, so `try_set_kernel(Ifma)` and `forward_with(Ifma)`
+        // work without a rebuild; empty (and the kernel unreachable)
+        // otherwise.
+        let (psi_shoup52, omega_stage_shoup52, omega_inv_stage_shoup52, psi_inv_n_shoup52) =
+            if ifma_modulus_ok(q) {
+                let s52 = |v: &[u64]| -> Vec<u64> {
+                    v.iter().map(|&w| shoup52_precompute(w, q)).collect()
+                };
+                (
+                    s52(&psi_pows),
+                    s52(&omega_stage),
+                    s52(&omega_inv_stage),
+                    s52(&psi_inv_n_pows),
+                )
+            } else {
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+            };
         Ok(Self {
             n,
             q,
             psi,
             psi_pows,
             psi_shoup,
+            psi_shoup52,
             psi_inv_pows,
             omega_pows,
             omega_inv_pows,
             omega_stage,
             omega_stage_shoup,
+            omega_stage_shoup52,
             omega_inv_stage,
             omega_inv_stage_shoup,
+            omega_inv_stage_shoup52,
             n_inv,
             n_inv_shoup: shoup_precompute(n_inv, q),
             psi_inv_n_pows,
             psi_inv_n_shoup,
+            psi_inv_n_shoup52,
             barrett: Barrett::new(q),
-            kernel: NttKernel::select(n),
+            kernel: NttKernel::Reference,
         })
     }
 
@@ -504,16 +682,49 @@ impl NttContext {
         self.kernel
     }
 
-    /// Forces a specific kernel for this context (tests, benches, and
-    /// scheme contexts that re-pin all their tables at once).
-    pub fn set_kernel(&mut self, kernel: NttKernel) {
+    /// Fallible kernel override (tests, benches, and scheme contexts
+    /// that re-pin all their tables at once).
+    ///
+    /// Unlike the strict `UFC_NTT_KERNEL=ifma` environment path, an
+    /// explicit [`NttKernel::Ifma`] here does *not* require the
+    /// hardware: the portable mirror lanes evaluate the identical
+    /// per-lane formulas, which is exactly what conformance suites on
+    /// non-IFMA hosts need. The 50-bit width bound is a correctness
+    /// bound, though, and is always enforced.
+    ///
+    /// # Errors
+    ///
+    /// [`NttError::IfmaPrimeTooWide`] when `kernel` is
+    /// [`NttKernel::Ifma`] and this context's modulus is ≥ 2⁵⁰ (its
+    /// radix-2⁵² tables were never built).
+    pub fn try_set_kernel(&mut self, kernel: NttKernel) -> Result<(), NttError> {
+        if !kernel.supports_modulus(self.q) {
+            return Err(NttError::IfmaPrimeTooWide { q: self.q });
+        }
         self.kernel = kernel;
+        Ok(())
+    }
+
+    /// Forces a specific kernel for this context.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel cannot run over this context's modulus
+    /// (see [`Self::try_set_kernel`]).
+    pub fn set_kernel(&mut self, kernel: NttKernel) {
+        self.try_set_kernel(kernel)
+            .unwrap_or_else(|e| panic!("cannot set NTT kernel: {e}"));
     }
 
     /// Builder-style [`Self::set_kernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel cannot run over this context's modulus
+    /// (see [`Self::try_set_kernel`]).
     #[must_use]
     pub fn with_kernel(mut self, kernel: NttKernel) -> Self {
-        self.kernel = kernel;
+        self.set_kernel(kernel);
         self
     }
 
@@ -1002,6 +1213,17 @@ impl NttContext {
                 bit_reverse_permute(a);
                 self.simd_stage_walk(a, &self.omega_stage, &self.omega_stage_shoup, true);
             }
+            NttKernel::Ifma => {
+                self.assert_ifma_tables();
+                bit_reverse_permute(a);
+                self.ifma_stage_walk(
+                    a,
+                    &self.omega_stage,
+                    &self.omega_stage_shoup,
+                    &self.omega_stage_shoup52,
+                    true,
+                );
+            }
         }
     }
 
@@ -1030,6 +1252,17 @@ impl NttContext {
             NttKernel::Simd => {
                 bit_reverse_permute(a);
                 self.simd_stage_walk(a, &self.omega_inv_stage, &self.omega_inv_stage_shoup, false);
+            }
+            NttKernel::Ifma => {
+                self.assert_ifma_tables();
+                bit_reverse_permute(a);
+                self.ifma_stage_walk(
+                    a,
+                    &self.omega_inv_stage,
+                    &self.omega_inv_stage_shoup,
+                    &self.omega_inv_stage_shoup52,
+                    false,
+                );
             }
         }
         let q = self.q;
@@ -1066,6 +1299,7 @@ impl NttContext {
             NttKernel::Radix2 => self.forward_radix2(a),
             NttKernel::Radix4 => self.forward_radix4(a),
             NttKernel::Simd => self.forward_simd(a),
+            NttKernel::Ifma => self.forward_ifma(a),
         }
     }
 
@@ -1076,6 +1310,7 @@ impl NttContext {
             NttKernel::Radix2 => self.inverse_radix2(a),
             NttKernel::Radix4 => self.inverse_radix4(a),
             NttKernel::Simd => self.inverse_simd(a),
+            NttKernel::Ifma => self.inverse_ifma(a),
         }
     }
 
@@ -1297,6 +1532,163 @@ impl NttContext {
         for chunk in a.chunks_exact_mut(len) {
             let (lo, hi) = chunk.split_at_mut(half);
             simd::harvey_stage(lo, hi, tw, tws, self.q, reduce);
+        }
+    }
+
+    /// Guard shared by every IFMA entry point: the radix-2⁵² tables
+    /// exist exactly when `q < 2^50`, and running the 52-bit formulas
+    /// past that bound would silently wrap — a panic with the typed
+    /// error's message is the only acceptable outcome for an explicit
+    /// `forward_with(Ifma)` bypass on a fat-prime context.
+    fn assert_ifma_tables(&self) {
+        assert!(
+            ifma_modulus_ok(self.q),
+            "{}",
+            NttError::IfmaPrimeTooWide { q: self.q }
+        );
+    }
+
+    /// Negacyclic forward NTT, 8-wide AVX-512 IFMA lane kernel
+    /// (portable mirror lanes when the hardware is absent — same
+    /// per-lane formulas, bit-identical outputs).
+    ///
+    /// Same schedule as [`Self::forward_simd`]; the butterfly inner
+    /// loops run the radix-2⁵² Shoup kernels of [`crate::simd`]. The
+    /// large-`n` entry reuses the scalar fused bit-reversal+twist
+    /// (64-bit Shoup): its `< 2q` outputs are exactly what the walk
+    /// requires, and the lazy representatives it produces are the same
+    /// on hardware and portable legs, preserving leg-for-leg bit
+    /// identity.
+    pub fn forward_ifma(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.assert_ifma_tables();
+        if self.n > RADIX4_BLOCK {
+            self.bit_reverse_twist(a);
+        } else {
+            simd::twist_lazy52_slice(a, &self.psi_pows, &self.psi_shoup52, self.q);
+            bit_reverse_permute(a);
+        }
+        self.ifma_stage_walk(
+            a,
+            &self.omega_stage,
+            &self.omega_stage_shoup,
+            &self.omega_stage_shoup52,
+            true,
+        );
+    }
+
+    /// Negacyclic inverse NTT, 8-wide AVX-512 IFMA lane kernel.
+    ///
+    /// Lazy stage walk, then the fused `ψ^{-i}·N^{-1}` post-twist as
+    /// one 52-bit lane sweep with the `[0, q)` correction folded in.
+    pub fn inverse_ifma(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n);
+        self.assert_ifma_tables();
+        bit_reverse_permute(a);
+        self.ifma_stage_walk(
+            a,
+            &self.omega_inv_stage,
+            &self.omega_inv_stage_shoup,
+            &self.omega_inv_stage_shoup52,
+            false,
+        );
+        simd::twist_reduce52_slice(a, &self.psi_inv_n_pows, &self.psi_inv_n_shoup52, self.q);
+    }
+
+    /// The IFMA stage walker: [`Self::simd_stage_walk`]'s blocked
+    /// schedule with the inner loops on the 52-bit lane kernels.
+    /// `twiddles_shoup52` carries the radix-2⁵² companions; the
+    /// twiddle values themselves are shared with every other kernel.
+    ///
+    /// The first stage pair of each block stays on the scalar
+    /// [`Self::fused_pair_first`]: stage 1 is multiply-free there and
+    /// stage 2's two twiddles are loop-invariant, so lanes buy nothing
+    /// — and keeping it scalar keeps the entry bound (`< 2q`) and the
+    /// per-leg bit identity argument unchanged.
+    fn ifma_stage_walk(
+        &self,
+        a: &mut [u64],
+        twiddles: &[u64],
+        twiddles_shoup: &[u64],
+        twiddles_shoup52: &[u64],
+        reduce_output: bool,
+    ) {
+        let n = self.n;
+        let mut len = 2;
+        if n > RADIX4_BLOCK {
+            for block in a.chunks_exact_mut(RADIX4_BLOCK) {
+                self.fused_pair_first(block, twiddles, twiddles_shoup);
+                let mut blen = 8;
+                while 2 * blen <= RADIX4_BLOCK {
+                    self.fused_pair_ifma(block, blen, twiddles, twiddles_shoup52, false);
+                    blen <<= 2;
+                }
+            }
+            len = 8;
+            while 2 * len <= RADIX4_BLOCK {
+                len <<= 2;
+            }
+        }
+        while 2 * len < n {
+            self.fused_pair_ifma(a, len, twiddles, twiddles_shoup52, false);
+            len <<= 2;
+        }
+        if 2 * len == n {
+            self.fused_pair_ifma(a, len, twiddles, twiddles_shoup52, reduce_output);
+        } else if len == n {
+            self.single_stage_ifma(a, len, twiddles, twiddles_shoup52, reduce_output);
+        }
+    }
+
+    /// 52-bit lane form of [`Self::fused_pair`]; the short-length
+    /// fallback lives inside [`simd::harvey_fused_pair52`] (its
+    /// portable tail evaluates the same formulas), so no scalar
+    /// detour is needed here.
+    fn fused_pair_ifma(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup52: &[u64],
+        reduce: bool,
+    ) {
+        let ha = len / 2;
+        let twb = &twiddles[len - 1..2 * len - 1];
+        let twbs = &twiddles_shoup52[len - 1..2 * len - 1];
+        let (twb_lo, twb_hi) = twb.split_at(ha);
+        let (twbs_lo, twbs_hi) = twbs.split_at(ha);
+        let tw = simd::FusedTwiddles {
+            a: &twiddles[ha - 1..2 * ha - 1],
+            a_shoup: &twiddles_shoup52[ha - 1..2 * ha - 1],
+            b_lo: twb_lo,
+            b_lo_shoup: twbs_lo,
+            b_hi: twb_hi,
+            b_hi_shoup: twbs_hi,
+        };
+        for chunk in a.chunks_exact_mut(2 * len) {
+            let (left, right) = chunk.split_at_mut(len);
+            let (x0s, x1s) = left.split_at_mut(ha);
+            let (x2s, x3s) = right.split_at_mut(ha);
+            simd::harvey_fused_pair52(x0s, x1s, x2s, x3s, &tw, self.q, reduce);
+        }
+    }
+
+    /// 52-bit lane form of [`Self::single_stage`] — the radix-2 tail
+    /// stage for odd stage counts.
+    fn single_stage_ifma(
+        &self,
+        a: &mut [u64],
+        len: usize,
+        twiddles: &[u64],
+        twiddles_shoup52: &[u64],
+        reduce: bool,
+    ) {
+        let half = len / 2;
+        let tw = &twiddles[half - 1..2 * half - 1];
+        let tws = &twiddles_shoup52[half - 1..2 * half - 1];
+        for chunk in a.chunks_exact_mut(len) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            simd::harvey_stage52(lo, hi, tw, tws, self.q, reduce);
         }
     }
 
@@ -1544,14 +1936,111 @@ mod tests {
 
     #[test]
     fn auto_heuristic_switches_at_min_dim() {
+        // A modulus too wide for IFMA exercises the AVX2/radix tiers
+        // on every host.
+        let wide = (1u64 << 59) - 55;
         if simd::avx2_available() {
             // AVX2 hosts prefer the lane kernel at every dimension.
-            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Simd);
-            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Simd);
+            assert_eq!(
+                NttKernel::auto_for(RADIX4_MIN_DIM / 2, wide),
+                NttKernel::Simd
+            );
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM, wide), NttKernel::Simd);
         } else {
-            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM / 2), NttKernel::Radix2);
-            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM), NttKernel::Radix4);
-            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM * 2), NttKernel::Radix4);
+            assert_eq!(
+                NttKernel::auto_for(RADIX4_MIN_DIM / 2, wide),
+                NttKernel::Radix2
+            );
+            assert_eq!(NttKernel::auto_for(RADIX4_MIN_DIM, wide), NttKernel::Radix4);
+            assert_eq!(
+                NttKernel::auto_for(RADIX4_MIN_DIM * 2, wide),
+                NttKernel::Radix4
+            );
+        }
+        // A fitting modulus takes the IFMA tier exactly when the
+        // hardware is present.
+        let narrow = (1u64 << 45) - 229;
+        let picked = NttKernel::auto_for(RADIX4_MIN_DIM, narrow);
+        if simd::ifma_available() {
+            assert_eq!(picked, NttKernel::Ifma);
+        } else {
+            assert_ne!(picked, NttKernel::Ifma);
+        }
+        // IFMA never auto-selects past its width bound.
+        assert_ne!(NttKernel::auto_for(RADIX4_MIN_DIM, wide), NttKernel::Ifma);
+    }
+
+    #[test]
+    fn ifma_width_bound_is_enforced() {
+        // 59-bit NTT-friendly prime: too wide for the 52-bit window.
+        let n = 64usize;
+        let q = generate_ntt_prime(n, 59).unwrap();
+        assert!(!NttKernel::Ifma.supports_modulus(q));
+        let mut c = NttContext::new(n, q);
+        assert_eq!(
+            c.try_set_kernel(NttKernel::Ifma),
+            Err(NttError::IfmaPrimeTooWide { q })
+        );
+        // The context keeps its previous kernel after the rejection.
+        assert_ne!(c.kernel(), NttKernel::Ifma);
+        // A fitting prime accepts the override even without hardware
+        // (portable mirror lanes).
+        let q50 = generate_ntt_prime(n, 45).unwrap();
+        assert!(NttKernel::Ifma.supports_modulus(q50));
+        let mut c50 = NttContext::new(n, q50);
+        assert_eq!(c50.try_set_kernel(NttKernel::Ifma), Ok(()));
+        assert_eq!(c50.kernel(), NttKernel::Ifma);
+    }
+
+    #[test]
+    fn ifma_roundtrip_and_reference_agreement() {
+        for log_n in [4usize, 6, 10] {
+            let n = 1 << log_n;
+            let q = generate_ntt_prime(n, 45).unwrap();
+            let c = NttContext::new(n, q).with_kernel(NttKernel::Ifma);
+            let mut rng = 0x452821e638d01377u64 ^ (n as u64);
+            let orig: Vec<u64> = (0..n)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng % q
+                })
+                .collect();
+            let mut fast = orig.clone();
+            let mut slow = orig.clone();
+            c.forward(&mut fast);
+            c.forward_reference(&mut slow);
+            assert_eq!(fast, slow, "forward mismatch at n={n}");
+            c.inverse(&mut fast);
+            c.inverse_reference(&mut slow);
+            assert_eq!(fast, slow, "inverse mismatch at n={n}");
+            assert_eq!(fast, orig);
+        }
+    }
+
+    #[test]
+    fn ifma_matches_simd_across_schedules() {
+        // 2^12 = one block (lane pre-twist path), 2^13/2^14 exercise
+        // the blocked walk with scalar fused bit-reversal+twist.
+        for log_n in [12usize, 13, 14] {
+            let n = 1 << log_n;
+            let q = generate_ntt_prime(n, 49).unwrap();
+            let c = NttContext::new(n, q);
+            let mut rng = 0xbe5466cf34e90c6cu64 ^ (n as u64);
+            let orig: Vec<u64> = (0..n)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    rng % q
+                })
+                .collect();
+            let mut sv = orig.clone();
+            let mut iv = orig.clone();
+            c.forward_simd(&mut sv);
+            c.forward_ifma(&mut iv);
+            assert_eq!(sv, iv, "forward mismatch at n={n}");
+            c.inverse_simd(&mut sv);
+            c.inverse_ifma(&mut iv);
+            assert_eq!(sv, iv, "inverse mismatch at n={n}");
+            assert_eq!(iv, orig, "roundtrip mismatch at n={n}");
         }
     }
 

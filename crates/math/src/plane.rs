@@ -9,9 +9,15 @@
 //! occupies `data[i*n .. (i+1)*n]`), plus per-limb moduli and a
 //! [`Form`] tag. All operations are in place and fan out across limbs
 //! via [`crate::par::par_limbs`]; the element-wise kernels
-//! (add/sub/hadamard/mac/scale) run on the 4-wide lane primitives of
-//! [`crate::simd`] — AVX2 when the host has it, the bit-identical
-//! portable unroll otherwise.
+//! (add/sub/hadamard/mac/scale) go through [`crate::simd`]'s per-op
+//! dispatch, which routes each op to the fastest backend for this
+//! host and each limb's modulus — AVX-512 IFMA 52-bit Barrett below
+//! 2⁵⁰, AVX2 limb-split below 2⁶¹, or the bit-identical portable
+//! unroll when the scalar pipeline measures faster (the dispatch
+//! floor guarantees SIMD never loses to scalar). Limb-level fan-out
+//! composes with the op-level work-stealing of
+//! [`crate::par::par_ops`], which parallelizes *across* independent
+//! plane operations in a trace.
 
 use crate::automorph::{apply_coeff_slice, apply_eval_slice};
 use crate::modops::{from_signed, inv_mod, mul_shoup, neg_mod, shoup_precompute, sub_mod, Barrett};

@@ -4,6 +4,26 @@
 //! root of unity in `Z_q`, which exists exactly when `q ≡ 1 mod 2N`.
 //! RNS-CKKS needs chains of such primes near a target bit size; TFHE
 //! (in UFC's NTT formulation, §VII-D) needs one 32-bit NTT prime.
+//!
+//! ## Choosing a bit size for the SIMD windows
+//!
+//! The requested `bits` decides which vector kernels a prime is
+//! eligible for, because generated primes land in
+//! `[2^(bits-1), 2^bits)`:
+//!
+//! * `bits <= 50` keeps the prime below 2⁵⁰, inside the AVX-512 IFMA
+//!   window ([`crate::modops::ifma_modulus_ok`]) — the 52-bit
+//!   `vpmadd52` Barrett path for both the `ifma` NTT generation and
+//!   the element-wise hadamard/MAC dispatch.
+//! * `bits <= 61` keeps the prime below 2⁶¹, inside the AVX2
+//!   limb-split multiply window (the 2×32-bit cross terms stay
+//!   exact).
+//! * `bits = 62` is still valid for every scalar and lazy-NTT path
+//!   (operands in `[0, 4q)` must fit in 64 bits), but element-wise
+//!   multiplies route to the portable/scalar backends.
+//!
+//! RNS limbs rarely *need* to be wide: prefer ≤ 50-bit limbs (one
+//! more limb if necessary) unless precision budgeting says otherwise.
 
 use crate::modops::{mul_mod, pow_mod};
 

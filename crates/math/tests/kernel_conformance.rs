@@ -1,27 +1,34 @@
 //! Cross-kernel NTT conformance suite.
 //!
 //! The dispatch layer ([`NttKernel`]) promises that the reference,
-//! radix-2 and cache-blocked radix-4 kernels are interchangeable:
-//! **bit-identical** outputs, not merely congruent ones, for the
-//! negacyclic forward/inverse transforms and for full negacyclic
-//! products. This suite pins that promise differentially across every
-//! generated prime for ring dimensions 2^10 … 2^14, and anchors the
-//! whole family to an O(n²) schoolbook oracle at small dimensions.
+//! radix-2, cache-blocked radix-4, SIMD and IFMA kernels are
+//! interchangeable: **bit-identical** outputs, not merely congruent
+//! ones, for the negacyclic forward/inverse transforms and for full
+//! negacyclic products. This suite pins that promise differentially
+//! across every generated prime for ring dimensions 2^10 … 2^14, and
+//! anchors the whole family to an O(n²) schoolbook oracle at small
+//! dimensions. The IFMA generation only exists below 2⁵⁰, so sweeps
+//! iterate [`kernels_for`] — every generation the modulus supports —
+//! rather than `NttKernel::ALL`.
 //!
-//! Every test selects kernels explicitly (`forward_with`,
-//! `with_kernel`, `ntt_forward_with`), never through the ambient
-//! `UFC_NTT_KERNEL` environment, so the suite passes unchanged under
-//! each leg of the CI kernel matrix.
+//! Every test selects kernels explicitly (`try_new_with_kernel`,
+//! `forward_with`, `with_kernel`, `ntt_forward_with`), never through
+//! the ambient `UFC_NTT_KERNEL` environment, so the suite passes
+//! unchanged under each leg of the CI kernel matrix — including the
+//! forced-`ifma` leg, whose ambient selection would reject this
+//! suite's 59-bit primes outright.
 
 use proptest::prelude::*;
 use ufc_math::modops::{
-    add_mod, mul_mod, mul_shoup, mul_shoup_lazy, reduce_4q, shoup_precompute, sub_mod,
+    add_mod, ifma_modulus_ok, mul_mod, mul_shoup, mul_shoup_lazy, reduce_4q, shoup_precompute,
+    sub_mod,
 };
 use ufc_math::ntt::{NttContext, NttKernel};
 use ufc_math::plane::RnsPlane;
 use ufc_math::poly::{Form, Poly};
 use ufc_math::prime::{generate_ntt_prime, generate_ntt_primes};
 use ufc_math::simd;
+use ufc_math::simd::{mul_mod_barrett52, mul_mod_limbsplit, EwBackend};
 
 /// Ring dimensions covered by the differential sweeps. 2^13 and 2^14
 /// exercise the genuinely blocked radix-4 schedule (dimension above
@@ -29,21 +36,33 @@ use ufc_math::simd;
 const LOG_DIMS: [usize; 5] = [10, 11, 12, 13, 14];
 
 /// Prime widths sampled per dimension. 59 bits stresses the lazy
-/// (< 4q < 2^61) headroom of the Harvey butterflies; 30 bits gives a
-/// completely different twiddle landscape.
-const PRIME_BITS: [u32; 3] = [30, 45, 59];
+/// (< 4q < 2^61) headroom of the Harvey butterflies; 50 bits sits at
+/// the top of the IFMA window (all five generations run); 30 bits
+/// gives a completely different twiddle landscape.
+const PRIME_BITS: [u32; 4] = [30, 45, 50, 59];
 
 /// Primes generated per (dimension, width) pair.
 const PRIMES_PER_BITS: usize = 2;
 
+/// Every kernel generation that can run over modulus `q` — `ALL`
+/// minus IFMA when the modulus is at or above 2⁵⁰.
+fn kernels_for(q: u64) -> Vec<NttKernel> {
+    NttKernel::ALL
+        .into_iter()
+        .filter(|k| k.supports_modulus(q))
+        .collect()
+}
+
 /// Every context the sweep runs over: each generated prime at each
-/// dimension.
+/// dimension. Construction pins the reference kernel so the suite is
+/// immune to the ambient `UFC_NTT_KERNEL`; tests then pick kernels
+/// explicitly.
 fn contexts_for(log_n: usize) -> Vec<NttContext> {
     let n = 1 << log_n;
     PRIME_BITS
         .iter()
         .flat_map(|&bits| generate_ntt_primes(n, bits, PRIMES_PER_BITS))
-        .map(|q| NttContext::new(n, q))
+        .map(|q| NttContext::try_new_with_kernel(n, q, NttKernel::Reference).unwrap())
         .collect()
 }
 
@@ -73,13 +92,17 @@ fn forward_bit_identical_across_kernels() {
         for ctx in contexts_for(log_n) {
             let n = ctx.dim();
             let q = ctx.modulus();
+            let kernels = kernels_for(q);
             let data = Poly::pseudorandom(n, q, 0xF0F0 ^ (log_n as u64)).into_coeffs();
-            let outputs = NttKernel::ALL.map(|k| {
-                let mut buf = data.clone();
-                ctx.forward_with(k, &mut buf);
-                buf
-            });
-            for (k, out) in NttKernel::ALL.iter().zip(&outputs) {
+            let outputs: Vec<Vec<u64>> = kernels
+                .iter()
+                .map(|&k| {
+                    let mut buf = data.clone();
+                    ctx.forward_with(k, &mut buf);
+                    buf
+                })
+                .collect();
+            for (k, out) in kernels.iter().zip(&outputs) {
                 assert_eq!(
                     *out, outputs[0],
                     "forward {k} diverged from reference at n=2^{log_n}, q={q}"
@@ -100,12 +123,16 @@ fn inverse_bit_identical_across_kernels_and_roundtrips() {
             // would do, but a real one also pins the round trip).
             let mut eval = coeffs.clone();
             ctx.forward_with(NttKernel::Reference, &mut eval);
-            let outputs = NttKernel::ALL.map(|k| {
-                let mut buf = eval.clone();
-                ctx.inverse_with(k, &mut buf);
-                buf
-            });
-            for (k, out) in NttKernel::ALL.iter().zip(&outputs) {
+            let kernels = kernels_for(q);
+            let outputs: Vec<Vec<u64>> = kernels
+                .iter()
+                .map(|&k| {
+                    let mut buf = eval.clone();
+                    ctx.inverse_with(k, &mut buf);
+                    buf
+                })
+                .collect();
+            for (k, out) in kernels.iter().zip(&outputs) {
                 assert_eq!(
                     *out, outputs[0],
                     "inverse {k} diverged from reference at n=2^{log_n}, q={q}"
@@ -127,9 +154,12 @@ fn negacyclic_mul_bit_identical_across_kernels() {
             let q = ctx.modulus();
             let a = Poly::pseudorandom(n, q, 11 + log_n as u64);
             let b = Poly::pseudorandom(n, q, 23 + log_n as u64);
-            let products =
-                NttKernel::ALL.map(|k| ctx.clone().with_kernel(k).negacyclic_mul(&a, &b));
-            for (k, p) in NttKernel::ALL.iter().zip(&products) {
+            let kernels = kernels_for(q);
+            let products: Vec<Poly> = kernels
+                .iter()
+                .map(|&k| ctx.clone().with_kernel(k).negacyclic_mul(&a, &b))
+                .collect();
+            for (k, p) in kernels.iter().zip(&products) {
                 assert_eq!(
                     p.coeffs(),
                     products[0].coeffs(),
@@ -145,11 +175,14 @@ fn negacyclic_mul_matches_schoolbook_oracle() {
     for log_n in [4usize, 5, 6, 7, 8] {
         let n = 1 << log_n;
         for q in generate_ntt_primes(n, 40, 2) {
-            let ctx = NttContext::new(n, q);
+            let ctx = NttContext::try_new_with_kernel(n, q, NttKernel::Reference).unwrap();
             let a = Poly::pseudorandom(n, q, 7 + log_n as u64);
             let b = Poly::pseudorandom(n, q, 13 + log_n as u64);
             let want = schoolbook_negacyclic(a.coeffs(), b.coeffs(), q);
-            for k in NttKernel::ALL {
+            // 40-bit primes sit inside the IFMA window, so all five
+            // generations (portable lanes on non-IFMA hosts) face the
+            // oracle here.
+            for k in kernels_for(q) {
                 let got = ctx.clone().with_kernel(k).negacyclic_mul(&a, &b);
                 assert_eq!(
                     got.coeffs(),
@@ -281,6 +314,63 @@ proptest! {
         }
     }
 
+    /// The limb-split (AVX2) and 52-bit Barrett (IFMA) hadamard/mac
+    /// kernels on *denormal* `[q, 2q)` multiplicands, across generated
+    /// prime widths spanning both windows: every lane must be
+    /// bit-identical to the scalar Barrett oracle on the canonicalized
+    /// inputs. The scalar mirrors (`mul_mod_limbsplit`,
+    /// `mul_mod_barrett52`) are pinned unconditionally — they evaluate
+    /// the exact per-lane integer formula, so their agreement transfers
+    /// to the vector lanes on any host; the vector backends are pinned
+    /// additionally whenever this host can run them.
+    #[test]
+    fn prop_limbsplit_hadamard_mac_match_barrett_on_denormal_inputs(
+        seed in any::<u64>(), len in 1usize..67, bits in 30u32..=60
+    ) {
+        let q = generate_ntt_prime(1 << 10, bits).unwrap();
+        let a = fill(seed, len, q, 2 * q);
+        let b = fill(seed ^ 0xD1CE, len, q, 2 * q);
+        // The accumulator leg of mac is canonical by contract; only
+        // the multiplicands admit lazy representatives.
+        let c = fill(seed ^ 0x0DD5, len, 0, q);
+
+        let canon = |x: u64| if x >= q { x - q } else { x };
+        let mul_want: Vec<u64> =
+            (0..len).map(|i| mul_mod(canon(a[i]), canon(b[i]), q)).collect();
+        let mac_want: Vec<u64> =
+            (0..len).map(|i| add_mod(c[i], mul_want[i], q)).collect();
+
+        for i in 0..len {
+            prop_assert_eq!(
+                mul_mod_limbsplit(a[i], b[i], q), mul_want[i],
+                "limb-split mirror lane {} at {} bits", i, bits
+            );
+            if ifma_modulus_ok(q) {
+                prop_assert_eq!(
+                    mul_mod_barrett52(a[i], b[i], q), mul_want[i],
+                    "barrett52 mirror lane {} at {} bits", i, bits
+                );
+            }
+        }
+
+        for backend in [EwBackend::Avx2, EwBackend::Ifma] {
+            let mut got = a.clone();
+            if simd::mul_mod_slice_on(backend, &mut got, &b, q) {
+                prop_assert_eq!(
+                    &got, &mul_want,
+                    "{} hadamard on denormal inputs at {} bits", backend.name(), bits
+                );
+            }
+            let mut got = c.clone();
+            if simd::mac_mod_slice_on(backend, &mut got, &a, &b, q) {
+                prop_assert_eq!(
+                    &got, &mac_want,
+                    "{} mac on denormal inputs at {} bits", backend.name(), bits
+                );
+            }
+        }
+    }
+
     /// Whole-transform conformance under proptest: the SIMD generation
     /// must equal the radix-4 generation bit-for-bit, forward and
     /// inverse, including on denormal `[q, 2q)` input vectors (both
@@ -291,7 +381,7 @@ proptest! {
     ) {
         let n = 1 << log_n;
         let q = generate_ntt_prime(n, 59).unwrap();
-        let ctx = NttContext::new(n, q);
+        let ctx = NttContext::try_new_with_kernel(n, q, NttKernel::Reference).unwrap();
         let (lo, hi) = if denormal { (q, 2 * q) } else { (0, q) };
         let data = fill(seed, n, lo, hi);
 
@@ -315,7 +405,10 @@ fn rns_plane_transforms_bit_identical_across_kernels() {
     for log_n in [12usize, 13] {
         let n = 1 << log_n;
         let moduli = generate_ntt_primes(n, 50, 3);
-        let tables: Vec<NttContext> = moduli.iter().map(|&q| NttContext::new(n, q)).collect();
+        let tables: Vec<NttContext> = moduli
+            .iter()
+            .map(|&q| NttContext::try_new_with_kernel(n, q, NttKernel::Reference).unwrap())
+            .collect();
         let table_refs: Vec<&NttContext> = tables.iter().collect();
         let polys: Vec<Poly> = moduli
             .iter()
@@ -323,12 +416,22 @@ fn rns_plane_transforms_bit_identical_across_kernels() {
             .map(|(i, &q)| Poly::pseudorandom(n, q, 1000 + i as u64))
             .collect();
         let coeff_plane = RnsPlane::from_polys(&polys, Form::Coeff);
-        let eval_planes = NttKernel::ALL.map(|k| {
-            let mut p = coeff_plane.clone();
-            p.ntt_forward_with(&table_refs, k);
-            p
-        });
-        for (k, p) in NttKernel::ALL.iter().zip(&eval_planes) {
+        // A plane kernel must be valid for every residue modulus; the
+        // 50-bit primes here keep all five generations in play.
+        let kernels: Vec<NttKernel> = NttKernel::ALL
+            .into_iter()
+            .filter(|k| moduli.iter().all(|&q| k.supports_modulus(q)))
+            .collect();
+        assert_eq!(kernels.len(), NttKernel::ALL.len());
+        let eval_planes: Vec<RnsPlane> = kernels
+            .iter()
+            .map(|&k| {
+                let mut p = coeff_plane.clone();
+                p.ntt_forward_with(&table_refs, k);
+                p
+            })
+            .collect();
+        for (k, p) in kernels.iter().zip(&eval_planes) {
             assert_eq!(
                 *p, eval_planes[0],
                 "plane forward under {k} diverged at n=2^{log_n}"

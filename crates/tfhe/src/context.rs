@@ -168,8 +168,25 @@ impl TfheContext {
     /// Forces a specific NTT kernel on the RLWE tables. All kernels
     /// are bit-identical, so this changes scheduling only; it exists
     /// for the cross-kernel conformance suite and A/B timing.
+    ///
+    /// Fails with [`ufc_math::ntt::NttError::IfmaPrimeTooWide`] when
+    /// `kernel` cannot run over the RLWE modulus — moot for the
+    /// default 31-bit TFHE primes, which every generation supports,
+    /// but kept typed so callers probing custom parameter sets get an
+    /// error instead of an abort.
+    pub fn try_set_ntt_kernel(&mut self, kernel: NttKernel) -> Result<(), ufc_math::ntt::NttError> {
+        Arc::make_mut(&mut self.ntt).try_set_kernel(kernel)
+    }
+
+    /// Panicking [`Self::try_set_ntt_kernel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the RLWE modulus is too wide for `kernel`.
     pub fn set_ntt_kernel(&mut self, kernel: NttKernel) {
-        Arc::make_mut(&mut self.ntt).set_kernel(kernel);
+        if let Err(e) = self.try_set_ntt_kernel(kernel) {
+            panic!("set_ntt_kernel: {e}");
+        }
     }
 
     /// Builder-style [`Self::set_ntt_kernel`].

@@ -9,7 +9,10 @@
 //! When `UFC_NTT_KERNEL` is set (the CI kernel matrix), the sweep
 //! runs once under that ambient kernel: the matrix provides the
 //! cross-kernel coverage. When it is unset, the test iterates all
-//! four kernels itself and additionally asserts ciphertext equality.
+//! five kernels itself and additionally asserts ciphertext equality —
+//! the 31-bit TFHE primes sit inside the IFMA window, so the fifth
+//! generation runs everywhere (portable mirror lanes on hosts
+//! without AVX-512 IFMA).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,7 +66,12 @@ fn all_gates_exhaustive_under_every_kernel() {
     }
     for seed in SEEDS {
         let reference = gate_sweep(NttKernel::Reference, seed);
-        for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
+        for kernel in [
+            NttKernel::Radix2,
+            NttKernel::Radix4,
+            NttKernel::Simd,
+            NttKernel::Ifma,
+        ] {
             let outputs = gate_sweep(kernel, seed);
             assert_eq!(
                 outputs, reference,

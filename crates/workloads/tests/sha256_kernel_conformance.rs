@@ -10,8 +10,11 @@
 //!
 //! When `UFC_NTT_KERNEL` is set (the CI kernel matrix), the round
 //! runs once under that ambient kernel — the matrix legs jointly
-//! cover all kernels. When unset, the test iterates all four kernels
-//! itself and asserts cross-kernel ciphertext equality. `#[ignore]`d
+//! cover all kernels. When unset, the test iterates all five kernels
+//! itself and asserts cross-kernel ciphertext equality (the 31-bit
+//! TFHE primes sit inside the IFMA window, so the fifth generation
+//! runs everywhere — portable mirror lanes without the hardware).
+//! `#[ignore]`d
 //! like the rest of the homomorphic suite: hundreds of host
 //! bootstraps per kernel, run by the release-mode `sha256-smoke` job.
 
@@ -78,7 +81,12 @@ fn hom_round_bit_identical_across_kernels() {
         return;
     }
     let reference_cts = round_sweep(NttKernel::Reference);
-    for kernel in [NttKernel::Radix2, NttKernel::Radix4, NttKernel::Simd] {
+    for kernel in [
+        NttKernel::Radix2,
+        NttKernel::Radix4,
+        NttKernel::Simd,
+        NttKernel::Ifma,
+    ] {
         assert_eq!(
             round_sweep(kernel),
             reference_cts,

@@ -703,10 +703,106 @@ fn bench_math(quick: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Per-op dispatch contract: the report must carry the dispatch
+    // table (which backend each element-wise op routed to, and
+    // whether the route was static or measured) on every host — the
+    // portable-only route is a dispatch decision too.
+    let table_rows = |name: &str| -> Vec<serde::Value> {
+        tables
+            .iter()
+            .find(|t| t.get("name").and_then(serde::Value::as_str) == Some(name))
+            .and_then(|t| t.get("rows"))
+            .and_then(serde::Value::as_array)
+            .map(<[serde::Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let col_index = |name: &str, col: &str| -> Option<usize> {
+        tables
+            .iter()
+            .find(|t| t.get("name").and_then(serde::Value::as_str) == Some(name))
+            .and_then(|t| t.get("columns"))
+            .and_then(serde::Value::as_array)
+            .and_then(|cols| cols.iter().position(|c| c.as_str() == Some(col)))
+    };
+    if table_rows("ew_dispatch").is_empty() {
+        eprintln!("xtask bench-math: report has no populated `ew_dispatch` table");
+        return ExitCode::FAILURE;
+    }
+    // Routing regression gate: dispatch guarantees SIMD (or its
+    // portable fallback) never loses to the scalar loop, so every
+    // element-wise row must hold speedup >= 1.0 on committed full
+    // runs. --quick smoke runs keep a jitter allowance: their few
+    // repetitions make equal-code-path ratios noisy.
+    let ew_floor = if quick { 0.90 } else { 1.0 };
+    let ifma = report
+        .get("host")
+        .and_then(|h| h.get("ifma"))
+        .and_then(serde::Value::as_bool)
+        .unwrap_or(false);
+    let (Some(k_col), Some(s_col)) = (
+        col_index("ew_kernels", "kernel"),
+        col_index("ew_kernels", "speedup"),
+    ) else {
+        eprintln!("xtask bench-math: `ew_kernels` lacks kernel/speedup columns");
+        return ExitCode::FAILURE;
+    };
+    let mut best_hadamard = 0.0f64;
+    let mut best_mac = 0.0f64;
+    for row in table_rows("ew_kernels") {
+        let cells = row
+            .as_array()
+            .map(<[serde::Value]>::to_vec)
+            .unwrap_or_default();
+        let kernel = cells
+            .get(k_col)
+            .and_then(serde::Value::as_str)
+            .unwrap_or("");
+        let Some(sp) = cells.get(s_col).and_then(serde::Value::as_f64) else {
+            eprintln!("xtask bench-math: `ew_kernels` row has no numeric speedup");
+            return ExitCode::FAILURE;
+        };
+        if sp < ew_floor {
+            eprintln!(
+                "xtask bench-math: element-wise `{kernel}` dispatched at {sp:.2}x vs \
+                 scalar — below the {ew_floor:.2} routing floor"
+            );
+            return ExitCode::FAILURE;
+        }
+        match kernel {
+            "hadamard" => best_hadamard = best_hadamard.max(sp),
+            "mac" => best_mac = best_mac.max(sp),
+            _ => {}
+        }
+    }
+    // Vector-multiply contract: with an IFMA-capable host the 50-bit
+    // rows must show a real hadamard/mac win, not a dispatch no-op.
+    if !quick && ifma && (best_hadamard < 1.3 || best_mac < 1.3) {
+        eprintln!(
+            "xtask bench-math: IFMA host but best hadamard {best_hadamard:.2}x / \
+             mac {best_mac:.2}x below the 1.3x vector-multiply gate"
+        );
+        return ExitCode::FAILURE;
+    }
+    // Work-stealing contract: multi-core hosts must report the
+    // op-level scaling table alongside the limb-level one.
+    let cores = report
+        .get("host")
+        .and_then(|h| h.get("available_parallelism"))
+        .and_then(serde::Value::as_u64)
+        .unwrap_or(1);
+    if cores > 1 && table_rows("op_scaling").is_empty() {
+        eprintln!(
+            "xtask bench-math: {cores}-core host but no populated `op_scaling` \
+             work-stealing table"
+        );
+        return ExitCode::FAILURE;
+    }
     println!(
-        "bench-math ok: {} tables ({radix_rows} ntt_radix rows), headline speedup \
+        "bench-math ok: {} tables ({radix_rows} ntt_radix rows, {} ew rows, best \
+         hadamard {best_hadamard:.2}x / mac {best_mac:.2}x), headline speedup \
          {speedup:.2}x in {}",
         tables.len(),
+        table_rows("ew_kernels").len(),
         out.display()
     );
     ExitCode::SUCCESS
